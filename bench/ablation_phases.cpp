@@ -1,0 +1,107 @@
+// Ablation study over the design choices DESIGN.md §7 calls out:
+//
+//   full        — the complete procedure (paper configuration)
+//   i1-rule     — scan-out selection maximizing |F_SO| instead of the
+//                 earliest full-coverage time (Section 3.1 discussion)
+//   no-omit     — Phase 2 (vector omission) disabled
+//   no-iter     — single pass of Phases 1-2 (no re-selection loop)
+//   no-phase4   — final static compaction skipped
+//
+// Prints N_cyc, |T_seq|, detection of tau_seq, and added tests per
+// configuration on a few representative circuits.
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "atpg/comb_tset.hpp"
+#include "expt/options.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/suite.hpp"
+#include "tcomp/pipeline.hpp"
+#include "tgen/greedy_tgen.hpp"
+
+namespace {
+
+using namespace scanc;
+
+struct Config {
+  const char* name;
+  tcomp::PipelineOptions options;
+};
+
+std::vector<Config> configurations() {
+  std::vector<Config> cfgs;
+  cfgs.push_back({"full", {}});
+  {
+    tcomp::PipelineOptions o;
+    o.iterate.phase1.scan_out_rule = tcomp::ScanOutRule::LargestSet;
+    cfgs.push_back({"i1-rule", o});
+  }
+  {
+    tcomp::PipelineOptions o;
+    o.iterate.apply_omission = false;
+    cfgs.push_back({"no-omit", o});
+  }
+  {
+    tcomp::PipelineOptions o;
+    o.iterate.iterate = false;
+    cfgs.push_back({"no-iter", o});
+  }
+  {
+    tcomp::PipelineOptions o;
+    o.run_phase4 = false;
+    cfgs.push_back({"no-phase4", o});
+  }
+  {
+    tcomp::PipelineOptions o;
+    o.iterate.phase2_method = tcomp::Phase2Method::Restoration;
+    cfgs.push_back({"restore", o});
+  }
+  return cfgs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    expt::BenchConfig cfg = expt::parse_bench_args(argc, argv);
+    if (cfg.circuits.empty()) {
+      cfg.circuits = {"s298", "s382", "s820", "b03", "b10"};
+    }
+
+    std::printf("Ablation: pipeline configurations (greedy T0)\n");
+    std::printf("%-8s %-10s %9s %8s %8s %7s\n", "circuit", "config",
+                "N_cyc", "|T_seq|", "det_seq", "added");
+    for (const std::string& name : cfg.circuits) {
+      const auto entry = gen::find_suite_entry(name);
+      const netlist::Circuit circuit = gen::build_suite_circuit(*entry);
+      const fault::FaultList faults = fault::FaultList::build(circuit);
+      fault::FaultSimulator fsim(circuit, faults);
+      atpg::CombTestSetOptions copt;
+      copt.seed = cfg.runner.seed;
+      const atpg::CombTestSet comb =
+          atpg::generate_comb_test_set(circuit, faults, copt);
+      tgen::GreedyTgenOptions gopt;
+      gopt.seed = cfg.runner.seed;
+      gopt.max_length = 1024;
+      const tgen::GreedyTgenResult t0 =
+          tgen::generate_test_sequence(circuit, faults, gopt);
+
+      for (const Config& c : configurations()) {
+        const tcomp::PipelineResult r =
+            tcomp::run_pipeline(fsim, t0.sequence, comb.tests, c.options);
+        std::printf("%-8s %-10s %9llu %8zu %8zu %7zu\n", name.c_str(),
+                    c.name,
+                    static_cast<unsigned long long>(tcomp::clock_cycles(
+                        r.compacted, circuit.num_flip_flops())),
+                    r.tau_seq.seq.length(), r.f_seq.count(),
+                    r.added_tests);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,58 @@
+// Multi-scan-chain study (extension; the paper assumes one chain).
+//
+// With c balanced chains a scan operation costs ceil(N_SV/c) cycles, so
+// the scan component of N_cyc shrinks as chains are added while the
+// at-speed component is fixed.  This bench derives, from the cached
+// measurements, how the proposed procedure's advantage over the [4]
+// baseline scales with the chain count — the [4] sets have many more
+// scan operations, so extra chains help them more, narrowing (but, on
+// these circuits, not closing) the gap.
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+
+#include "expt/options.hpp"
+
+namespace {
+
+// N_cyc derived from a cached (k, sum L) pair.
+std::uint64_t cycles(std::size_t tests, std::size_t vectors,
+                     std::size_t nsv, std::size_t chains) {
+  if (tests == 0) return 0;
+  const std::uint64_t shift = (nsv + chains - 1) / chains;
+  return (tests + 1) * shift + vectors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scanc;
+  try {
+    const expt::BenchConfig cfg = expt::parse_bench_args(argc, argv);
+    const std::vector<expt::CircuitRun> runs = expt::run_configured(cfg);
+
+    std::printf("Multi-chain sweep: proposed-compacted N_cyc (and ratio "
+                "vs one chain)\n");
+    std::printf("%-8s %6s | %9s %9s %9s %9s\n", "circuit", "ff", "1 chain",
+                "2 chains", "4 chains", "8 chains");
+    for (const expt::CircuitRun& r : runs) {
+      if (r.atpg.tests_final == 0) {
+        std::printf("%-8s (cache predates composition fields; rerun with "
+                    "--fresh)\n",
+                    r.name.c_str());
+        continue;
+      }
+      std::printf("%-8s %6zu |", r.name.c_str(), r.flip_flops);
+      for (const std::size_t chains : {1u, 2u, 4u, 8u}) {
+        std::printf(" %9" PRIu64,
+                    cycles(r.atpg.tests_final, r.atpg.vectors_final,
+                           r.flip_flops, chains));
+      }
+      std::printf("\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,108 @@
+// Substrate micro-benchmarks (google-benchmark): throughput of the
+// engines everything else is built on.  Not a paper table — use these to
+// track performance regressions of the simulator/ATPG kernels.
+#include <benchmark/benchmark.h>
+
+#include "atpg/comb_tset.hpp"
+#include "atpg/podem.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/circuit_gen.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/bench_writer.hpp"
+#include "sim/seq_sim.hpp"
+#include "tgen/random_seq.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace scanc;
+
+netlist::Circuit mid_circuit() {
+  gen::GenParams p;
+  p.name = "bench";
+  p.seed = 12345;
+  p.num_inputs = 16;
+  p.num_outputs = 16;
+  p.num_flip_flops = 64;
+  p.num_gates = 1000;
+  return gen::generate_circuit(p);
+}
+
+void BM_FaultFreeSimulation(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const sim::Sequence seq =
+      tgen::random_test_sequence(c, static_cast<std::size_t>(state.range(0)),
+                                 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_fault_free(c, nullptr, seq));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(0)) *
+          static_cast<double>(c.num_gates()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultFreeSimulation)->Arg(64)->Arg(256);
+
+void BM_ParallelFaultSimulation(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const fault::FaultList fl = fault::FaultList::build(c);
+  fault::FaultSimulator fsim(c, fl);
+  const sim::Sequence seq = tgen::random_test_sequence(c, 64, 11);
+  util::Rng rng(3);
+  const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detect_scan_test(si, seq));
+  }
+  // Faults simulated per second (all classes, 64-frame test).
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(fl.num_classes()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelFaultSimulation);
+
+void BM_DetectionTimesRecording(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const fault::FaultList fl = fault::FaultList::build(c);
+  fault::FaultSimulator fsim(c, fl);
+  const sim::Sequence seq = tgen::random_test_sequence(c, 64, 11);
+  util::Rng rng(3);
+  const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  const fault::FaultSet all = fsim.all_faults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detection_times(si, seq, all));
+  }
+}
+BENCHMARK(BM_DetectionTimesRecording);
+
+void BM_PodemPerFault(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const fault::FaultList fl = fault::FaultList::build(c);
+  atpg::Podem podem(c);
+  std::size_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        podem.generate(fl.representative(
+            static_cast<fault::FaultClassId>(id % fl.num_classes()))));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PodemPerFault);
+
+void BM_BenchParseRoundTrip(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const std::string text = netlist::to_bench_string(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::parse_bench(text, "rt"));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_BenchParseRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

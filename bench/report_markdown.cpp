@@ -1,0 +1,8 @@
+// Emits the measured-results markdown block used in EXPERIMENTS.md
+// (cache-aware; run the table binaries or this tool once to populate).
+#include "table_main.hpp"
+
+int main(int argc, char** argv) {
+  return scanc::bench::table_main(argc, argv,
+                                  scanc::expt::write_markdown_report);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 1: faults detected by T0, by tau_seq, and
+// by the final test set, per circuit.
+#include "table_main.hpp"
+
+int main(int argc, char** argv) {
+  return scanc::bench::table_main(argc, argv, scanc::expt::print_table1);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 2: L(T0), L(T_seq), and the number of
+// tests added in Phase 3.
+#include "table_main.hpp"
+
+int main(int argc, char** argv) {
+  return scanc::bench::table_main(argc, argv, scanc::expt::print_table2);
+}

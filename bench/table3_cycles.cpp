@@ -1,0 +1,9 @@
+// Regenerates the paper's Table 3: test application time (clock cycles)
+// for the [2,3]-style dynamic baseline, the [4] baseline (initial and
+// compacted), and the proposed procedure (greedy and random T0; initial
+// and compacted), with totals excluding s35932.
+#include "table_main.hpp"
+
+int main(int argc, char** argv) {
+  return scanc::bench::table_main(argc, argv, scanc::expt::print_table3);
+}

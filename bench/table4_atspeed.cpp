@@ -1,0 +1,8 @@
+// Regenerates the paper's Table 4: at-speed primary-input sequence
+// lengths (average and range) for the [4] baseline and the proposed
+// procedure under both T0 sources.
+#include "table_main.hpp"
+
+int main(int argc, char** argv) {
+  return scanc::bench::table_main(argc, argv, scanc::expt::print_table4);
+}

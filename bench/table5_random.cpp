@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 5: detection and length details for the
+// random-T0 (length 1000) variant of the proposed procedure.
+#include "table_main.hpp"
+
+int main(int argc, char** argv) {
+  return scanc::bench::table_main(argc, argv, scanc::expt::print_table5);
+}

@@ -1,0 +1,28 @@
+// Shared main() scaffolding for the per-table bench binaries.
+#pragma once
+
+#include <exception>
+#include <iostream>
+
+#include "expt/options.hpp"
+#include "expt/tables.hpp"
+
+namespace scanc::bench {
+
+using TablePrinter = void (*)(const std::vector<expt::CircuitRun>&,
+                              std::ostream&);
+
+inline int table_main(int argc, const char* const* argv,
+                      TablePrinter printer) {
+  try {
+    const expt::BenchConfig cfg = expt::parse_bench_args(argc, argv);
+    const std::vector<expt::CircuitRun> runs = expt::run_configured(cfg);
+    printer(runs, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace scanc::bench

@@ -1,0 +1,60 @@
+// Quickstart: the full DAC-2001 compaction flow on the (embedded) s27
+// benchmark, printing every intermediate artifact.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/embedded.hpp"
+#include "tcomp/pipeline.hpp"
+#include "tgen/greedy_tgen.hpp"
+
+int main() {
+  using namespace scanc;
+
+  // 1. A circuit.  s27 ships with the library; parse_bench/load_bench_file
+  //    accept any ISCAS-style .bench netlist, and gen::generate_circuit
+  //    makes synthetic ones.
+  const netlist::Circuit circuit = gen::make_s27();
+  std::printf("circuit %s: %zu PIs, %zu POs, %zu FFs, %zu gates\n",
+              circuit.name().c_str(), circuit.num_inputs(),
+              circuit.num_outputs(), circuit.num_flip_flops(),
+              circuit.num_gates());
+
+  // 2. The fault universe (collapsed single stuck-at faults).
+  const fault::FaultList faults = fault::FaultList::build(circuit);
+  fault::FaultSimulator fsim(circuit, faults);
+  std::printf("faults: %zu enumerated, %zu collapsed classes\n",
+              faults.num_faults(), faults.num_classes());
+
+  // 3. A combinational test set C (scan-in candidates + top-off tests).
+  const atpg::CombTestSet comb =
+      atpg::generate_comb_test_set(circuit, faults);
+  std::printf("combinational test set C: %zu tests, %zu classes covered\n",
+              comb.tests.size(), comb.detected.count());
+
+  // 4. A test sequence T0, generated without scan.
+  const tgen::GreedyTgenResult t0 =
+      tgen::generate_test_sequence(circuit, faults);
+  std::printf("T0: length %zu, detects %zu classes without scan\n",
+              t0.sequence.length(), t0.detected.count());
+
+  // 5. The four-phase compaction procedure.
+  const tcomp::PipelineResult r =
+      tcomp::run_pipeline(fsim, t0.sequence, comb.tests);
+  std::printf("tau_seq: scan-in + %zu at-speed vectors, detects %zu\n",
+              r.tau_seq.seq.length(), r.f_seq.count());
+  std::printf("phase 3 added %zu length-one tests\n", r.added_tests);
+
+  const std::size_t nsv = circuit.num_flip_flops();
+  std::printf("test application time: %llu cycles initial, %llu compacted\n",
+              static_cast<unsigned long long>(
+                  tcomp::clock_cycles(r.initial, nsv)),
+              static_cast<unsigned long long>(
+                  tcomp::clock_cycles(r.compacted, nsv)));
+  std::printf("final coverage: %zu / %zu classes\n",
+              r.final_coverage.count(), faults.num_classes());
+  return 0;
+}

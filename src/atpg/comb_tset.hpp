@@ -1,0 +1,100 @@
+// Compact combinational test-set generation (the paper's test set C).
+//
+// The DAC-2001 procedure consumes a complete, compact combinational test
+// set C for the scan view of the circuit: scan-in candidates come from
+// the state parts of C's tests (Phase 1), and top-off tests come from C
+// itself (Phase 3).  The paper took C from minimal-test-set work [9] for
+// ISCAS-89 and from random-pattern selection for ITC-99; this module
+// provides both sources:
+//
+//   generate_comb_test_set        — deterministic PODEM with fault
+//                                   dropping, then reverse-order static
+//                                   compaction (the [9] substitute), and
+//   generate_random_comb_test_set — greedy selection out of a large
+//                                   random-pattern pool, then the same
+//                                   reverse-order compaction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/dalg.hpp"
+#include "atpg/podem.hpp"
+#include "fault/fault_sim.hpp"
+
+namespace scanc::atpg {
+
+/// One fully-specified combinational (scan) test.
+struct CombTest {
+  sim::Vector3 state;   ///< scan-in part c_js (flip_flops() order)
+  sim::Vector3 inputs;  ///< primary-input part c_jp
+};
+
+/// A combinational test set plus coverage bookkeeping.
+struct CombTestSet {
+  std::vector<CombTest> tests;
+  fault::FaultSet detected;       ///< classes detected by the final set
+  std::size_t proven_untestable = 0;  ///< PODEM exhausted: no test exists
+  std::size_t aborted = 0;        ///< PODEM hit the backtrack limit
+
+  /// Classes detectable as far as this generation run could prove:
+  /// detected plus aborted (unresolved) classes, i.e. everything not
+  /// proven untestable.
+  [[nodiscard]] std::size_t num_tests() const noexcept {
+    return tests.size();
+  }
+};
+
+/// Static compaction applied to the generated set.
+enum class TestSetCompaction : std::uint8_t {
+  None,
+  ReverseOrder,  ///< classic reverse-order redundancy drop
+  GreedyCover,   ///< greedy set cover over per-test detection sets, then
+                 ///< a reverse-order polish (default; smallest sets)
+};
+
+/// Which ATPG engine generates the test cubes.
+enum class AtpgEngine : std::uint8_t { Podem, Dalg };
+
+/// Options for test-set generation.
+struct CombTestSetOptions {
+  std::uint64_t seed = 1;           ///< random fill / pattern pool seed
+  AtpgEngine engine = AtpgEngine::Podem;
+  PodemOptions podem;               ///< PODEM search bounds
+  DalgOptions dalg;                 ///< D-algorithm search bounds
+  TestSetCompaction compaction = TestSetCompaction::GreedyCover;
+  std::size_t random_pool = 4096;   ///< pool size for the random source
+  /// N-detect: drop a fault from the target list only after this many
+  /// distinct tests detect it.  N > 1 yields larger sets that catch more
+  /// unmodeled defects (compaction then preserves N detections per
+  /// fault).  Standard value 1.
+  std::size_t n_detect = 1;
+  /// Generate targets only at checkpoint faults (primary inputs and
+  /// fanout branches).  By the checkpoint theorem a combinational test
+  /// set detecting all checkpoint faults detects all stuck-at faults;
+  /// coverage is still *measured* on every fault, so the reported
+  /// `detected` set is exact.  Cuts PODEM calls substantially on wide
+  /// circuits.
+  bool checkpoints_only = false;
+};
+
+/// Deterministic ATPG test set: one PODEM call per still-undetected
+/// collapsed fault class, fault dropping after every generated test.
+[[nodiscard]] CombTestSet generate_comb_test_set(
+    const netlist::Circuit& circuit, const fault::FaultList& faults,
+    const CombTestSetOptions& options = {});
+
+/// Random-selection test set: draws `options.random_pool` random
+/// (state, input) patterns and keeps those that detect new faults.
+/// Coverage is whatever the pool achieves (no untestability proofs).
+[[nodiscard]] CombTestSet generate_random_comb_test_set(
+    const netlist::Circuit& circuit, const fault::FaultList& faults,
+    const CombTestSetOptions& options = {});
+
+/// Applies one combinational test as a length-one scan test and returns
+/// the classes it detects among `targets`.
+[[nodiscard]] fault::FaultSet detect_comb_test(
+    fault::FaultSimulator& fsim, const CombTest& test,
+    const fault::FaultSet* targets = nullptr);
+
+}  // namespace scanc::atpg

@@ -1,0 +1,466 @@
+#include "atpg/dalg.hpp"
+
+#include <algorithm>
+
+namespace scanc::atpg {
+
+using fault::Fault;
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::Node;
+using netlist::NodeId;
+
+namespace {
+
+/// Value seen past a stuck branch: the good component passes, the faulty
+/// component is the stuck value.
+V5 transform_branch(V5 actual, bool stuck_one) {
+  return compose(good_of(actual),
+                 stuck_one ? sim::V3::One : sim::V3::Zero);
+}
+
+/// n-ary composite evaluation of a plain (fault-free) gate function.
+V5 eval_plain(GateType type, const V5* vals, std::size_t n) {
+  V5 acc = vals[0];
+  switch (type) {
+    case GateType::Buf:
+      return acc;
+    case GateType::Not:
+      return v5_not(acc);
+    case GateType::And:
+    case GateType::Nand:
+      for (std::size_t i = 1; i < n; ++i) acc = v5_and(acc, vals[i]);
+      return type == GateType::Nand ? v5_not(acc) : acc;
+    case GateType::Or:
+    case GateType::Nor:
+      for (std::size_t i = 1; i < n; ++i) acc = v5_or(acc, vals[i]);
+      return type == GateType::Nor ? v5_not(acc) : acc;
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::size_t i = 1; i < n; ++i) acc = v5_xor(acc, vals[i]);
+      return type == GateType::Xnor ? v5_not(acc) : acc;
+    default:
+      return V5::X;
+  }
+}
+
+}  // namespace
+
+Dalg::Dalg(const Circuit& circuit, DalgOptions options)
+    : circuit_(&circuit),
+      options_(options),
+      value_(circuit.num_nodes(), V5::X),
+      in_cone_(circuit.num_nodes(), 0),
+      assignable_(circuit.num_nodes(), 0),
+      observable_ff_(circuit.num_flip_flops(), 1) {
+  for (const NodeId id : circuit.primary_inputs()) assignable_[id] = 1;
+  const auto ffs = circuit.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const bool scanned =
+        options_.scan_mask.empty() || options_.scan_mask.test(i);
+    observable_ff_[i] = scanned ? 1 : 0;
+    assignable_[ffs[i]] = scanned ? 1 : 0;
+  }
+}
+
+void Dalg::compute_cone(const Fault& fault) {
+  std::fill(in_cone_.begin(), in_cone_.end(), 0);
+  std::vector<NodeId> stack;
+  const auto push = [&](NodeId id) {
+    if (!in_cone_[id]) {
+      in_cone_[id] = 1;
+      stack.push_back(id);
+    }
+  };
+  // Stem faults corrupt the site node's own signal; branch faults only
+  // the fed gate's output onward.
+  push(fault.pin == sim::kStemPin ? fault.node : fault.node);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId out : circuit_->node(id).fanouts) {
+      // A flip-flop consumer is a capture point, not an in-frame signal.
+      if (circuit_->node(out).type == GateType::Dff) continue;
+      push(out);
+    }
+  }
+}
+
+void Dalg::set_value(NodeId id, V5 v) {
+  trail_.push_back(TrailEntry{id, value_[id]});
+  value_[id] = v;
+}
+
+void Dalg::undo_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    value_[trail_.back().node] = trail_.back().previous;
+    trail_.pop_back();
+  }
+}
+
+V5 Dalg::eval(NodeId id, const Fault& fault) const {
+  const Node& n = circuit_->node(id);
+  V5 vals[8];
+  const std::size_t nf = std::min<std::size_t>(n.fanins.size(), 8);
+  // Wide gates are folded progressively below for n > 8.
+  V5 folded = V5::X;
+  bool use_folded = n.fanins.size() > 8;
+  if (!use_folded) {
+    for (std::size_t p = 0; p < nf; ++p) {
+      V5 v = value_[n.fanins[p]];
+      if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
+        v = transform_branch(v, fault.stuck_one);
+      }
+      vals[p] = v;
+    }
+  } else {
+    // Rare n-ary case: fold with the same per-pin transformation.
+    for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+      V5 v = value_[n.fanins[p]];
+      if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
+        v = transform_branch(v, fault.stuck_one);
+      }
+      if (p == 0) {
+        folded = v;
+        continue;
+      }
+      switch (n.type) {
+        case GateType::And:
+        case GateType::Nand:
+          folded = v5_and(folded, v);
+          break;
+        case GateType::Or:
+        case GateType::Nor:
+          folded = v5_or(folded, v);
+          break;
+        default:
+          folded = v5_xor(folded, v);
+          break;
+      }
+    }
+  }
+  V5 out = use_folded
+               ? (netlist::is_inverting(n.type) ? v5_not(folded) : folded)
+               : eval_plain(n.type, vals, nf);
+  if (fault.node == id && fault.pin == sim::kStemPin) {
+    out = compose(good_of(out),
+                  fault.stuck_one ? sim::V3::One : sim::V3::Zero);
+  }
+  return out;
+}
+
+bool Dalg::imply(const Fault& fault) {
+  bool conflict = false;
+  // Backward assignment with the cone rule: only the fault site's fanout
+  // cone may carry an error value.
+  const auto backward_set = [&](NodeId in, V5 want, bool& changed) {
+    if (value_[in] == want) return;
+    const bool unassignable_source =
+        netlist::is_source(circuit_->node(in).type) && !assignable_[in] &&
+        circuit_->node(in).type != GateType::Const0 &&
+        circuit_->node(in).type != GateType::Const1;
+    if (value_[in] != V5::X || (is_error(want) && !in_cone_[in]) ||
+        unassignable_source) {
+      conflict = true;
+      return;
+    }
+    set_value(in, want);
+    changed = true;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const NodeId id : circuit_->topo_order()) {
+      if (conflict) return false;
+      const Node& n = circuit_->node(id);
+      const V5 ev = eval(id, fault);
+      const V5 v = value_[id];
+      if (ev != V5::X) {
+        if (v == V5::X) {
+          set_value(id, ev);
+          changed = true;
+        } else if (v != ev) {
+          return false;  // conflict
+        }
+        continue;
+      }
+      if (v == V5::X || fault.node == id) {
+        // Unassigned output, or the fault gate (left to justification —
+        // backward reasoning through the transformation is not worth the
+        // complexity).
+        continue;
+      }
+      // Backward implication for an assigned-but-unimplied output.
+      switch (n.type) {
+        case GateType::Buf:
+        case GateType::Not: {
+          const V5 want = n.type == GateType::Not ? v5_not(v) : v;
+          backward_set(n.fanins[0], want, changed);
+          break;
+        }
+        case GateType::And:
+        case GateType::Nand:
+        case GateType::Or:
+        case GateType::Nor: {
+          const bool or_like =
+              n.type == GateType::Or || n.type == GateType::Nor;
+          const V5 inner = netlist::is_inverting(n.type) ? v5_not(v) : v;
+          const V5 all_value = or_like ? V5::Zero : V5::One;
+          if (inner == all_value) {
+            // Every input is forced to the non-controlling value.
+            for (const NodeId in : n.fanins) {
+              backward_set(in, all_value, changed);
+            }
+          } else if (inner == (or_like ? V5::One : V5::Zero)) {
+            // One controlling input needed: force only the last X input
+            // when every other input is the non-controlling value.
+            NodeId last_x = netlist::kNoNode;
+            bool others_noncontrolling = true;
+            for (const NodeId in : n.fanins) {
+              if (value_[in] == V5::X) {
+                if (last_x != netlist::kNoNode) {
+                  others_noncontrolling = false;
+                  break;
+                }
+                last_x = in;
+              } else if (value_[in] != all_value) {
+                others_noncontrolling = false;
+                break;
+              }
+            }
+            if (others_noncontrolling && last_x != netlist::kNoNode) {
+              backward_set(last_x, or_like ? V5::One : V5::Zero, changed);
+            }
+          }
+          break;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+          // With one X input and the rest assigned, solve for it.
+          NodeId last_x = netlist::kNoNode;
+          V5 fold = n.type == GateType::Xnor ? V5::One : V5::Zero;
+          bool single = true;
+          for (const NodeId in : n.fanins) {
+            if (value_[in] == V5::X) {
+              if (last_x != netlist::kNoNode) {
+                single = false;
+                break;
+              }
+              last_x = in;
+            } else {
+              fold = v5_xor(fold, value_[in]);
+            }
+          }
+          if (single && last_x != netlist::kNoNode && fold != V5::X) {
+            const V5 want = v5_xor(fold, v);
+            if (want != V5::X) backward_set(last_x, want, changed);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return !conflict;
+}
+
+bool Dalg::error_observed() const {
+  for (const NodeId po : circuit_->primary_outputs()) {
+    if (is_error(value_[po])) return true;
+  }
+  const auto ffs = circuit_->flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (!observable_ff_[i]) continue;
+    if (is_error(value_[circuit_->node(ffs[i]).fanins[0]])) return true;
+  }
+  return false;
+}
+
+bool Dalg::solve(const Fault& fault, std::uint32_t& backtracks,
+                 bool& aborted) {
+  if (backtracks > options_.backtrack_limit) {
+    aborted = true;
+    return false;
+  }
+  const std::size_t mark = trail_.size();
+  if (!imply(fault)) {
+    ++backtracks;
+    undo_to(mark);
+    return false;
+  }
+
+  // Collect the frontiers.
+  std::vector<NodeId> unjustified;
+  std::vector<NodeId> dfrontier;
+  for (const NodeId id : circuit_->topo_order()) {
+    const V5 ev = eval(id, fault);
+    if (value_[id] != V5::X) {
+      if (ev == V5::X) unjustified.push_back(id);
+      continue;
+    }
+    if (ev != V5::X) continue;  // will be implied, not a choice point
+    bool error_in = false;
+    const Node& n = circuit_->node(id);
+    for (std::size_t p = 0; p < n.fanins.size() && !error_in; ++p) {
+      V5 v = value_[n.fanins[p]];
+      if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
+        v = transform_branch(v, fault.stuck_one);
+      }
+      error_in = is_error(v);
+    }
+    if (error_in) dfrontier.push_back(id);
+  }
+
+  // Observation check, including the (ff, 0) branch-fault capture.
+  bool observed = error_observed();
+  if (!observed && fault.pin == 0 &&
+      circuit_->node(fault.node).type == GateType::Dff) {
+    observed = is_error(transform_branch(
+        value_[circuit_->node(fault.node).fanins[0]], fault.stuck_one));
+  }
+
+  if (observed) {
+    if (unjustified.empty()) return true;
+    // Justify the deepest unjustified gate by enumerating its X inputs.
+    const NodeId g = unjustified.back();
+    const Node& n = circuit_->node(g);
+    std::vector<NodeId> xs;
+    for (const NodeId in : n.fanins) {
+      // Unassignable sources (unscanned flip-flops) stay X; the
+      // enumeration may still justify through the other inputs.
+      if (value_[in] == V5::X &&
+          (!netlist::is_source(circuit_->node(in).type) ||
+           assignable_[in])) {
+        xs.push_back(in);
+      }
+    }
+    if (xs.empty() || xs.size() > options_.max_enum_inputs) {
+      aborted = aborted || xs.size() > options_.max_enum_inputs;
+      ++backtracks;
+      undo_to(mark);
+      return false;
+    }
+    for (std::uint64_t combo = 0; combo < (1ull << xs.size()); ++combo) {
+      const std::size_t inner = trail_.size();
+      for (std::size_t b = 0; b < xs.size(); ++b) {
+        set_value(xs[b], v5_from_bool((combo >> b) & 1));
+      }
+      if (eval(g, fault) == value_[g] && solve(fault, backtracks, aborted)) {
+        return true;
+      }
+      ++backtracks;
+      undo_to(inner);
+      if (aborted) break;
+    }
+    undo_to(mark);
+    return false;
+  }
+
+  // Not observed: propagate through some D-frontier gate.
+  if (dfrontier.empty()) {
+    ++backtracks;
+    undo_to(mark);
+    return false;
+  }
+  for (const NodeId g : dfrontier) {
+    const Node& n = circuit_->node(g);
+    std::vector<NodeId> xs;
+    for (const NodeId in : n.fanins) {
+      if (value_[in] == V5::X &&
+          (!netlist::is_source(circuit_->node(in).type) ||
+           assignable_[in])) {
+        xs.push_back(in);
+      }
+    }
+    if (netlist::has_controlling_value(n.type)) {
+      // AND/NAND/OR/NOR: the only propagating side-input assignment is
+      // all-non-controlling.
+      const std::size_t inner = trail_.size();
+      const V5 nc = v5_from_bool(!netlist::controlling_value(n.type));
+      for (const NodeId in : xs) set_value(in, nc);
+      if (solve(fault, backtracks, aborted)) return true;
+      ++backtracks;
+      undo_to(inner);
+    } else {
+      // XOR-family (and BUF/NOT degenerate cases): every binary
+      // side-input combination propagates the error; a specific one may
+      // conflict with other constraints, so enumerate them.
+      if (xs.size() > options_.max_enum_inputs) {
+        aborted = true;
+        break;
+      }
+      for (std::uint64_t combo = 0; combo < (1ull << xs.size()); ++combo) {
+        const std::size_t inner = trail_.size();
+        for (std::size_t b = 0; b < xs.size(); ++b) {
+          set_value(xs[b], v5_from_bool((combo >> b) & 1));
+        }
+        if (solve(fault, backtracks, aborted)) return true;
+        ++backtracks;
+        undo_to(inner);
+        if (aborted) break;
+      }
+    }
+    if (aborted) break;
+  }
+  undo_to(mark);
+  return false;
+}
+
+PodemResult Dalg::generate(const Fault& fault) {
+  PodemResult result;
+  std::fill(value_.begin(), value_.end(), V5::X);
+  trail_.clear();
+  for (NodeId id = 0; id < circuit_->num_nodes(); ++id) {
+    if (circuit_->node(id).type == GateType::Const0) value_[id] = V5::Zero;
+    if (circuit_->node(id).type == GateType::Const1) value_[id] = V5::One;
+  }
+
+  // Fault-site setup.  A site or activation line that is an unassignable
+  // source (unscanned flip-flop output) can never be driven to the
+  // activation value in the single-frame scan view.
+  compute_cone(fault);
+  const auto unassignable_source = [&](NodeId id) {
+    const GateType t = circuit_->node(id).type;
+    return netlist::is_source(t) && t != GateType::Const0 &&
+           t != GateType::Const1 && !assignable_[id];
+  };
+  if (fault.pin == sim::kStemPin) {
+    const V5 site = fault.stuck_one ? V5::Db : V5::D;
+    if ((value_[fault.node] != V5::X && value_[fault.node] != site) ||
+        unassignable_source(fault.node)) {
+      result.status = PodemStatus::Untestable;  // constant/unknown site
+      return result;
+    }
+    set_value(fault.node, site);
+  } else {
+    const NodeId driver = circuit_->node(fault.node).fanins[fault.pin];
+    const V5 want = v5_from_bool(!fault.stuck_one);
+    if ((value_[driver] != V5::X && value_[driver] != want) ||
+        unassignable_source(driver)) {
+      result.status = PodemStatus::Untestable;
+      return result;
+    }
+    set_value(driver, want);
+  }
+
+  std::uint32_t backtracks = 0;
+  bool aborted = false;
+  const bool found = solve(fault, backtracks, aborted);
+  result.backtracks = backtracks;
+  if (found) {
+    result.status = PodemStatus::Detected;
+    for (const NodeId id : circuit_->primary_inputs()) {
+      result.cube.inputs.push_back(good_of(value_[id]));
+    }
+    for (const NodeId id : circuit_->flip_flops()) {
+      result.cube.state.push_back(good_of(value_[id]));
+    }
+    return result;
+  }
+  result.status = aborted ? PodemStatus::Aborted : PodemStatus::Untestable;
+  return result;
+}
+
+}  // namespace scanc::atpg

@@ -1,0 +1,79 @@
+// The D-algorithm (Roth, 1966) over the full-scan combinational view —
+// the library's second ATPG engine, used to cross-validate PODEM and as
+// an alternative for circuits where PODEM's input-only decisions thrash.
+//
+// Unlike PODEM, the D-algorithm makes decisions on internal lines: it
+// maintains a J-frontier of assigned-but-unjustified gates and a
+// D-frontier of gates a fault effect could still pass, alternating
+// error-propagation decisions with line-justification decisions, with
+// chronological backtracking over an assignment trail.
+//
+// Values are Roth's 5-valued composites (atpg/val5.hpp).  Branch faults
+// are modeled by transforming the faulty value seen at the faulty fanin
+// pin; stem faults by forcing the faulty component of the site's output.
+//
+// Same result contract as PODEM: Detected / Untestable (search space
+// exhausted) / Aborted (backtrack limit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/podem.hpp"  // PodemResult/TestCube/PodemOptions shapes
+#include "atpg/val5.hpp"
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "util/bitset.hpp"
+
+namespace scanc::atpg {
+
+struct DalgOptions {
+  std::uint32_t backtrack_limit = 4000;
+  /// Justification gives up on gates with more unknown inputs than this
+  /// (enumeration is 2^k); such faults abort.
+  std::size_t max_enum_inputs = 8;
+  /// Partial scan (same semantics as PodemOptions::scan_mask): unscanned
+  /// flip-flops are unassignable (their Q stays X) and unobservable at
+  /// their D line.  Empty means full scan.
+  util::Bitset scan_mask;
+};
+
+/// D-algorithm test generator.
+class Dalg {
+ public:
+  explicit Dalg(const netlist::Circuit& circuit, DalgOptions options = {});
+
+  /// Attempts to generate a test cube for `fault`.
+  [[nodiscard]] PodemResult generate(const fault::Fault& fault);
+
+ private:
+  struct TrailEntry {
+    netlist::NodeId node;
+    V5 previous;
+  };
+
+  void set_value(netlist::NodeId id, V5 v);
+  void undo_to(std::size_t mark);
+  [[nodiscard]] V5 eval(netlist::NodeId id, const fault::Fault& fault) const;
+  /// Runs implication to a fixed point; false on conflict.
+  [[nodiscard]] bool imply(const fault::Fault& fault);
+  [[nodiscard]] bool error_observed() const;
+  [[nodiscard]] bool solve(const fault::Fault& fault,
+                           std::uint32_t& backtracks, bool& aborted);
+
+  void compute_cone(const fault::Fault& fault);
+
+  const netlist::Circuit* circuit_;
+  DalgOptions options_;
+  std::vector<V5> value_;
+  std::vector<TrailEntry> trail_;
+  /// Fanout cone of the fault site: the only lines that may legally
+  /// carry D/D'.  Backward implication demanding an error value outside
+  /// the cone is a conflict.
+  std::vector<char> in_cone_;
+  std::vector<char> assignable_;     // per node: PI or scanned FF Q
+  std::vector<char> observable_ff_;  // per FF index: D line observed
+};
+
+}  // namespace scanc::atpg

@@ -1,0 +1,109 @@
+// Roth's 5-valued D-calculus: {0, 1, X, D, D'}.
+//
+// D means "1 in the good circuit, 0 in the faulty circuit"; D' the
+// reverse.  A value is a pair (good, bad) of ternary values restricted to
+// the representable composites — partially-known pairs such as (1, X)
+// are approximated by X, the classic conservative choice that keeps the
+// D-algorithm sound (every approximation is resolved once decisions bind
+// the remaining X lines).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/gate.hpp"
+#include "sim/logic.hpp"
+
+namespace scanc::atpg {
+
+/// The five composite values.
+enum class V5 : std::uint8_t { Zero, One, X, D, Db };
+
+/// good-circuit component (D -> 1, D' -> 0).
+[[nodiscard]] constexpr sim::V3 good_of(V5 v) noexcept {
+  switch (v) {
+    case V5::Zero:
+    case V5::Db:
+      return sim::V3::Zero;
+    case V5::One:
+    case V5::D:
+      return sim::V3::One;
+    default:
+      return sim::V3::X;
+  }
+}
+
+/// faulty-circuit component (D -> 0, D' -> 1).
+[[nodiscard]] constexpr sim::V3 bad_of(V5 v) noexcept {
+  switch (v) {
+    case V5::Zero:
+    case V5::D:
+      return sim::V3::Zero;
+    case V5::One:
+    case V5::Db:
+      return sim::V3::One;
+    default:
+      return sim::V3::X;
+  }
+}
+
+/// Composes a 5-valued value from ternary components; partially-known
+/// pairs collapse to X.
+[[nodiscard]] constexpr V5 compose(sim::V3 good, sim::V3 bad) noexcept {
+  if (!sim::is_binary(good) || !sim::is_binary(bad)) return V5::X;
+  if (good == sim::V3::One) {
+    return bad == sim::V3::One ? V5::One : V5::D;
+  }
+  return bad == sim::V3::Zero ? V5::Zero : V5::Db;
+}
+
+/// True for D or D' (a fault effect).
+[[nodiscard]] constexpr bool is_error(V5 v) noexcept {
+  return v == V5::D || v == V5::Db;
+}
+
+/// True for 0/1/D/D' (fully determined in both circuits).
+[[nodiscard]] constexpr bool is_assigned(V5 v) noexcept {
+  return v != V5::X;
+}
+
+[[nodiscard]] constexpr V5 v5_not(V5 a) noexcept {
+  return compose(sim::v3_not(good_of(a)), sim::v3_not(bad_of(a)));
+}
+
+[[nodiscard]] constexpr V5 v5_and(V5 a, V5 b) noexcept {
+  return compose(sim::v3_and(good_of(a), good_of(b)),
+                 sim::v3_and(bad_of(a), bad_of(b)));
+}
+
+[[nodiscard]] constexpr V5 v5_or(V5 a, V5 b) noexcept {
+  return compose(sim::v3_or(good_of(a), good_of(b)),
+                 sim::v3_or(bad_of(a), bad_of(b)));
+}
+
+[[nodiscard]] constexpr V5 v5_xor(V5 a, V5 b) noexcept {
+  return compose(sim::v3_xor(good_of(a), good_of(b)),
+                 sim::v3_xor(bad_of(a), bad_of(b)));
+}
+
+/// Converts a binary bool to V5.
+[[nodiscard]] constexpr V5 v5_from_bool(bool b) noexcept {
+  return b ? V5::One : V5::Zero;
+}
+
+/// Display character: '0' '1' 'x' 'D' 'd' (d = D').
+[[nodiscard]] constexpr char to_char(V5 v) noexcept {
+  switch (v) {
+    case V5::Zero:
+      return '0';
+    case V5::One:
+      return '1';
+    case V5::D:
+      return 'D';
+    case V5::Db:
+      return 'd';
+    default:
+      return 'x';
+  }
+}
+
+}  // namespace scanc::atpg

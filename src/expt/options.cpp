@@ -1,0 +1,85 @@
+#include "expt/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "gen/suite.hpp"
+
+namespace scanc::expt {
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::vector<std::string> split_names(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= arg.size(); ++i) {
+    if (i == arg.size() || arg[i] == ',') {
+      if (i > start) out.push_back(arg.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchConfig parse_bench_args(int argc, const char* const* argv) {
+  BenchConfig cfg;
+  if (const char* v = std::getenv("SCANC_CIRCUITS")) {
+    cfg.circuits = split_names(v);
+  }
+  cfg.include_large = env_flag("SCANC_FULL");
+  cfg.runner.force_fresh = env_flag("SCANC_FRESH");
+  cfg.runner.verbose = env_flag("SCANC_VERBOSE");
+  if (const char* v = std::getenv("SCANC_SEED")) {
+    cfg.runner.seed = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("SCANC_CACHE")) {
+    cfg.runner.cache_path = v;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--circuits=", 0) == 0) {
+      cfg.circuits = split_names(arg.substr(11));
+    } else if (arg == "--full") {
+      cfg.include_large = true;
+    } else if (arg == "--fresh") {
+      cfg.runner.force_fresh = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.runner.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      cfg.runner.cache_path = arg.substr(8);
+    } else if (arg == "--no-dynamic") {
+      cfg.runner.run_dynamic_baseline = false;
+    } else if (arg == "--verbose") {
+      cfg.runner.verbose = true;
+    } else {
+      throw std::invalid_argument("unknown flag: " + arg);
+    }
+  }
+
+  for (const std::string& name : cfg.circuits) {
+    if (!gen::find_suite_entry(name)) {
+      throw std::invalid_argument("unknown circuit: " + name);
+    }
+  }
+  return cfg;
+}
+
+std::vector<CircuitRun> run_configured(const BenchConfig& config) {
+  if (config.circuits.empty()) {
+    return run_suite(config.include_large, config.runner);
+  }
+  std::vector<CircuitRun> runs;
+  for (const std::string& name : config.circuits) {
+    runs.push_back(run_circuit(*gen::find_suite_entry(name), config.runner));
+  }
+  return runs;
+}
+
+}  // namespace scanc::expt

@@ -1,0 +1,34 @@
+// Command-line / environment configuration shared by the bench binaries.
+//
+// Flags (also settable by environment variable):
+//   --circuits=a,b,c   SCANC_CIRCUITS   subset of suite circuits to run
+//   --full             SCANC_FULL=1     include s35932
+//   --fresh            SCANC_FRESH=1    ignore the result cache
+//   --seed=N           SCANC_SEED       experiment seed (default 1)
+//   --cache=PATH       SCANC_CACHE      cache file prefix
+//   --no-dynamic                        skip the [2,3]-style baseline
+//   --verbose          SCANC_VERBOSE=1  progress notes on stderr
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expt/runner.hpp"
+
+namespace scanc::expt {
+
+struct BenchConfig {
+  std::vector<std::string> circuits;  ///< empty = whole suite
+  bool include_large = false;
+  RunnerOptions runner;
+};
+
+/// Parses argv and the environment.  Throws std::invalid_argument on an
+/// unknown flag or unknown circuit name.
+[[nodiscard]] BenchConfig parse_bench_args(int argc, const char* const* argv);
+
+/// Runs the configured circuits (cache-aware).
+[[nodiscard]] std::vector<CircuitRun> run_configured(
+    const BenchConfig& config);
+
+}  // namespace scanc::expt

@@ -1,0 +1,270 @@
+#include "expt/runner.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "tcomp/baselines.hpp"
+#include "tcomp/pipeline.hpp"
+#include "tgen/greedy_tgen.hpp"
+#include "tgen/random_seq.hpp"
+
+namespace scanc::expt {
+namespace {
+
+/// Bump when measurement semantics change: stale cache entries are
+/// discarded by version mismatch.
+constexpr int kCacheVersion = 4;
+
+std::string cache_file(const RunnerOptions& opt, const std::string& name) {
+  return opt.cache_path + "." + name + ".seed" + std::to_string(opt.seed);
+}
+
+void put(std::ostream& out, const std::string& key, std::uint64_t v) {
+  out << key << "=" << v << "\n";
+}
+
+void put(std::ostream& out, const std::string& key, double v) {
+  out << key << "=" << v << "\n";
+}
+
+void put_variant(std::ostream& out, const std::string& p,
+                 const VariantResult& v) {
+  put(out, p + ".det_t0", v.det_t0);
+  put(out, p + ".det_scan", v.det_scan);
+  put(out, p + ".det_final", v.det_final);
+  put(out, p + ".len_t0", v.len_t0);
+  put(out, p + ".len_scan", v.len_scan);
+  put(out, p + ".added", v.added);
+  put(out, p + ".cyc_init", v.cyc_init);
+  put(out, p + ".cyc_comp", v.cyc_comp);
+  put(out, p + ".atspeed_ave", v.atspeed_ave);
+  put(out, p + ".atspeed_min", v.atspeed_min);
+  put(out, p + ".atspeed_max", v.atspeed_max);
+  put(out, p + ".tests_final", v.tests_final);
+  put(out, p + ".vectors_final", v.vectors_final);
+}
+
+using Map = std::unordered_map<std::string, std::string>;
+
+std::uint64_t get_u(const Map& m, const std::string& key) {
+  return std::stoull(m.at(key));
+}
+
+double get_d(const Map& m, const std::string& key) {
+  return std::stod(m.at(key));
+}
+
+VariantResult get_variant(const Map& m, const std::string& p) {
+  VariantResult v;
+  v.det_t0 = get_u(m, p + ".det_t0");
+  v.det_scan = get_u(m, p + ".det_scan");
+  v.det_final = get_u(m, p + ".det_final");
+  v.len_t0 = get_u(m, p + ".len_t0");
+  v.len_scan = get_u(m, p + ".len_scan");
+  v.added = get_u(m, p + ".added");
+  v.cyc_init = get_u(m, p + ".cyc_init");
+  v.cyc_comp = get_u(m, p + ".cyc_comp");
+  v.atspeed_ave = get_d(m, p + ".atspeed_ave");
+  v.atspeed_min = get_u(m, p + ".atspeed_min");
+  v.atspeed_max = get_u(m, p + ".atspeed_max");
+  v.tests_final = get_u(m, p + ".tests_final");
+  v.vectors_final = get_u(m, p + ".vectors_final");
+  return v;
+}
+
+VariantResult measure_variant(fault::FaultSimulator& fsim,
+                              const sim::Sequence& t0,
+                              std::span<const atpg::CombTest> comb,
+                              std::size_t nsv, bool verbose) {
+  tcomp::PipelineOptions popt;
+  if (verbose) {
+    const auto t0_clock = std::chrono::steady_clock::now();
+    popt.trace = [t0_clock](const char* what) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0_clock)
+                                 .count();
+      std::cerr << "    ... +" << std::fixed << std::setprecision(1)
+                << elapsed << "s " << what << "\n";
+    };
+  }
+  const tcomp::PipelineResult r = tcomp::run_pipeline(fsim, t0, comb, popt);
+  VariantResult v;
+  v.det_t0 = r.f0.count();
+  v.det_scan = r.f_seq.count();
+  v.det_final = r.final_coverage.count();
+  v.len_t0 = t0.length();
+  v.len_scan = r.tau_seq.seq.length();
+  v.added = r.added_tests;
+  v.cyc_init = tcomp::clock_cycles(r.initial, nsv);
+  v.cyc_comp = tcomp::clock_cycles(r.compacted, nsv);
+  const tcomp::AtSpeedStats s = tcomp::at_speed_stats(r.compacted);
+  v.atspeed_ave = s.average;
+  v.atspeed_min = s.min_length;
+  v.atspeed_max = s.max_length;
+  v.tests_final = r.compacted.size();
+  v.vectors_final = r.compacted.total_vectors();
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_run(const CircuitRun& run) {
+  std::ostringstream out;
+  out << "version=" << kCacheVersion << "\n";
+  out << "name=" << run.name << "\n";
+  put(out, "flip_flops", run.flip_flops);
+  put(out, "comb_tests", run.comb_tests);
+  put(out, "faults", run.faults);
+  put(out, "detectable", run.detectable);
+  put_variant(out, "atpg", run.atpg);
+  put_variant(out, "random", run.random);
+  put(out, "cyc_dyn", run.cyc_dyn);
+  put(out, "cyc_4_init", run.cyc_4_init);
+  put(out, "cyc_4_comp", run.cyc_4_comp);
+  put(out, "atspeed_ave_4", run.atspeed_ave_4);
+  put(out, "atspeed_min_4", run.atspeed_min_4);
+  put(out, "atspeed_max_4", run.atspeed_max_4);
+  put(out, "seconds", run.seconds);
+  return out.str();
+}
+
+std::optional<CircuitRun> deserialize_run(const std::string& text) {
+  Map m;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    m[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  try {
+    if (std::stoi(m.at("version")) != kCacheVersion) return std::nullopt;
+    CircuitRun run;
+    run.name = m.at("name");
+    run.flip_flops = get_u(m, "flip_flops");
+    run.comb_tests = get_u(m, "comb_tests");
+    run.faults = get_u(m, "faults");
+    run.detectable = get_u(m, "detectable");
+    run.atpg = get_variant(m, "atpg");
+    run.random = get_variant(m, "random");
+    run.cyc_dyn = get_u(m, "cyc_dyn");
+    run.cyc_4_init = get_u(m, "cyc_4_init");
+    run.cyc_4_comp = get_u(m, "cyc_4_comp");
+    run.atspeed_ave_4 = get_d(m, "atspeed_ave_4");
+    run.atspeed_min_4 = get_u(m, "atspeed_min_4");
+    run.atspeed_max_4 = get_u(m, "atspeed_max_4");
+    run.seconds = get_d(m, "seconds");
+    return run;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+CircuitRun run_circuit(const gen::SuiteEntry& entry,
+                       const RunnerOptions& options) {
+  if (!options.cache_path.empty() && !options.force_fresh) {
+    std::ifstream in(cache_file(options, entry.params.name));
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (auto run = deserialize_run(buf.str())) return *run;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto note = [&](const char* what) {
+    if (options.verbose) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::cerr << "[" << entry.params.name << " +" << std::fixed
+                << std::setprecision(1) << elapsed << "s] " << what
+                << "\n";
+    }
+  };
+
+  note("building circuit");
+  const netlist::Circuit circuit = gen::build_suite_circuit(entry);
+  const fault::FaultList faults = fault::FaultList::build(circuit);
+  fault::FaultSimulator fsim(circuit, faults);
+  const std::size_t nsv = circuit.num_flip_flops();
+
+  CircuitRun run;
+  run.name = entry.params.name;
+  run.flip_flops = nsv;
+  run.faults = faults.num_classes();
+
+  note("generating combinational test set C");
+  atpg::CombTestSetOptions copt;
+  copt.seed = options.seed;
+  const atpg::CombTestSet comb =
+      atpg::generate_comb_test_set(circuit, faults, copt);
+  run.comb_tests = comb.tests.size();
+  run.detectable = faults.num_classes() - comb.proven_untestable;
+
+  note("generating T0 (greedy)");
+  tgen::GreedyTgenOptions gopt;
+  gopt.seed = options.seed;
+  gopt.max_length = 1024;
+  const tgen::GreedyTgenResult t0_atpg =
+      generate_test_sequence(circuit, faults, gopt);
+
+  note("pipeline (greedy T0)");
+  run.atpg = measure_variant(fsim, t0_atpg.sequence, comb.tests, nsv,
+                             options.verbose);
+
+  note("pipeline (random T0)");
+  const sim::Sequence t0_rand = tgen::random_test_sequence(
+      circuit, options.random_t0_length, options.seed);
+  run.random = measure_variant(fsim, t0_rand, comb.tests, nsv,
+                               options.verbose);
+
+  note("baseline [4]");
+  const tcomp::ScanTestSet b4 = tcomp::comb_initial_set(comb.tests);
+  run.cyc_4_init = tcomp::clock_cycles(b4, nsv);
+  const tcomp::CombineResult b4c = tcomp::combine_tests(fsim, b4);
+  run.cyc_4_comp = tcomp::clock_cycles(b4c.tests, nsv);
+  const tcomp::AtSpeedStats s4 = tcomp::at_speed_stats(b4c.tests);
+  run.atspeed_ave_4 = s4.average;
+  run.atspeed_min_4 = s4.min_length;
+  run.atspeed_max_4 = s4.max_length;
+
+  if (options.run_dynamic_baseline) {
+    note("baseline [2,3]-style dynamic");
+    tcomp::DynamicBaselineOptions dopt;
+    dopt.seed = options.seed;
+    const tcomp::ScanTestSet dyn =
+        tcomp::dynamic_baseline(fsim, comb.tests, comb.detected, dopt);
+    run.cyc_dyn = tcomp::clock_cycles(dyn, nsv);
+  }
+
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  if (!options.cache_path.empty()) {
+    std::ofstream out(cache_file(options, entry.params.name));
+    out << serialize_run(run);
+  }
+  return run;
+}
+
+std::vector<CircuitRun> run_suite(bool include_large,
+                                  const RunnerOptions& options) {
+  std::vector<CircuitRun> runs;
+  for (const gen::SuiteEntry& e : gen::suite()) {
+    if (e.large && !include_large) continue;
+    runs.push_back(run_circuit(e, options));
+  }
+  return runs;
+}
+
+}  // namespace scanc::expt

@@ -1,0 +1,84 @@
+// Experiment runner: everything the paper's Tables 1-5 need, measured on
+// one circuit.
+//
+// For each circuit the runner builds the fault universe, the
+// combinational test set C, the two T0 sources (ATPG-style greedy
+// generation — the [10]/[12] substitute — and a random sequence of length
+// 1000, the Table 5 variant), runs the proposed 4-phase procedure on
+// both, and runs the baselines ([4] initial/compacted, [2,3]-style
+// dynamic).  Results are cached on disk keyed by circuit + seed so the
+// per-table bench binaries share one computation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "tcomp/scan_test.hpp"
+
+namespace scanc::expt {
+
+/// Measurements for one T0 variant of the proposed procedure.
+struct VariantResult {
+  std::size_t det_t0 = 0;     ///< faults detected by T0 without scan
+  std::size_t det_scan = 0;   ///< faults detected by tau_seq
+  std::size_t det_final = 0;  ///< faults detected by the final test set
+  std::size_t len_t0 = 0;     ///< L(T0)
+  std::size_t len_scan = 0;   ///< L(T_seq)
+  std::size_t added = 0;      ///< tests added in Phase 3
+  std::uint64_t cyc_init = 0; ///< N_cyc at end of Phase 3
+  std::uint64_t cyc_comp = 0; ///< N_cyc at end of Phase 4
+  double atspeed_ave = 0.0;   ///< average L(T_i) in the compacted set
+  std::size_t atspeed_min = 0;
+  std::size_t atspeed_max = 0;
+  std::size_t tests_final = 0;    ///< k: tests in the compacted set
+  std::size_t vectors_final = 0;  ///< sum L(T_j) over the compacted set
+};
+
+/// All measurements for one circuit.
+struct CircuitRun {
+  std::string name;
+  std::size_t flip_flops = 0;
+  std::size_t comb_tests = 0;   ///< |C|
+  std::size_t faults = 0;       ///< collapsed fault classes
+  std::size_t detectable = 0;   ///< classes not proven untestable
+
+  VariantResult atpg;           ///< T0 from the greedy generator
+  VariantResult random;         ///< T0 random, length 1000
+
+  std::uint64_t cyc_dyn = 0;       ///< [2,3]-style dynamic baseline
+  std::uint64_t cyc_4_init = 0;    ///< [4] initial test set
+  std::uint64_t cyc_4_comp = 0;    ///< [4] after compaction
+  double atspeed_ave_4 = 0.0;      ///< [4] compacted at-speed stats
+  std::size_t atspeed_min_4 = 0;
+  std::size_t atspeed_max_4 = 0;
+
+  double seconds = 0.0;         ///< wall-clock runtime of the measurement
+};
+
+struct RunnerOptions {
+  std::uint64_t seed = 1;
+  std::size_t random_t0_length = 1000;
+  bool run_dynamic_baseline = true;
+  /// Cache file path; empty disables caching.
+  std::string cache_path = ".scanc_cache";
+  bool force_fresh = false;  ///< ignore cached entries
+  bool verbose = false;      ///< progress notes to stderr
+};
+
+/// Runs (or loads from cache) the full measurement for one suite entry.
+[[nodiscard]] CircuitRun run_circuit(const gen::SuiteEntry& entry,
+                                     const RunnerOptions& options);
+
+/// Runs the suite (all entries; `include_large` adds s35932).
+[[nodiscard]] std::vector<CircuitRun> run_suite(bool include_large,
+                                                const RunnerOptions& options);
+
+/// Cache primitives (exposed for tests).
+[[nodiscard]] std::string serialize_run(const CircuitRun& run);
+[[nodiscard]] std::optional<CircuitRun> deserialize_run(
+    const std::string& text);
+
+}  // namespace scanc::expt

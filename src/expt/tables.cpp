@@ -1,0 +1,154 @@
+#include "expt/tables.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "gen/suite.hpp"
+
+namespace scanc::expt {
+namespace {
+
+/// printf into an ostream (keeps the column formats readable).
+template <typename... Args>
+void line(std::ostream& out, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out << buf;
+}
+
+std::string range(std::size_t lo, std::size_t hi) {
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+gen::PaperRow paper_row(const std::string& name) {
+  const auto e = gen::find_suite_entry(name);
+  return e ? e->paper : gen::PaperRow{};
+}
+
+bool is_large(const std::string& name) {
+  const auto e = gen::find_suite_entry(name);
+  return e && e->large;
+}
+
+}  // namespace
+
+void print_table1(const std::vector<CircuitRun>& runs, std::ostream& out) {
+  out << "Table 1: Detected faults (measured | paper)\n";
+  line(out, "%-8s %6s %6s %7s | %7s %7s %7s | %7s %7s %7s\n", "circuit",
+       "ff", "ctsts", "flts", "T0", "scan", "final", "T0*", "scan*",
+       "final*");
+  for (const CircuitRun& r : runs) {
+    const gen::PaperRow p = paper_row(r.name);
+    line(out, "%-8s %6zu %6zu %7zu | %7zu %7zu %7zu | %7d %7d %7d\n",
+         r.name.c_str(), r.flip_flops, r.comb_tests, r.faults, r.atpg.det_t0,
+         r.atpg.det_scan, r.atpg.det_final, p.det_t0, p.det_scan,
+         p.det_final);
+  }
+  out << "(* = paper-reported values, on the original benchmarks)\n";
+}
+
+void print_table2(const std::vector<CircuitRun>& runs, std::ostream& out) {
+  out << "Table 2: Test lengths (measured | paper)\n";
+  line(out, "%-8s %7s %7s %6s | %7s %7s %6s\n", "circuit", "T0", "scan",
+       "added", "T0*", "scan*", "added*");
+  for (const CircuitRun& r : runs) {
+    const gen::PaperRow p = paper_row(r.name);
+    line(out, "%-8s %7zu %7zu %6zu | %7d %7d %6d\n", r.name.c_str(),
+         r.atpg.len_t0, r.atpg.len_scan, r.atpg.added, p.len_t0, p.len_scan,
+         p.added_tests);
+  }
+}
+
+void print_table3(const std::vector<CircuitRun>& runs, std::ostream& out) {
+  out << "Table 3: Numbers of clock cycles\n";
+  line(out, "%-8s %9s | %9s %9s | %9s %9s | %9s %9s\n", "circuit", "[2,3]",
+       "[4]init", "[4]comp", "prop-init", "prop-comp", "rand-init",
+       "rand-comp");
+  std::uint64_t tot[6] = {0, 0, 0, 0, 0, 0};
+  for (const CircuitRun& r : runs) {
+    line(out, "%-8s %9" PRIu64 " | %9" PRIu64 " %9" PRIu64 " | %9" PRIu64
+              " %9" PRIu64 " | %9" PRIu64 " %9" PRIu64 "\n",
+         r.name.c_str(), r.cyc_dyn, r.cyc_4_init, r.cyc_4_comp,
+         r.atpg.cyc_init, r.atpg.cyc_comp, r.random.cyc_init,
+         r.random.cyc_comp);
+    if (!is_large(r.name)) {
+      tot[0] += r.cyc_4_init;
+      tot[1] += r.cyc_4_comp;
+      tot[2] += r.atpg.cyc_init;
+      tot[3] += r.atpg.cyc_comp;
+      tot[4] += r.random.cyc_init;
+      tot[5] += r.random.cyc_comp;
+    }
+  }
+  line(out, "%-8s %9s | %9" PRIu64 " %9" PRIu64 " | %9" PRIu64 " %9" PRIu64
+            " | %9" PRIu64 " %9" PRIu64 "\n",
+       "total*", "-", tot[0], tot[1], tot[2], tot[3], tot[4], tot[5]);
+  out << "(totals computed without s35932, as in the paper)\n\n";
+  out << "Paper-reported (original benchmarks):\n";
+  line(out, "%-8s %9s | %9s %9s | %9s %9s\n", "circuit", "[2,3]", "[4]init",
+       "[4]comp", "prop-init", "prop-comp");
+  for (const CircuitRun& r : runs) {
+    const gen::PaperRow p = paper_row(r.name);
+    line(out, "%-8s %9s | %9d %9d | %9d %9d\n", r.name.c_str(), "-",
+         p.cyc_4_init, p.cyc_4_comp, p.cyc_prop_init, p.cyc_prop_comp);
+  }
+}
+
+void print_table4(const std::vector<CircuitRun>& runs, std::ostream& out) {
+  out << "Table 4: At-speed test lengths\n";
+  line(out, "%-8s | %7s %11s | %7s %11s | %7s %11s\n", "circuit", "[4]ave",
+       "[4]range", "propave", "prop range", "randave", "rand range");
+  for (const CircuitRun& r : runs) {
+    line(out, "%-8s | %7.2f %11s | %7.2f %11s | %7.2f %11s\n",
+         r.name.c_str(), r.atspeed_ave_4,
+         range(r.atspeed_min_4, r.atspeed_max_4).c_str(),
+         r.atpg.atspeed_ave,
+         range(r.atpg.atspeed_min, r.atpg.atspeed_max).c_str(),
+         r.random.atspeed_ave,
+         range(r.random.atspeed_min, r.random.atspeed_max).c_str());
+  }
+  out << "\nPaper-reported averages: ";
+  for (const CircuitRun& r : runs) {
+    const gen::PaperRow p = paper_row(r.name);
+    line(out, "%s [4]=%.2f prop=%.2f  ", r.name.c_str(), p.atspeed_ave_4,
+         p.atspeed_ave_prop);
+  }
+  out << "\n";
+}
+
+void print_table5(const std::vector<CircuitRun>& runs, std::ostream& out) {
+  out << "Table 5: Results for random sequences (T0 length "
+      << (runs.empty() ? 1000 : runs.front().random.len_t0) << ")\n";
+  line(out, "%-8s | %7s %7s %7s | %7s %7s | %6s\n", "circuit", "T0", "scan",
+       "final", "lenT0", "lenScan", "added");
+  for (const CircuitRun& r : runs) {
+    line(out, "%-8s | %7zu %7zu %7zu | %7zu %7zu | %6zu\n", r.name.c_str(),
+         r.random.det_t0, r.random.det_scan, r.random.det_final,
+         r.random.len_t0, r.random.len_scan, r.random.added);
+  }
+}
+
+void write_markdown_report(const std::vector<CircuitRun>& runs,
+                           std::ostream& out) {
+  out << "## Measured results\n\n";
+  out << "| circuit | ff | \\|C\\| | faults | det T0 | det scan | det final "
+         "| L(T0) | L(Tseq) | added | [4] init | [4] comp | prop init | "
+         "prop comp | at-speed ave [4] | at-speed ave prop | seconds |\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---"
+         "|---|\n";
+  for (const CircuitRun& r : runs) {
+    line(out,
+         "| %s | %zu | %zu | %zu | %zu | %zu | %zu | %zu | %zu | %zu | "
+         "%" PRIu64 " | %" PRIu64 " | %" PRIu64 " | %" PRIu64
+         " | %.2f | %.2f | %.1f |\n",
+         r.name.c_str(), r.flip_flops, r.comb_tests, r.faults,
+         r.atpg.det_t0, r.atpg.det_scan, r.atpg.det_final, r.atpg.len_t0,
+         r.atpg.len_scan, r.atpg.added, r.cyc_4_init, r.cyc_4_comp,
+         r.atpg.cyc_init, r.atpg.cyc_comp, r.atspeed_ave_4,
+         r.atpg.atspeed_ave, r.seconds);
+  }
+  out << "\n";
+}
+
+}  // namespace scanc::expt

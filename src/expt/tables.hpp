@@ -1,0 +1,34 @@
+// Table formatting: regenerates the paper's Tables 1-5 from measured
+// CircuitRuns, each followed by the numbers the paper reported (so the
+// shape comparison is visible in one screen).  Totals follow the paper's
+// convention: computed without s35932.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "expt/runner.hpp"
+
+namespace scanc::expt {
+
+/// Table 1: detected faults (T0 / tau_seq / final).
+void print_table1(const std::vector<CircuitRun>& runs, std::ostream& out);
+
+/// Table 2: sequence lengths and added tests.
+void print_table2(const std::vector<CircuitRun>& runs, std::ostream& out);
+
+/// Table 3: clock cycles for [2,3], [4] init/comp, proposed init/comp
+/// (greedy and random T0), with totals.
+void print_table3(const std::vector<CircuitRun>& runs, std::ostream& out);
+
+/// Table 4: at-speed sequence lengths (average and range).
+void print_table4(const std::vector<CircuitRun>& runs, std::ostream& out);
+
+/// Table 5: the random-T0 variant details.
+void print_table5(const std::vector<CircuitRun>& runs, std::ostream& out);
+
+/// Writes all tables as a markdown report (EXPERIMENTS.md body).
+void write_markdown_report(const std::vector<CircuitRun>& runs,
+                           std::ostream& out);
+
+}  // namespace scanc::expt

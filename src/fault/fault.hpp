@@ -1,0 +1,31 @@
+// Single stuck-at fault model on circuit lines.
+//
+// Lines are stems (a node's output signal) and branches (the connection
+// feeding one fanin pin of a node).  Branch faults are only distinct from
+// the driving stem's fault when the stem has fanout > 1; the fault
+// enumeration therefore materializes branch faults only at such fanout
+// branches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/circuit.hpp"
+#include "sim/injection.hpp"
+
+namespace scanc::fault {
+
+/// One single stuck-at fault.
+struct Fault {
+  netlist::NodeId node = netlist::kNoNode;  ///< owning node
+  std::int32_t pin = sim::kStemPin;  ///< fanin pin, or kStemPin for the stem
+  bool stuck_one = false;            ///< stuck-at-1 if true
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Human-readable fault name, e.g. "G17/SA0" or "G22.in1/SA1".
+[[nodiscard]] std::string fault_name(const Fault& f,
+                                     const netlist::Circuit& c);
+
+}  // namespace scanc::fault

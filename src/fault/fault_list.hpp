@@ -1,0 +1,70 @@
+// Fault enumeration and structural equivalence collapsing.
+//
+// The collapsed fault list is the working fault universe for every
+// engine: fault simulation, ATPG, and the compaction procedures all
+// operate on representative (collapsed) faults.  The paper's fault counts
+// (Table 1 column "flts") are collapsed counts, as is conventional for
+// the ISCAS benchmarks.
+//
+// Equivalence rules applied (single structural equivalence pass):
+//   - BUF:  in SA-v  ==  out SA-v
+//   - NOT:  in SA-v  ==  out SA-(!v)
+//   - AND:  in SA-0  ==  out SA-0      NAND: in SA-0 == out SA-1
+//   - OR:   in SA-1  ==  out SA-1      NOR:  in SA-1 == out SA-0
+// where "in" resolves to the fanout branch when the driving stem has
+// fanout > 1 and to the driving stem otherwise.  Faults are not collapsed
+// across flip-flops (the scan boundary makes D- and Q-side faults
+// distinguishable under scan observation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+
+namespace scanc::fault {
+
+/// Index of a collapsed fault class (0 .. num_classes-1).
+using FaultClassId = std::uint32_t;
+
+/// Enumerated and collapsed fault universe of one circuit.
+class FaultList {
+ public:
+  /// Enumerates all stuck-at faults of `c` and collapses equivalences.
+  [[nodiscard]] static FaultList build(const netlist::Circuit& c);
+
+  /// Total number of enumerated (uncollapsed) faults.
+  [[nodiscard]] std::size_t num_faults() const noexcept {
+    return faults_.size();
+  }
+
+  /// Number of collapsed fault classes.  This is the "number of faults"
+  /// reported everywhere in the library.
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return representatives_.size();
+  }
+
+  /// Representative fault of a class.
+  [[nodiscard]] const Fault& representative(FaultClassId id) const {
+    return faults_[representatives_[id]];
+  }
+
+  /// All enumerated faults.
+  [[nodiscard]] std::span<const Fault> faults() const noexcept {
+    return faults_;
+  }
+
+  /// Class of an enumerated fault (by its index in faults()).
+  [[nodiscard]] FaultClassId class_of(std::size_t fault_index) const {
+    return class_of_[fault_index];
+  }
+
+ private:
+  std::vector<Fault> faults_;
+  std::vector<std::uint32_t> representatives_;  // fault index per class
+  std::vector<FaultClassId> class_of_;          // fault index -> class
+};
+
+}  // namespace scanc::fault

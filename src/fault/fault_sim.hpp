@@ -1,0 +1,234 @@
+// Parallel-fault sequential fault simulator.
+//
+// Simulates 63 faulty machines plus the fault-free reference per pass
+// (one simulation slot each; slot 0 is fault-free).  Faults are injected
+// as stuck-line masks (sim/injection.hpp) at the representative fault of
+// each collapsed class.
+//
+// Detection is conservative (standard for 3-valued simulation): a fault
+// is detected at an observation point only when both the fault-free and
+// the faulty values are binary and differ.  Observation points are the
+// primary outputs at every time unit and, for scan tests, the scan-out
+// state after the final time unit.
+//
+// Supported queries map one-to-one onto the operations the DAC-2001
+// procedure needs:
+//   - detect_no_scan      : Phase 1 Step 1 (faults detected by T0 alone)
+//   - detect_scan_test    : Phase 1 Step 2 / Phase 3 (coverage of (SI,T))
+//   - detection_times     : Phase 1 Step 3 (scan-out time selection from a
+//                           single simulation pass)
+//   - detects_all         : Phase 2 / Phase 4 coverage-preservation checks
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/seq_sim.hpp"
+#include "util/bitset.hpp"
+
+namespace scanc::fault {
+
+/// A set of collapsed fault classes.
+using FaultSet = util::Bitset;
+
+class FaultSimulator {
+ public:
+  FaultSimulator(const netlist::Circuit& circuit, const FaultList& faults);
+
+  /// Partial-scan construction: `scan_mask` selects which flip-flops (in
+  /// flip_flops() order) are on the scan chain.  Scan-in values at
+  /// unscanned positions are forced to X (their state is unknown at test
+  /// start) and scan-out observes only scanned flip-flops.  The paper
+  /// notes the procedure extends to partial scan; this is that extension.
+  FaultSimulator(const netlist::Circuit& circuit, const FaultList& faults,
+                 util::Bitset scan_mask);
+
+  /// The scan-chain membership mask (all-set for full scan).
+  [[nodiscard]] const util::Bitset& scan_mask() const noexcept {
+    return scan_mask_;
+  }
+
+  /// Number of scanned flip-flops (the N_SV that scan operations cost).
+  [[nodiscard]] std::size_t num_scanned() const noexcept {
+    return scan_mask_.count();
+  }
+
+  /// Number of collapsed fault classes (the size of every FaultSet).
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return faults_->num_classes();
+  }
+
+  /// The simulated circuit.
+  [[nodiscard]] const netlist::Circuit& circuit() const noexcept {
+    return *circuit_;
+  }
+
+  /// The fault universe.
+  [[nodiscard]] const FaultList& fault_list() const noexcept {
+    return *faults_;
+  }
+
+  /// An all-true FaultSet over the fault classes.
+  [[nodiscard]] FaultSet all_faults() const {
+    FaultSet s(num_classes());
+    s.fill();
+    return s;
+  }
+
+  /// Faults detected by `seq` applied from the all-X (unknown) state with
+  /// observation at primary outputs only — the circuit runs without scan.
+  /// If `targets` is given, only those classes are simulated.
+  [[nodiscard]] FaultSet detect_no_scan(const sim::Sequence& seq,
+                                        const FaultSet* targets = nullptr);
+
+  /// Faults detected by the scan test (scan_in, seq): the state is set to
+  /// `scan_in`, POs are observed every time unit, and the state reached
+  /// after the final time unit is observed by scan-out.
+  [[nodiscard]] FaultSet detect_scan_test(const sim::Vector3& scan_in,
+                                          const sim::Sequence& seq,
+                                          const FaultSet* targets = nullptr);
+
+  /// Per-fault detection-time records for the scan test (scan_in, seq).
+  ///
+  /// For each simulated class f:
+  ///   first_po[f']   = earliest time unit at which f is detected at a PO
+  ///                    (-1 if never), and
+  ///   state_diff[f'] = the set of time units u such that, if scan-out
+  ///                    were performed after time unit u, f would be
+  ///                    detected at the scanned-out state.
+  /// Because the truncated test (SI, T[0,u]) behaves identically to the
+  /// full test on the first u+1 time units, these records determine the
+  /// coverage of *every* prefix test without re-simulation:
+  ///   (SI, T[0,u]) detects f  iff  first_po[f] <= u or u in state_diff[f].
+  struct DetectionTimes {
+    std::vector<FaultClassId> targets;    ///< simulated classes, in order
+    std::vector<std::int64_t> first_po;   ///< per target; -1 = never
+    std::vector<util::Bitset> state_diff; ///< per target; size = seq length
+
+    /// Coverage of the prefix test ending at time unit u (see above).
+    [[nodiscard]] bool detected_by_prefix(std::size_t target_index,
+                                          std::size_t u) const {
+      return (first_po[target_index] >= 0 &&
+              first_po[target_index] <= static_cast<std::int64_t>(u)) ||
+             state_diff[target_index].test(u);
+    }
+  };
+
+  [[nodiscard]] DetectionTimes detection_times(const sim::Vector3& scan_in,
+                                               const sim::Sequence& seq,
+                                               const FaultSet& targets);
+
+  /// Lighter variant of detection_times for coverage checking: records
+  /// each target's earliest PO detection time and whether the complete
+  /// test (including the final scan-out) detects it, without per-frame
+  /// scan-out records.  Groups whose faults are all PO-detected exit
+  /// early, making this much cheaper than detection_times on passing
+  /// checks.
+  struct PrefixDetection {
+    std::vector<FaultClassId> targets;   ///< simulated classes, in order
+    std::vector<std::int64_t> first_po;  ///< per target; -1 = not at a PO
+    util::Bitset detected;               ///< per *class*: test detects it
+
+    /// True if every simulated target is detected.
+    [[nodiscard]] bool all_detected() const noexcept {
+      return detected.count() == targets.size();
+    }
+  };
+
+  [[nodiscard]] PrefixDetection prefix_detection(const sim::Vector3& scan_in,
+                                                 const sim::Sequence& seq,
+                                                 const FaultSet& targets);
+
+  /// True iff the scan test (scan_in, seq) detects every class in
+  /// `required`.  Exits early where possible.
+  [[nodiscard]] bool detects_all(const sim::Vector3& scan_in,
+                                 const sim::Sequence& seq,
+                                 const FaultSet& required);
+
+  /// Compares every target fault's predicted response under the scan
+  /// test (scan_in, seq) against an observed response, returning the set
+  /// of faults *consistent* with the observation.  Comparison is
+  /// conservative: positions where either side is X never count as a
+  /// mismatch.  `observed_pos[t]` is the observed PO vector after time
+  /// unit t; `observed_scan_out` the observed scan-out state.
+  /// This is the kernel of effect-cause fault diagnosis (diag/).
+  [[nodiscard]] FaultSet consistent_faults(
+      const sim::Vector3& scan_in, const sim::Sequence& seq,
+      std::span<const sim::Vector3> observed_pos,
+      const sim::Vector3& observed_scan_out, const FaultSet& targets);
+
+  /// Incremental no-scan simulation over a fixed target set: all machines
+  /// start in the all-X state and advance one frame per step() with PO
+  /// observation.  snapshot()/restore() allow speculative extension —
+  /// the engine a simulation-based sequence generator needs.
+  class Session {
+   public:
+    Session(FaultSimulator& parent, const FaultSet& targets);
+
+    /// Applies one PI vector; updates detected().  Returns the number of
+    /// classes newly detected on this frame.
+    std::size_t step(const sim::Vector3& pi);
+
+    /// Classes detected at POs so far.
+    [[nodiscard]] const FaultSet& detected() const noexcept {
+      return detected_;
+    }
+
+    /// Number of (fault, flip-flop) pairs currently holding a latched
+    /// fault effect (binary difference vs the fault-free machine) — a
+    /// propagation-potential fitness signal.
+    [[nodiscard]] std::size_t latched_effects() const;
+
+    /// Opaque saved state of the whole session.
+    struct Snapshot {
+      std::vector<sim::PackedV3> ff_values;  // per group x per FF
+      FaultSet detected;
+      std::vector<std::uint32_t> group_remaining;
+    };
+
+    [[nodiscard]] Snapshot snapshot() const;
+    void restore(const Snapshot& snap);
+
+   private:
+    void install_group(std::size_t g);
+
+    FaultSimulator* parent_;
+    std::vector<FaultClassId> targets_;
+    std::size_t num_groups_ = 0;
+    std::vector<sim::PackedV3> ff_values_;  // num_groups x num_ffs
+    FaultSet detected_;
+    /// Undetected faults left per group; fully-detected groups are
+    /// skipped by step().
+    std::vector<std::uint32_t> group_remaining_;
+  };
+
+ private:
+  /// Simulates one group of <= 63 classes through the whole test.
+  /// Returns the detection mask (bit j+1 = group[j] detected; bit 0 unused).
+  std::uint64_t run_group(const sim::Vector3* scan_in,
+                          const sim::Sequence& seq,
+                          std::span<const FaultClassId> group,
+                          bool observe_scan_out, bool early_exit,
+                          DetectionTimes* times, std::size_t target_base);
+
+  void build_injections(std::span<const FaultClassId> group);
+  [[nodiscard]] std::uint64_t po_detections() const;
+  [[nodiscard]] std::uint64_t state_detections() const;
+
+  std::vector<FaultClassId> collect(const FaultSet* targets) const;
+
+  /// Copies `scan_in` with unscanned positions forced to X.
+  [[nodiscard]] sim::Vector3 masked_state(const sim::Vector3& scan_in) const;
+
+  const netlist::Circuit* circuit_;
+  const FaultList* faults_;
+  sim::PackedSeqSim sim_;
+  sim::InjectionMap injections_;
+  util::Bitset scan_mask_;
+};
+
+}  // namespace scanc::fault

@@ -1,0 +1,120 @@
+#include "fault/transition.hpp"
+
+#include <algorithm>
+
+namespace scanc::fault {
+
+using netlist::Circuit;
+using netlist::NodeId;
+using sim::PackedV3;
+using sim::Sequence;
+using sim::V3;
+using sim::Vector3;
+
+TransitionFaultSim::TransitionFaultSim(const Circuit& circuit)
+    : circuit_(&circuit),
+      sim_(circuit),
+      injections_(circuit.num_nodes()),
+      prev_good_(circuit.num_nodes(), V3::X) {}
+
+util::Bitset TransitionFaultSim::detect(const Vector3& scan_in,
+                                        const Sequence& seq) {
+  util::Bitset detected(num_transition_faults(*circuit_));
+  if (seq.length() < 2) return detected;  // no launch cycle
+  const std::size_t len = seq.length();
+
+  // Fault-free pass: record the state entering each frame and every
+  // node's value per frame (the launch conditions).
+  std::vector<Vector3> state_before(len);
+  std::vector<std::vector<V3>> good(len,
+                                    std::vector<V3>(circuit_->num_nodes()));
+  sim_.reset();
+  sim_.load_state(scan_in);
+  for (std::size_t t = 0; t < len; ++t) {
+    state_before[t] = sim_.state_slot(0);
+    sim_.apply_frame(seq.frames[t]);
+    for (NodeId id = 0; id < circuit_->num_nodes(); ++id) {
+      good[t][id] = sim::slot(sim_.value(id), 0);
+    }
+    sim_.latch();
+  }
+
+  // Per capture frame t >= 1: candidates are undetected faults whose
+  // launch value held at t-1; the stale value acts as a stuck-at for one
+  // cycle, observed at the POs of frame t (plus scan-out when t is
+  // last).
+  const auto po_detections = [&]() {
+    std::uint64_t det = 0;
+    for (const NodeId po : circuit_->primary_outputs()) {
+      const PackedV3 w = sim_.value(po);
+      const bool ref0 = (w.is0 & 1) != 0;
+      const bool ref1 = (w.is1 & 1) != 0;
+      if (ref0 == ref1) continue;
+      det |= sim::differs_from_reference(w, ref1);
+    }
+    return det & ~1ULL;
+  };
+  const auto scan_detections = [&]() {
+    std::uint64_t det = 0;
+    for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
+      const PackedV3 w = sim_.captured(i);
+      const bool ref0 = (w.is0 & 1) != 0;
+      const bool ref1 = (w.is1 & 1) != 0;
+      if (ref0 == ref1) continue;
+      det |= sim::differs_from_reference(w, ref1);
+    }
+    return det & ~1ULL;
+  };
+
+  std::vector<std::size_t> group;  // transition-fault indices
+  group.reserve(63);
+  for (std::size_t t = 1; t < len; ++t) {
+    // Gather this frame's launch-ready candidates.
+    std::vector<std::size_t> candidates;
+    for (NodeId id = 0; id < circuit_->num_nodes(); ++id) {
+      const V3 launch = good[t - 1][id];
+      if (!sim::is_binary(launch)) continue;
+      const bool slow_to_fall = launch == V3::One;
+      const std::size_t f = transition_fault_index(id, slow_to_fall);
+      if (!detected.test(f)) candidates.push_back(f);
+    }
+
+    for (std::size_t base = 0; base < candidates.size(); base += 63) {
+      const std::size_t n =
+          std::min<std::size_t>(63, candidates.size() - base);
+      injections_.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t f = candidates[base + j];
+        const NodeId node = static_cast<NodeId>(f / 2);
+        // STR holds the line at 0 through the capture cycle; STF at 1.
+        const bool stuck_one = (f & 1) != 0;
+        injections_.add(node, sim::kStemPin, stuck_one, 1ULL << (j + 1));
+      }
+      sim_.reset(&injections_);
+      sim_.load_state(state_before[t], &injections_);
+      sim_.apply_frame(seq.frames[t], &injections_);
+      std::uint64_t det = po_detections();
+      if (t + 1 == len) {
+        sim_.latch(&injections_);
+        det |= scan_detections();
+      }
+      while (det != 0) {
+        const int bit = std::countr_zero(det);
+        det &= det - 1;
+        detected.set(candidates[base + static_cast<std::size_t>(bit) - 1]);
+      }
+    }
+  }
+  return detected;
+}
+
+util::Bitset TransitionFaultSim::coverage(
+    std::span<const Vector3> scan_ins, std::span<const Sequence> seqs) {
+  util::Bitset covered(num_transition_faults(*circuit_));
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    covered |= detect(scan_ins[i], seqs[i]);
+  }
+  return covered;
+}
+
+}  // namespace scanc::fault

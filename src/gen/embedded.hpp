@@ -1,0 +1,20 @@
+// Embedded reference netlists.
+//
+// s27 is the smallest ISCAS-89 benchmark; its netlist is tiny, public and
+// reproduced verbatim here.  It anchors the test suite: simulator and
+// fault-model results on s27 are checked against hand-computed values.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace scanc::gen {
+
+/// The ISCAS-89 s27 netlist in .bench syntax.
+[[nodiscard]] std::string_view s27_bench_text() noexcept;
+
+/// Parses and returns s27.
+[[nodiscard]] netlist::Circuit make_s27();
+
+}  // namespace scanc::gen

@@ -1,0 +1,116 @@
+#include "gen/suite.hpp"
+
+#include <array>
+
+namespace scanc::gen {
+namespace {
+
+// GenParams fields: name, inputs, outputs, flip-flops, gates, seed,
+// pi_mux_fraction.  Interface statistics follow the published ISCAS-89 /
+// ITC-99 numbers; pi_mux_fraction is tuned lower for circuits the paper
+// shows to be hard to initialize/test sequentially (low T0 coverage).
+//
+// PaperRow fields (in order): ff, comb_tests, total_faults, det_t0,
+// det_scan, det_final, len_t0, len_scan, added_tests, cyc_4_init,
+// cyc_4_comp, cyc_prop_init, cyc_prop_comp, atspeed_ave_4,
+// atspeed_ave_prop.
+const std::array<SuiteEntry, 19> kSuite = {{
+    {{"s298", 3, 6, 14, 119, 298, 0.70},
+     {14, 24, 308, 265, 279, 308, 117, 68, 10, 374, 318, 246, 218, 1.20,
+      8.67},
+     false},
+    {{"s344", 9, 11, 15, 160, 344, 0.75},
+     {15, 15, 342, 329, 339, 342, 57, 36, 2, 255, 195, 98, 98, 1.36, 12.67},
+     false},
+    {{"s382", 3, 6, 21, 158, 382, 0.55},
+     {21, 25, 399, 364, 379, 399, 516, 445, 8, 571, 529, 663, 663, 1.09,
+      50.33},
+     false},
+    {{"s400", 3, 6, 21, 164, 400, 0.55},
+     {21, 24, 421, 380, 395, 415, 611, 561, 7, 549, 465, 757, 715, 1.20,
+      94.67},
+     false},
+    {{"s526", 3, 6, 21, 193, 526, 0.50},
+     {21, 50, 555, 454, 480, 554, 1006, 694, 24, 1121, 995, 1264, 1222, 1.14,
+      31.22},
+     false},
+    {{"s641", 35, 24, 19, 379, 641, 0.75},
+     {19, 22, 467, 404, 412, 467, 101, 81, 12, 459, 326, 359, 302, 1.47,
+      9.30},
+     false},
+    {{"s820", 18, 19, 5, 289, 820, 0.70},
+     {5, 94, 850, 814, 818, 850, 491, 339, 8, 569, 309, 397, 392, 2.24,
+      43.38},
+     false},
+    {{"s1423", 17, 5, 74, 657, 1423, 0.60},
+     {74, 26, 1515, 1414, 1480, 1501, 1024, 917, 11, 2024, 2024, 1890, 1816,
+      1.00, 84.36},
+     false},
+    {{"s1488", 8, 19, 6, 653, 1488, 0.75},
+     {6, 101, 1486, 1444, 1452, 1486, 455, 447, 8, 713, 335, 515, 509, 2.66,
+      56.88},
+     false},
+    {{"s5378", 35, 49, 179, 2779, 5378, 0.65},
+     {179, 100, 4603, 3639, 3817, 4563, 646, 585, 100, 18179, 18179, 18943,
+      18585, 1.00, 6.92},
+     false},
+    {{"s35932", 35, 320, 1728, 16065, 35932, 0.85},
+     {1728, 94, 39094, 35100, 35110, 35110, 150, 105, 0, 164254, 98572, 3561,
+      3561, 1.36, 105.00},
+     true},
+    {{"b01", 2, 2, 5, 45, 9901, 0.80},
+     {5, 24, 135, 133, 135, 135, 66, 51, 0, 149, 54, 61, 61, 4.80, 51.00},
+     false},
+    {{"b02", 1, 1, 4, 25, 9902, 0.80},
+     {4, 15, 70, 68, 69, 70, 45, 22, 1, 79, 41, 35, 35, 2.17, 11.50},
+     false},
+    {{"b03", 4, 4, 30, 150, 9903, 0.65},
+     {30, 43, 452, 334, 341, 452, 136, 92, 16, 1363, 724, 648, 588, 1.55,
+      7.20},
+     false},
+    {{"b04", 11, 8, 66, 650, 9904, 0.65},
+     {66, 97, 1346, 1168, 1203, 1344, 168, 129, 13, 6565, 2115, 1132, 1066,
+      2.30, 10.92},
+     false},
+    {{"b06", 2, 6, 9, 55, 9906, 0.80},
+     {9, 22, 202, 186, 198, 202, 37, 26, 2, 229, 101, 64, 64, 2.50, 9.33},
+     false},
+    {{"b09", 1, 1, 28, 170, 9909, 0.60},
+     {28, 44, 420, 339, 350, 420, 279, 196, 13, 1304, 680, 629, 573, 1.64,
+      17.42},
+     false},
+    {{"b10", 11, 6, 17, 190, 9910, 0.70},
+     {17, 82, 512, 467, 476, 512, 190, 103, 18, 1493, 514, 461, 427, 2.88,
+      7.12},
+     false},
+    {{"b11", 7, 6, 30, 770, 9911, 0.65},
+     {30, 107, 1089, 997, 1003, 1078, 676, 629, 20, 3347, 1315, 1309, 1159,
+      2.12, 40.56},
+     false},
+}};
+
+}  // namespace
+
+std::span<const SuiteEntry> suite() { return kSuite; }
+
+std::optional<SuiteEntry> find_suite_entry(std::string_view name) {
+  for (const SuiteEntry& e : kSuite) {
+    if (e.params.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+netlist::Circuit build_suite_circuit(const SuiteEntry& entry) {
+  return generate_circuit(entry.params);
+}
+
+std::vector<std::string> suite_names(bool include_large) {
+  std::vector<std::string> names;
+  for (const SuiteEntry& e : kSuite) {
+    if (e.large && !include_large) continue;
+    names.push_back(e.params.name);
+  }
+  return names;
+}
+
+}  // namespace scanc::gen

@@ -1,0 +1,60 @@
+// The experiment circuit suite.
+//
+// One entry per circuit row in the paper's tables (ISCAS-89 + ITC-99).
+// Each synthetic stand-in is generated with the real benchmark's
+// published interface statistics (inputs, outputs, flip-flops, comb
+// gates); see DESIGN.md §4 for the substitution rationale.  Entries also
+// carry the paper's reported numbers so EXPERIMENTS.md can show
+// paper-vs-measured side by side.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gen/circuit_gen.hpp"
+#include "netlist/circuit.hpp"
+
+namespace scanc::gen {
+
+/// Reference values from the paper for one circuit (Tables 1-4).
+struct PaperRow {
+  int flip_flops = 0;      ///< Table 1 "ff"
+  int comb_tests = 0;      ///< Table 1 "comb tsts"
+  int total_faults = 0;    ///< Table 1 "flts"
+  int det_t0 = 0;          ///< Table 1 detected by T0
+  int det_scan = 0;        ///< Table 1 detected by tau_seq
+  int det_final = 0;       ///< Table 1 detected by final test set
+  int len_t0 = 0;          ///< Table 2 length of T0
+  int len_scan = 0;        ///< Table 2 length of T_seq
+  int added_tests = 0;     ///< Table 2 tests added in Phase 3
+  int cyc_4_init = 0;      ///< Table 3 [4] initial
+  int cyc_4_comp = 0;      ///< Table 3 [4] compacted
+  int cyc_prop_init = 0;   ///< Table 3 proposed initial ([10]-[12] T0)
+  int cyc_prop_comp = 0;   ///< Table 3 proposed compacted
+  double atspeed_ave_4 = 0.0;     ///< Table 4 [4] average
+  double atspeed_ave_prop = 0.0;  ///< Table 4 proposed average
+};
+
+/// One suite circuit: generation parameters plus the paper's numbers.
+struct SuiteEntry {
+  GenParams params;
+  PaperRow paper;
+  bool large = false;  ///< s35932: excluded from default runs and totals
+};
+
+/// All suite entries, in the paper's table order.
+[[nodiscard]] std::span<const SuiteEntry> suite();
+
+/// Looks up a suite entry by circuit name; nullopt if unknown.
+[[nodiscard]] std::optional<SuiteEntry> find_suite_entry(
+    std::string_view name);
+
+/// Builds the synthetic circuit for a suite entry.
+[[nodiscard]] netlist::Circuit build_suite_circuit(const SuiteEntry& entry);
+
+/// Names of all suite circuits; `include_large` adds s35932.
+[[nodiscard]] std::vector<std::string> suite_names(bool include_large);
+
+}  // namespace scanc::gen

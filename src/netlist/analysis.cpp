@@ -1,0 +1,110 @@
+#include "netlist/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scanc::netlist {
+
+util::Bitset fanin_cone(const Circuit& c, NodeId node) {
+  util::Bitset cone(c.num_nodes());
+  std::vector<NodeId> stack{node};
+  cone.set(node);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    // Sources (incl. flip-flop outputs) end the in-cycle cone.
+    if (is_source(c.node(id).type)) continue;
+    for (const NodeId f : c.node(id).fanins) {
+      if (!cone.test(f)) {
+        cone.set(f);
+        stack.push_back(f);
+      }
+    }
+  }
+  return cone;
+}
+
+util::Bitset fanout_cone(const Circuit& c, NodeId node) {
+  util::Bitset cone(c.num_nodes());
+  std::vector<NodeId> stack{node};
+  cone.set(node);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId out : c.node(id).fanouts) {
+      if (c.node(out).type == GateType::Dff) continue;
+      if (!cone.test(out)) {
+        cone.set(out);
+        stack.push_back(out);
+      }
+    }
+  }
+  return cone;
+}
+
+std::vector<NodeId> support(const Circuit& c, NodeId node) {
+  const util::Bitset cone = fanin_cone(c, node);
+  std::vector<NodeId> out;
+  for (const NodeId id : c.primary_inputs()) {
+    if (cone.test(id)) out.push_back(id);
+  }
+  for (const NodeId id : c.flip_flops()) {
+    if (cone.test(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> duplicate_gates(const Circuit& c) {
+  // Key: gate type + sorted fanin list (all implemented gate functions
+  // are commutative, so fanin order is irrelevant).
+  std::unordered_map<std::string, NodeId> seen;
+  std::vector<std::pair<NodeId, NodeId>> dups;
+  for (const NodeId id : c.topo_order()) {
+    const Node& n = c.node(id);
+    std::vector<NodeId> fanins(n.fanins.begin(), n.fanins.end());
+    std::sort(fanins.begin(), fanins.end());
+    std::string key;
+    key.reserve(8 + fanins.size() * 8);
+    key += static_cast<char>(n.type);
+    for (const NodeId f : fanins) {
+      key += '.';
+      key += std::to_string(f);
+    }
+    const auto [it, inserted] = seen.emplace(std::move(key), id);
+    if (!inserted) dups.emplace_back(it->second, id);
+  }
+  return dups;
+}
+
+ShapeStats shape_stats(const Circuit& c) {
+  ShapeStats s;
+  std::size_t fanout_total = 0;
+  std::size_t driving = 0;
+  std::size_t fanin_total = 0;
+  std::size_t gates = 0;
+  for (NodeId id = 0; id < c.num_nodes(); ++id) {
+    const Node& n = c.node(id);
+    if (!n.fanouts.empty()) {
+      ++driving;
+      fanout_total += n.fanouts.size();
+      s.max_fanout = std::max(s.max_fanout, n.fanouts.size());
+      if (n.fanouts.size() > 1) ++s.fanout_stems;
+    }
+    if (is_combinational(n.type)) {
+      ++gates;
+      fanin_total += n.fanins.size();
+      s.max_fanin = std::max(s.max_fanin, n.fanins.size());
+    }
+  }
+  if (driving > 0) {
+    s.avg_fanout =
+        static_cast<double>(fanout_total) / static_cast<double>(driving);
+  }
+  if (gates > 0) {
+    s.avg_fanin =
+        static_cast<double>(fanin_total) / static_cast<double>(gates);
+  }
+  return s;
+}
+
+}  // namespace scanc::netlist

@@ -1,0 +1,45 @@
+// Structural analysis utilities over Circuit: cones, supports, duplicate
+// detection and shape statistics.  Shared by ATPG heuristics, the
+// synthetic-circuit generator's quality checks, and the examples.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "util/bitset.hpp"
+
+namespace scanc::netlist {
+
+/// Transitive fanin cone of `node` (inclusive), as a node-indexed set.
+/// The cone stops at sources: flip-flop outputs are not traversed into
+/// their next-state logic (single-cycle view).
+[[nodiscard]] util::Bitset fanin_cone(const Circuit& c, NodeId node);
+
+/// Transitive fanout cone of `node` (inclusive).  Traversal stops at
+/// flip-flops (their D pin is a capture point, not an in-cycle signal).
+[[nodiscard]] util::Bitset fanout_cone(const Circuit& c, NodeId node);
+
+/// Input support of `node`: the primary inputs and flip-flop outputs in
+/// its fanin cone, in declaration order.
+[[nodiscard]] std::vector<NodeId> support(const Circuit& c, NodeId node);
+
+/// Pairs of structurally identical gates (same type, same fanin multiset)
+/// — redundant logic a synthesis step would merge.  Each duplicate is
+/// reported once, paired with its earliest structural twin.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> duplicate_gates(
+    const Circuit& c);
+
+/// Shape statistics for reporting.
+struct ShapeStats {
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;       ///< over driving nodes with fanout > 0
+  std::size_t max_fanin = 0;
+  double avg_fanin = 0.0;        ///< over combinational gates
+  std::size_t fanout_stems = 0;  ///< nodes with fanout > 1
+};
+
+[[nodiscard]] ShapeStats shape_stats(const Circuit& c);
+
+}  // namespace scanc::netlist

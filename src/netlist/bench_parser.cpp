@@ -1,0 +1,149 @@
+#include "netlist/bench_parser.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace scanc::netlist {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '[' || c == ']' || c == '-' || c == '/' ||
+         c == '$';
+}
+
+// Splits "a, b ,c" into trimmed tokens; rejects empty tokens.
+std::vector<std::string_view> split_args(std::string_view args,
+                                         std::size_t line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= args.size(); ++i) {
+    if (i == args.size() || args[i] == ',') {
+      const std::string_view tok = trim(args.substr(start, i - start));
+      if (tok.empty()) {
+        throw BenchParseError(line, "empty argument in gate fanin list");
+      }
+      for (const char c : tok) {
+        if (!is_name_char(c)) {
+          throw BenchParseError(line, "invalid character in signal name '" +
+                                          std::string(tok) + "'");
+        }
+      }
+      out.push_back(tok);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Circuit parse_bench(std::string_view text, std::string name) {
+  CircuitBuilder builder(std::move(name));
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++lineno;
+
+    // Strip comments and whitespace.
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t open = line.find('(');
+    const std::size_t close = line.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      throw BenchParseError(lineno, "expected '(' ... ')'");
+    }
+    const std::string_view head = trim(line.substr(0, open));
+    const std::string_view args = line.substr(open + 1, close - open - 1);
+    if (!trim(line.substr(close + 1)).empty()) {
+      throw BenchParseError(lineno, "trailing text after ')'");
+    }
+
+    const std::size_t eq = head.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto kind = gate_type_from_string(head);
+      const std::vector<std::string_view> names = split_args(args, lineno);
+      if (names.size() != 1) {
+        throw BenchParseError(lineno, "INPUT/OUTPUT takes one signal");
+      }
+      if (kind == GateType::Input) {
+        builder.add_input(names[0]);
+      } else if (trim(head) == "OUTPUT" || trim(head) == "output" ||
+                 trim(head) == "Output") {
+        builder.mark_output(names[0]);
+      } else {
+        throw BenchParseError(lineno,
+                              "unknown directive '" + std::string(head) + "'");
+      }
+      continue;
+    }
+
+    // name = GATE(fanins)
+    const std::string_view lhs = trim(head.substr(0, eq));
+    const std::string_view keyword = trim(head.substr(eq + 1));
+    if (lhs.empty()) throw BenchParseError(lineno, "missing signal name");
+    for (const char c : lhs) {
+      if (!is_name_char(c)) {
+        throw BenchParseError(lineno, "invalid character in signal name '" +
+                                          std::string(lhs) + "'");
+      }
+    }
+    const auto type = gate_type_from_string(keyword);
+    if (!type || *type == GateType::Input) {
+      throw BenchParseError(lineno,
+                            "unknown gate type '" + std::string(keyword) + "'");
+    }
+    std::vector<std::string_view> fanins;
+    if (!trim(args).empty()) fanins = split_args(args, lineno);
+    try {
+      builder.add_gate(*type, lhs, fanins);
+    } catch (const std::invalid_argument& e) {
+      throw BenchParseError(lineno, e.what());
+    }
+  }
+  try {
+    return builder.build();
+  } catch (const std::invalid_argument& e) {
+    throw BenchParseError(lineno, e.what());
+  }
+}
+
+Circuit parse_bench(std::istream& in, std::string name) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_bench(buf.str(), std::move(name));
+}
+
+Circuit load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open bench file: " + path);
+  }
+  return parse_bench(in, std::filesystem::path(path).stem().string());
+}
+
+}  // namespace scanc::netlist

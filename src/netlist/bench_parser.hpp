@@ -1,0 +1,48 @@
+// Parser for the ISCAS-85/89 ".bench" netlist format.
+//
+// Grammar (line oriented):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(fanin1, fanin2, ...)
+//
+// GATE is one of AND, NAND, OR, NOR, NOT, BUF(F), XOR, XNOR, DFF
+// (case-insensitive).  Whitespace is insignificant.  Signals may be
+// referenced before definition.
+#pragma once
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace scanc::netlist {
+
+/// Error thrown on malformed .bench input; carries a 1-based line number.
+class BenchParseError : public std::runtime_error {
+ public:
+  BenchParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a .bench netlist from a string.  `name` becomes Circuit::name().
+[[nodiscard]] Circuit parse_bench(std::string_view text,
+                                  std::string name = "circuit");
+
+/// Parses a .bench netlist from a stream.
+[[nodiscard]] Circuit parse_bench(std::istream& in,
+                                  std::string name = "circuit");
+
+/// Reads and parses a .bench file; the circuit name is derived from the
+/// file's basename.  Throws std::runtime_error if the file cannot be read.
+[[nodiscard]] Circuit load_bench_file(const std::string& path);
+
+}  // namespace scanc::netlist

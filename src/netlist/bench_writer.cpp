@@ -1,0 +1,58 @@
+#include "netlist/bench_writer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace scanc::netlist {
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+}  // namespace
+
+void write_bench(const Circuit& c, std::ostream& out) {
+  out << "# " << c.name() << "\n";
+  out << "# " << c.num_inputs() << " inputs, " << c.num_outputs()
+      << " outputs, " << c.num_flip_flops() << " flip-flops, "
+      << c.num_gates() << " gates\n";
+  for (const NodeId id : c.primary_inputs()) {
+    out << "INPUT(" << c.node(id).name << ")\n";
+  }
+  for (const NodeId id : c.primary_outputs()) {
+    out << "OUTPUT(" << c.node(id).name << ")\n";
+  }
+  out << "\n";
+  // Constants and DFFs first (conventional), then combinational gates in
+  // topological order.
+  for (const Node& n : c.nodes()) {
+    if (n.type == GateType::Const0) out << n.name << " = CONST0()\n";
+    if (n.type == GateType::Const1) out << n.name << " = CONST1()\n";
+  }
+  for (const NodeId id : c.flip_flops()) {
+    const Node& n = c.node(id);
+    out << n.name << " = DFF(" << c.node(n.fanins[0]).name << ")\n";
+  }
+  for (const NodeId id : c.topo_order()) {
+    const Node& n = c.node(id);
+    out << n.name << " = " << upper(to_string(n.type)) << "(";
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << c.node(n.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const Circuit& c) {
+  std::ostringstream out;
+  write_bench(c, out);
+  return out.str();
+}
+
+}  // namespace scanc::netlist

@@ -1,0 +1,18 @@
+// Serializer for the ISCAS .bench netlist format (inverse of the parser).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace scanc::netlist {
+
+/// Writes `c` in .bench syntax.  Round-trips with parse_bench: the parsed
+/// result is structurally identical (same nodes, fanins, interface lists).
+void write_bench(const Circuit& c, std::ostream& out);
+
+/// Convenience: serialize to a string.
+[[nodiscard]] std::string to_bench_string(const Circuit& c);
+
+}  // namespace scanc::netlist

@@ -1,0 +1,210 @@
+#include "netlist/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace scanc::netlist {
+
+NodeId Circuit::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+CircuitStats stats(const Circuit& c) {
+  CircuitStats s;
+  s.inputs = c.num_inputs();
+  s.outputs = c.num_outputs();
+  s.flip_flops = c.num_flip_flops();
+  s.gates = c.num_gates();
+  s.depth = c.depth();
+  return s;
+}
+
+CircuitBuilder::CircuitBuilder(std::string circuit_name)
+    : name_(std::move(circuit_name)) {}
+
+NodeId CircuitBuilder::intern(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.name = std::string(name);
+  nodes_.push_back(std::move(n));
+  defined_.push_back(0);
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+NodeId CircuitBuilder::define(GateType type, std::string_view name) {
+  const NodeId id = intern(name);
+  if (defined_[id]) {
+    throw std::invalid_argument("duplicate definition of signal '" +
+                                std::string(name) + "'");
+  }
+  defined_[id] = 1;
+  nodes_[id].type = type;
+  return id;
+}
+
+NodeId CircuitBuilder::add_input(std::string_view name) {
+  return define(GateType::Input, name);
+}
+
+NodeId CircuitBuilder::add_gate(GateType type, std::string_view name,
+                                std::span<const std::string_view> fanins) {
+  if (type == GateType::Input) {
+    throw std::invalid_argument("use add_input for primary inputs");
+  }
+  const int req = required_fanins(type);
+  if (req >= 0 && fanins.size() != static_cast<std::size_t>(req)) {
+    throw std::invalid_argument("gate '" + std::string(name) +
+                                "': wrong number of fanins");
+  }
+  if (is_nary(type) && fanins.empty()) {
+    throw std::invalid_argument("gate '" + std::string(name) +
+                                "': n-ary gate needs at least one fanin");
+  }
+  std::vector<NodeId> ids;
+  ids.reserve(fanins.size());
+  for (const std::string_view f : fanins) ids.push_back(intern(f));
+  const NodeId id = define(type, name);
+  nodes_[id].fanins = std::move(ids);
+  return id;
+}
+
+NodeId CircuitBuilder::add_gate(GateType type, std::string_view name,
+                                std::initializer_list<std::string_view> f) {
+  std::vector<std::string_view> v(f);
+  return add_gate(type, name, std::span<const std::string_view>(v));
+}
+
+NodeId CircuitBuilder::add_gate_ids(GateType type, std::string_view name,
+                                    std::span<const NodeId> fanins) {
+  if (type == GateType::Input) {
+    throw std::invalid_argument("use add_input for primary inputs");
+  }
+  const int req = required_fanins(type);
+  if (req >= 0 && fanins.size() != static_cast<std::size_t>(req)) {
+    throw std::invalid_argument("gate '" + std::string(name) +
+                                "': wrong number of fanins");
+  }
+  if (is_nary(type) && fanins.empty()) {
+    throw std::invalid_argument("gate '" + std::string(name) +
+                                "': n-ary gate needs at least one fanin");
+  }
+  for (const NodeId f : fanins) {
+    if (f >= nodes_.size()) {
+      throw std::invalid_argument("gate '" + std::string(name) +
+                                  "': fanin id out of range");
+    }
+  }
+  const NodeId id = define(type, name);
+  nodes_[id].fanins.assign(fanins.begin(), fanins.end());
+  return id;
+}
+
+void CircuitBuilder::mark_output(std::string_view name) {
+  intern(name);
+  output_names_.emplace_back(name);
+}
+
+Circuit CircuitBuilder::build() {
+  // Every referenced signal must have been defined.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!defined_[id]) {
+      throw std::invalid_argument("signal '" + nodes_[id].name +
+                                  "' referenced but never defined");
+    }
+  }
+
+  Circuit c;
+  c.name_ = std::move(name_);
+  c.nodes_ = std::move(nodes_);
+  c.by_name_ = std::move(by_name_);
+
+  // Fanouts.
+  for (NodeId id = 0; id < c.nodes_.size(); ++id) {
+    for (const NodeId f : c.nodes_[id].fanins) {
+      c.nodes_[f].fanouts.push_back(id);
+    }
+  }
+
+  // Interface lists.
+  c.is_output_.assign(c.nodes_.size(), 0);
+  for (NodeId id = 0; id < c.nodes_.size(); ++id) {
+    switch (c.nodes_[id].type) {
+      case GateType::Input:
+        c.primary_inputs_.push_back(id);
+        break;
+      case GateType::Dff:
+        c.flip_flops_.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const std::string& out : output_names_) {
+    const NodeId id = c.by_name_.at(out);
+    if (!c.is_output_[id]) {
+      c.is_output_[id] = 1;
+      c.primary_outputs_.push_back(id);
+    }
+  }
+
+  // Topological order of combinational gates via Kahn's algorithm.
+  // Sources (Input/Dff/Const) have no in-cycle dependencies.  A DFF node
+  // is also a *sink*: its fanin must be evaluated, but nothing in-cycle
+  // depends on the DFF's own next-state sampling.
+  std::vector<std::uint32_t> pending(c.nodes_.size(), 0);
+  for (NodeId id = 0; id < c.nodes_.size(); ++id) {
+    if (is_combinational(c.nodes_[id].type)) {
+      std::uint32_t deps = 0;
+      for (const NodeId f : c.nodes_[id].fanins) {
+        if (is_combinational(c.nodes_[f].type)) ++deps;
+      }
+      pending[id] = deps;
+    }
+  }
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < c.nodes_.size(); ++id) {
+    if (is_combinational(c.nodes_[id].type) && pending[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+  c.topo_order_.reserve(c.nodes_.size());
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NodeId id = ready[head];
+    c.topo_order_.push_back(id);
+    for (const NodeId out : c.nodes_[id].fanouts) {
+      if (is_combinational(c.nodes_[out].type) && --pending[out] == 0) {
+        ready.push_back(out);
+      }
+    }
+  }
+  std::size_t num_comb = 0;
+  for (const Node& n : c.nodes_) {
+    if (is_combinational(n.type)) ++num_comb;
+  }
+  if (c.topo_order_.size() != num_comb) {
+    throw std::invalid_argument("circuit '" + c.name_ +
+                                "' has a combinational cycle");
+  }
+
+  // Levels.
+  for (const NodeId id : c.topo_order_) {
+    std::uint32_t lvl = 0;
+    for (const NodeId f : c.nodes_[id].fanins) {
+      // Source fanins (incl. DFF current-state) are level 0.
+      const std::uint32_t fl =
+          is_combinational(c.nodes_[f].type) ? c.nodes_[f].level : 0;
+      lvl = std::max(lvl, fl + 1);
+    }
+    c.nodes_[id].level = lvl;
+    c.depth_ = std::max(c.depth_, lvl);
+  }
+
+  return c;
+}
+
+}  // namespace scanc::netlist

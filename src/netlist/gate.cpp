@@ -1,0 +1,40 @@
+#include "netlist/gate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace scanc::netlist {
+namespace {
+
+constexpr std::array<std::string_view, kNumGateTypes> kNames = {
+    "input", "buf", "not", "and",  "nand",   "or",
+    "nor",   "xor", "xnor", "dff", "const0", "const1"};
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(GateType t) noexcept {
+  return kNames[static_cast<std::size_t>(t)];
+}
+
+std::optional<GateType> gate_type_from_string(std::string_view s) noexcept {
+  const std::string key = lower(s);
+  // Common .bench aliases.
+  if (key == "buff" || key == "buffer") return GateType::Buf;
+  if (key == "inv" || key == "inverter") return GateType::Not;
+  for (int i = 0; i < kNumGateTypes; ++i) {
+    if (key == kNames[static_cast<std::size_t>(i)]) {
+      return static_cast<GateType>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace scanc::netlist

@@ -1,0 +1,118 @@
+// Gate types for ISCAS-style gate-level netlists.
+//
+// The netlist model is signal-centric: every node in a Circuit is a named
+// signal together with the gate that drives it.  Primary inputs and D
+// flip-flop outputs are sources within a clock cycle; all other gate types
+// are combinational.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scanc::netlist {
+
+/// The function computed by the gate driving a signal.
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input; no fanins
+  Buf,     ///< identity; exactly one fanin
+  Not,     ///< inversion; exactly one fanin
+  And,     ///< n-ary AND, n >= 1
+  Nand,    ///< n-ary NAND, n >= 1
+  Or,      ///< n-ary OR, n >= 1
+  Nor,     ///< n-ary NOR, n >= 1
+  Xor,     ///< n-ary XOR (odd parity), n >= 1
+  Xnor,    ///< n-ary XNOR (even parity), n >= 1
+  Dff,     ///< D flip-flop output; one fanin (next-state); source in-cycle
+  Const0,  ///< constant 0; no fanins
+  Const1,  ///< constant 1; no fanins
+};
+
+/// Number of distinct gate types (for table-driven code).
+inline constexpr int kNumGateTypes = 12;
+
+/// True for gate types that act as value sources within a single clock
+/// cycle (their value is not computed from fanins in the current frame).
+[[nodiscard]] constexpr bool is_source(GateType t) noexcept {
+  return t == GateType::Input || t == GateType::Dff ||
+         t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// True for combinational gate types (evaluated from fanins every frame).
+[[nodiscard]] constexpr bool is_combinational(GateType t) noexcept {
+  return !is_source(t);
+}
+
+/// True if the gate type admits an arbitrary number (>= 1) of fanins.
+[[nodiscard]] constexpr bool is_nary(GateType t) noexcept {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Exact fanin count required by the gate type, or -1 for n-ary types.
+[[nodiscard]] constexpr int required_fanins(GateType t) noexcept {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+/// True if the gate has a controlling value: one input at that value fixes
+/// the output regardless of the others (AND/NAND: 0, OR/NOR: 1).
+[[nodiscard]] constexpr bool has_controlling_value(GateType t) noexcept {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Controlling input value for AND/NAND/OR/NOR; unspecified otherwise.
+[[nodiscard]] constexpr bool controlling_value(GateType t) noexcept {
+  return t == GateType::Or || t == GateType::Nor;
+}
+
+/// True if the gate inverts (NOT/NAND/NOR/XNOR).
+[[nodiscard]] constexpr bool is_inverting(GateType t) noexcept {
+  switch (t) {
+    case GateType::Not:
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Canonical lower-case name used in .bench files ("and", "dff", ...).
+[[nodiscard]] std::string_view to_string(GateType t) noexcept;
+
+/// Parses a .bench gate keyword (case-insensitive).  Returns std::nullopt
+/// for unknown keywords.
+[[nodiscard]] std::optional<GateType> gate_type_from_string(
+    std::string_view s) noexcept;
+
+}  // namespace scanc::netlist

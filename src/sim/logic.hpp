@@ -1,0 +1,83 @@
+// Scalar three-valued logic (0 / 1 / X).
+//
+// Encoding: two bits per value, bit 0 = "can be 0", bit 1 = "can be 1".
+// X (unknown) has both bits set.  The pattern 00 is not a valid value.
+// This encoding is shared with the bit-parallel engine (sim/packed.hpp),
+// where each of the two bits becomes a 64-bit word.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace scanc::sim {
+
+/// Three-valued logic value.
+enum class V3 : std::uint8_t {
+  Zero = 0b01,
+  One = 0b10,
+  X = 0b11,
+};
+
+/// Builds a binary V3 from a bool.
+[[nodiscard]] constexpr V3 v3_from_bool(bool b) noexcept {
+  return b ? V3::One : V3::Zero;
+}
+
+/// True if the value is 0 or 1 (not X).
+[[nodiscard]] constexpr bool is_binary(V3 v) noexcept { return v != V3::X; }
+
+/// Converts a binary value to bool.  Precondition: is_binary(v).
+[[nodiscard]] constexpr bool to_bool(V3 v) noexcept {
+  assert(is_binary(v));
+  return v == V3::One;
+}
+
+[[nodiscard]] constexpr V3 v3_not(V3 a) noexcept {
+  const auto bits = static_cast<std::uint8_t>(a);
+  return static_cast<V3>(((bits & 1) << 1) | ((bits >> 1) & 1));
+}
+
+[[nodiscard]] constexpr V3 v3_and(V3 a, V3 b) noexcept {
+  const auto x = static_cast<std::uint8_t>(a);
+  const auto y = static_cast<std::uint8_t>(b);
+  // is0 = a.is0 | b.is0 ; is1 = a.is1 & b.is1
+  return static_cast<V3>(((x | y) & 1) | (x & y & 0b10));
+}
+
+[[nodiscard]] constexpr V3 v3_or(V3 a, V3 b) noexcept {
+  const auto x = static_cast<std::uint8_t>(a);
+  const auto y = static_cast<std::uint8_t>(b);
+  // is0 = a.is0 & b.is0 ; is1 = a.is1 | b.is1
+  return static_cast<V3>((x & y & 1) | ((x | y) & 0b10));
+}
+
+[[nodiscard]] constexpr V3 v3_xor(V3 a, V3 b) noexcept {
+  const auto a0 = static_cast<std::uint8_t>(a) & 1;
+  const auto a1 = (static_cast<std::uint8_t>(a) >> 1) & 1;
+  const auto b0 = static_cast<std::uint8_t>(b) & 1;
+  const auto b1 = (static_cast<std::uint8_t>(b) >> 1) & 1;
+  const std::uint8_t is0 = (a0 & b0) | (a1 & b1);
+  const std::uint8_t is1 = (a0 & b1) | (a1 & b0);
+  return static_cast<V3>(is0 | (is1 << 1));
+}
+
+/// Character rendering: '0', '1', 'x'.
+[[nodiscard]] constexpr char to_char(V3 v) noexcept {
+  switch (v) {
+    case V3::Zero:
+      return '0';
+    case V3::One:
+      return '1';
+    default:
+      return 'x';
+  }
+}
+
+/// Parses '0', '1', 'x'/'X' (anything else is X).
+[[nodiscard]] constexpr V3 v3_from_char(char c) noexcept {
+  if (c == '0') return V3::Zero;
+  if (c == '1') return V3::One;
+  return V3::X;
+}
+
+}  // namespace scanc::sim

@@ -1,0 +1,275 @@
+#include "sim/seq_sim.hpp"
+
+#include <cassert>
+
+namespace scanc::sim {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::Node;
+using netlist::NodeId;
+
+PackedSeqSim::PackedSeqSim(const Circuit& circuit)
+    : circuit_(&circuit),
+      values_(circuit.num_nodes(), packed_x()),
+      captured_(circuit.num_flip_flops(), packed_x()),
+      next_state_(circuit.num_flip_flops()) {}
+
+namespace {
+
+PackedV3 apply_stem(PackedV3 v, std::span<const Injection> injs) {
+  for (const Injection& inj : injs) {
+    if (inj.pin == kStemPin) v = inject(v, inj.mask, inj.stuck_one);
+  }
+  return v;
+}
+
+PackedV3 apply_pin(PackedV3 v, int pin, std::span<const Injection> injs) {
+  for (const Injection& inj : injs) {
+    if (inj.pin == pin) v = inject(v, inj.mask, inj.stuck_one);
+  }
+  return v;
+}
+
+}  // namespace
+
+void PackedSeqSim::reset(const InjectionMap* inj) {
+  for (NodeId id = 0; id < values_.size(); ++id) {
+    const GateType t = circuit_->node(id).type;
+    PackedV3 v = packed_x();
+    if (t == GateType::Const0) v = packed_zero();
+    if (t == GateType::Const1) v = packed_one();
+    if (inj && inj->any(id) && netlist::is_source(t)) {
+      v = apply_stem(v, inj->at(id));
+    }
+    values_[id] = v;
+  }
+  for (auto& cap : captured_) cap = packed_x();
+}
+
+void PackedSeqSim::load_state(const Vector3& state, const InjectionMap* inj) {
+  const auto ffs = circuit_->flip_flops();
+  assert(state.size() == ffs.size());
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    PackedV3 v = broadcast(state[i]);
+    captured_[i] = v;  // scan-in stores the clean value
+    if (inj && inj->any(ffs[i])) v = apply_stem(v, inj->at(ffs[i]));
+    values_[ffs[i]] = v;  // the logic reads through the (possibly stuck) Q
+  }
+}
+
+PackedV3 PackedSeqSim::fanin_value(const Node& n, std::size_t i,
+                                   std::span<const Injection> injs) const {
+  return apply_pin(values_[n.fanins[i]], static_cast<int>(i), injs);
+}
+
+void PackedSeqSim::apply_frame(const Vector3& pi, const InjectionMap* inj) {
+  const auto pis = circuit_->primary_inputs();
+  assert(pi.size() == pis.size());
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    PackedV3 v = broadcast(pi[i]);
+    if (inj && inj->any(pis[i])) v = apply_stem(v, inj->at(pis[i]));
+    values_[pis[i]] = v;
+  }
+
+  for (const NodeId id : circuit_->topo_order()) {
+    const Node& n = circuit_->node(id);
+    PackedV3 out;
+    if (inj == nullptr || !inj->any(id)) {
+      // Fast path: no injections touch this gate.
+      switch (n.type) {
+        case GateType::Buf:
+          out = values_[n.fanins[0]];
+          break;
+        case GateType::Not:
+          out = p_not(values_[n.fanins[0]]);
+          break;
+        case GateType::And:
+        case GateType::Nand: {
+          PackedV3 acc = values_[n.fanins[0]];
+          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+            acc = p_and(acc, values_[n.fanins[i]]);
+          }
+          out = (n.type == GateType::Nand) ? p_not(acc) : acc;
+          break;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+          PackedV3 acc = values_[n.fanins[0]];
+          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+            acc = p_or(acc, values_[n.fanins[i]]);
+          }
+          out = (n.type == GateType::Nor) ? p_not(acc) : acc;
+          break;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+          PackedV3 acc = values_[n.fanins[0]];
+          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+            acc = p_xor(acc, values_[n.fanins[i]]);
+          }
+          out = (n.type == GateType::Xnor) ? p_not(acc) : acc;
+          break;
+        }
+        default:
+          continue;  // sources are not evaluated
+      }
+    } else {
+      // Slow path: gather fanins with branch injections, then apply the
+      // stem injections to the computed output.
+      const std::span<const Injection> injs = inj->at(id);
+      switch (n.type) {
+        case GateType::Buf:
+          out = fanin_value(n, 0, injs);
+          break;
+        case GateType::Not:
+          out = p_not(fanin_value(n, 0, injs));
+          break;
+        case GateType::And:
+        case GateType::Nand: {
+          PackedV3 acc = fanin_value(n, 0, injs);
+          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+            acc = p_and(acc, fanin_value(n, i, injs));
+          }
+          out = (n.type == GateType::Nand) ? p_not(acc) : acc;
+          break;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+          PackedV3 acc = fanin_value(n, 0, injs);
+          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+            acc = p_or(acc, fanin_value(n, i, injs));
+          }
+          out = (n.type == GateType::Nor) ? p_not(acc) : acc;
+          break;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+          PackedV3 acc = fanin_value(n, 0, injs);
+          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+            acc = p_xor(acc, fanin_value(n, i, injs));
+          }
+          out = (n.type == GateType::Xnor) ? p_not(acc) : acc;
+          break;
+        }
+        default:
+          continue;
+      }
+      out = apply_stem(out, injs);
+    }
+    values_[id] = out;
+  }
+}
+
+void PackedSeqSim::latch(const InjectionMap* inj) {
+  const auto ffs = circuit_->flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const Node& n = circuit_->node(ffs[i]);
+    PackedV3 v = values_[n.fanins[0]];
+    if (inj && inj->any(ffs[i])) {
+      // Branch fault on the D input corrupts the captured value itself.
+      v = apply_pin(v, 0, inj->at(ffs[i]));
+    }
+    next_state_[i] = v;
+  }
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    captured_[i] = next_state_[i];
+    PackedV3 v = next_state_[i];
+    if (inj && inj->any(ffs[i])) {
+      // Stem fault on Q corrupts only what the logic reads next frame.
+      v = apply_stem(v, inj->at(ffs[i]));
+    }
+    values_[ffs[i]] = v;
+  }
+}
+
+void PackedSeqSim::get_ff_values(std::span<PackedV3> out) const {
+  const auto ffs = circuit_->flip_flops();
+  assert(out.size() == ffs.size());
+  for (std::size_t i = 0; i < ffs.size(); ++i) out[i] = values_[ffs[i]];
+}
+
+void PackedSeqSim::set_ff_values(std::span<const PackedV3> vals) {
+  const auto ffs = circuit_->flip_flops();
+  assert(vals.size() == ffs.size());
+  for (std::size_t i = 0; i < ffs.size(); ++i) values_[ffs[i]] = vals[i];
+}
+
+Vector3 PackedSeqSim::state_slot(unsigned slot_bit) const {
+  const auto ffs = circuit_->flip_flops();
+  Vector3 s(ffs.size(), V3::X);
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    s[i] = slot(values_[ffs[i]], slot_bit);
+  }
+  return s;
+}
+
+Vector3 PackedSeqSim::outputs_slot(unsigned slot_bit) const {
+  const auto pos = circuit_->primary_outputs();
+  Vector3 s(pos.size(), V3::X);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    s[i] = slot(values_[pos[i]], slot_bit);
+  }
+  return s;
+}
+
+Trace simulate_fault_free(const Circuit& c, const Vector3* scan_in,
+                          const Sequence& seq) {
+  PackedSeqSim sim(c);
+  sim.reset();
+  if (scan_in != nullptr) sim.load_state(*scan_in);
+  Trace trace;
+  trace.po_frames.reserve(seq.length());
+  trace.states.reserve(seq.length());
+  for (const Vector3& pi : seq.frames) {
+    sim.apply_frame(pi);
+    trace.po_frames.push_back(sim.outputs_slot(0));
+    sim.latch();
+    trace.states.push_back(sim.state_slot(0));
+  }
+  return trace;
+}
+
+Trace simulate_fault_free_scalar(const Circuit& c, const Vector3* scan_in,
+                                 const Sequence& seq) {
+  std::vector<V3> values(c.num_nodes(), V3::X);
+  for (NodeId id = 0; id < c.num_nodes(); ++id) {
+    if (c.node(id).type == GateType::Const0) values[id] = V3::Zero;
+    if (c.node(id).type == GateType::Const1) values[id] = V3::One;
+  }
+  const auto ffs = c.flip_flops();
+  if (scan_in != nullptr) {
+    assert(scan_in->size() == ffs.size());
+    for (std::size_t i = 0; i < ffs.size(); ++i) values[ffs[i]] = (*scan_in)[i];
+  }
+
+  Trace trace;
+  std::vector<V3> fanin_scratch;
+  std::vector<V3> next_state(ffs.size());
+  for (const Vector3& pi : seq.frames) {
+    const auto pis = c.primary_inputs();
+    assert(pi.size() == pis.size());
+    for (std::size_t i = 0; i < pis.size(); ++i) values[pis[i]] = pi[i];
+    for (const NodeId id : c.topo_order()) {
+      const Node& n = c.node(id);
+      fanin_scratch.clear();
+      for (const NodeId f : n.fanins) fanin_scratch.push_back(values[f]);
+      values[id] = eval_gate_scalar(n.type, fanin_scratch);
+    }
+    Vector3 po(c.num_outputs(), V3::X);
+    for (std::size_t i = 0; i < c.primary_outputs().size(); ++i) {
+      po[i] = values[c.primary_outputs()[i]];
+    }
+    trace.po_frames.push_back(std::move(po));
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      next_state[i] = values[c.node(ffs[i]).fanins[0]];
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i) values[ffs[i]] = next_state[i];
+    Vector3 st(ffs.size(), V3::X);
+    for (std::size_t i = 0; i < ffs.size(); ++i) st[i] = values[ffs[i]];
+    trace.states.push_back(std::move(st));
+  }
+  return trace;
+}
+
+}  // namespace scanc::sim

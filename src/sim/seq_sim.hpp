@@ -1,0 +1,127 @@
+// Bit-parallel sequential simulation engine.
+//
+// PackedSeqSim evaluates a Circuit one clock frame at a time with 64
+// independent simulation slots per signal and optional stuck-line
+// injections (sim/injection.hpp).  It is the shared engine underneath the
+// fault-free simulator and the parallel-fault simulator.
+//
+// Frame protocol:
+//   1. reset(inj)               — all state X, constants set
+//   2. load_state(s, inj)       — optional scan-in (overwrites FF values)
+//   3. for each time unit t:
+//        apply_frame(pi_t, inj) — set PIs, evaluate combinational logic
+//        ... observe PO values ...
+//        latch(inj)             — sample next state into the FFs
+//   4. ... observe FF values (scan-out) ...
+//
+// All slots receive the same PI/state stimulus (broadcast); slots only
+// diverge through injections.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/injection.hpp"
+#include "sim/packed.hpp"
+#include "sim/sequence.hpp"
+
+namespace scanc::sim {
+
+class PackedSeqSim {
+ public:
+  explicit PackedSeqSim(const netlist::Circuit& circuit);
+
+  /// The simulated circuit.
+  [[nodiscard]] const netlist::Circuit& circuit() const noexcept {
+    return *circuit_;
+  }
+
+  /// Sets every FF to X, constants to their values, and everything else
+  /// to X.  Stem injections on constants and FFs are applied.
+  void reset(const InjectionMap* inj = nullptr);
+
+  /// Overwrites the FF values with `state` (indexed in flip_flops()
+  /// order), then applies FF stem injections.  Models scan-in.
+  void load_state(const Vector3& state, const InjectionMap* inj = nullptr);
+
+  /// Sets the PI values (broadcast; PI stem injections applied) and
+  /// evaluates all combinational gates in topological order with branch
+  /// and stem injections.
+  void apply_frame(const Vector3& pi, const InjectionMap* inj = nullptr);
+
+  /// Samples every FF's next-state (its fanin value, with branch
+  /// injections on the FF's data pin) and installs it as the new FF value
+  /// (with FF stem injections).  All FFs update simultaneously.
+  ///
+  /// Fault-model convention (standard full-scan PPI/PPO treatment): a
+  /// stem fault on the FF output (Q) corrupts the value *read* by the
+  /// logic but not the captured latch content, so scan-out — which
+  /// observes the captured content — sees the clean capture.  Faults on
+  /// the D side corrupt the capture itself and are therefore directly
+  /// scan-observable.
+  void latch(const InjectionMap* inj = nullptr);
+
+  /// Captured latch content of FF index `i` (flip_flops() order) as of the
+  /// last latch()/load_state(): the value scan-out observes.
+  [[nodiscard]] const PackedV3& captured(std::size_t i) const {
+    return captured_[i];
+  }
+
+  /// Current packed value of a node.
+  [[nodiscard]] const PackedV3& value(netlist::NodeId id) const {
+    return values_[id];
+  }
+
+  /// Scalar value of a node in one slot.
+  [[nodiscard]] V3 value_slot(netlist::NodeId id, unsigned slot_bit) const {
+    return slot(values_[id], slot_bit);
+  }
+
+  /// Current state (FF values) of one slot as a scalar vector.
+  [[nodiscard]] Vector3 state_slot(unsigned slot_bit) const;
+
+  /// Copies the raw packed FF values (as the logic reads them, i.e. with
+  /// any injections already applied) into `out`; size = num_flip_flops().
+  /// Together with set_ff_values this lets a caller suspend and resume a
+  /// simulation (incremental fault simulation sessions).
+  void get_ff_values(std::span<PackedV3> out) const;
+
+  /// Restores raw packed FF values previously saved by get_ff_values.
+  void set_ff_values(std::span<const PackedV3> vals);
+
+  /// Current PO values of one slot as a scalar vector.
+  [[nodiscard]] Vector3 outputs_slot(unsigned slot_bit) const;
+
+ private:
+  [[nodiscard]] PackedV3 fanin_value(const netlist::Node& n, std::size_t i,
+                                     std::span<const Injection> inj) const;
+
+  const netlist::Circuit* circuit_;
+  std::vector<PackedV3> values_;
+  std::vector<PackedV3> captured_;    // clean latch contents (scan-out view)
+  std::vector<PackedV3> next_state_;  // scratch for simultaneous latch
+};
+
+/// Result of a fault-free sequential simulation.
+struct Trace {
+  /// po_frames[t] = PO values after applying frame t.
+  std::vector<Vector3> po_frames;
+  /// states[t] = FF values after latching frame t (states[0] follows the
+  /// first frame).  The final entry is the scan-out state.
+  std::vector<Vector3> states;
+};
+
+/// Simulates `seq` fault-free from `scan_in` (or from the all-X state if
+/// scan_in is nullptr), recording PO values per frame and the state after
+/// every latch.  Reference semantics for the whole library.
+[[nodiscard]] Trace simulate_fault_free(const netlist::Circuit& c,
+                                        const Vector3* scan_in,
+                                        const Sequence& seq);
+
+/// Same semantics as simulate_fault_free, computed with the scalar V3
+/// engine.  Used as an independent golden model in tests.
+[[nodiscard]] Trace simulate_fault_free_scalar(const netlist::Circuit& c,
+                                               const Vector3* scan_in,
+                                               const Sequence& seq);
+
+}  // namespace scanc::sim

@@ -1,0 +1,96 @@
+// Value vectors and primary-input sequences.
+//
+// A Vector3 assigns one V3 per position (primary input or flip-flop, by
+// the circuit's declaration order).  A Sequence is an ordered list of
+// primary-input vectors, applied one per functional clock cycle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/logic.hpp"
+#include "util/rng.hpp"
+
+namespace scanc::sim {
+
+/// One assignment of three-valued values (e.g. a PI vector or a state).
+using Vector3 = std::vector<V3>;
+
+/// A primary-input sequence: frames[t] is the PI vector at time unit t.
+struct Sequence {
+  std::vector<Vector3> frames;
+
+  [[nodiscard]] std::size_t length() const noexcept { return frames.size(); }
+  [[nodiscard]] bool empty() const noexcept { return frames.empty(); }
+
+  /// Subsequence [from, to] inclusive (paper notation A[u1, u2]).
+  [[nodiscard]] Sequence subsequence(std::size_t from, std::size_t to) const {
+    Sequence s;
+    s.frames.assign(frames.begin() + static_cast<std::ptrdiff_t>(from),
+                    frames.begin() + static_cast<std::ptrdiff_t>(to) + 1);
+    return s;
+  }
+
+  /// Concatenation (used by test combining).
+  [[nodiscard]] Sequence concatenated(const Sequence& tail) const {
+    Sequence s = *this;
+    s.frames.insert(s.frames.end(), tail.frames.begin(), tail.frames.end());
+    return s;
+  }
+
+  friend bool operator==(const Sequence&, const Sequence&) = default;
+};
+
+/// Renders a vector as a string of 0/1/x characters.
+[[nodiscard]] inline std::string to_string(const Vector3& v) {
+  std::string s;
+  s.reserve(v.size());
+  for (const V3 x : v) s.push_back(to_char(x));
+  return s;
+}
+
+/// Parses a 0/1/x string into a vector.
+[[nodiscard]] inline Vector3 vector3_from_string(std::string_view s) {
+  Vector3 v;
+  v.reserve(s.size());
+  for (const char c : s) v.push_back(v3_from_char(c));
+  return v;
+}
+
+/// Random fully-specified vector of `width` bits.
+[[nodiscard]] inline Vector3 random_vector(std::size_t width,
+                                           util::Rng& rng) {
+  Vector3 v(width, V3::Zero);
+  for (auto& x : v) x = v3_from_bool(rng.coin());
+  return v;
+}
+
+/// Replaces every X in `v` with a random binary value.
+inline void randomize_x(Vector3& v, util::Rng& rng) {
+  for (auto& x : v) {
+    if (x == V3::X) x = v3_from_bool(rng.coin());
+  }
+}
+
+/// Random sequence of `length` fully-specified vectors of `width` bits.
+[[nodiscard]] inline Sequence random_sequence(std::size_t width,
+                                              std::size_t length,
+                                              util::Rng& rng) {
+  Sequence s;
+  s.frames.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    s.frames.push_back(random_vector(width, rng));
+  }
+  return s;
+}
+
+/// True if every element of `v` is binary (no X).
+[[nodiscard]] inline bool fully_specified(const Vector3& v) noexcept {
+  for (const V3 x : v) {
+    if (!is_binary(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace scanc::sim

@@ -1,0 +1,88 @@
+#include "tcomp/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace scanc::tcomp {
+
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+ScanTestSet comb_initial_set(std::span<const atpg::CombTest> comb) {
+  ScanTestSet set;
+  set.tests.reserve(comb.size());
+  for (const atpg::CombTest& c : comb) {
+    ScanTest t;
+    t.scan_in = c.state;
+    t.seq.frames.push_back(c.inputs);
+    set.tests.push_back(std::move(t));
+  }
+  return set;
+}
+
+ScanTestSet dynamic_baseline(FaultSimulator& fsim,
+                             std::span<const atpg::CombTest> comb,
+                             const FaultSet& target_coverage,
+                             const DynamicBaselineOptions& options) {
+  util::Rng rng(options.seed ^ 0xd1aab5eULL);
+  const std::size_t num_pis = fsim.circuit().num_inputs();
+  const std::size_t nsv = fsim.circuit().num_flip_flops();
+  const std::size_t max_len =
+      options.max_test_length != 0 ? options.max_test_length
+                                   : std::max<std::size_t>(nsv, 1);
+
+  ScanTestSet set;
+  FaultSet remaining = target_coverage;
+  while (!remaining.none()) {
+    // Seed with the combinational test covering the most remaining
+    // faults.
+    std::size_t best_j = comb.size();
+    FaultSet best_det(fsim.num_classes());
+    for (std::size_t j = 0; j < comb.size(); ++j) {
+      FaultSet det = atpg::detect_comb_test(fsim, comb[j], &remaining);
+      if (best_j == comb.size() || det.count() > best_det.count()) {
+        best_j = j;
+        best_det = std::move(det);
+      }
+    }
+    if (best_j == comb.size() || best_det.none()) {
+      break;  // nothing in C covers the remaining faults
+    }
+    ScanTest test;
+    test.scan_in = comb[best_j].state;
+    test.seq.frames.push_back(comb[best_j].inputs);
+
+    // Extend with functional vectors while each extension strictly grows
+    // the test's own detection, up to the scan break-even length N_SV.
+    // `cur_det` is always the *complete* extended test's detection —
+    // extending a test can invalidate scan-out detections of its prefix,
+    // so per-step deltas must not be banked before the test is final.
+    FaultSet cur_det = std::move(best_det);
+    while (test.seq.length() < max_len) {
+      sim::Vector3 best_vec;
+      FaultSet best_ext(fsim.num_classes());
+      for (std::size_t k = 0; k < options.candidates * 2; ++k) {
+        sim::Vector3 vec =
+            (k < options.candidates && !comb.empty())
+                ? comb[rng.below(comb.size())].inputs
+                : sim::random_vector(num_pis, rng);
+        sim::Sequence cand = test.seq;
+        cand.frames.push_back(vec);
+        FaultSet det = fsim.detect_scan_test(test.scan_in, cand, &remaining);
+        if (det.count() > best_ext.count()) {
+          best_ext = std::move(det);
+          best_vec = std::move(vec);
+        }
+      }
+      if (best_ext.count() <= cur_det.count()) break;
+      test.seq.frames.push_back(std::move(best_vec));
+      cur_det = std::move(best_ext);
+    }
+    remaining -= cur_det;
+    set.tests.push_back(std::move(test));
+  }
+  return set;
+}
+
+}  // namespace scanc::tcomp

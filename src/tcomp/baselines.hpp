@@ -1,0 +1,49 @@
+// Baseline test sets the paper compares against (Table 3).
+//
+// [4] baseline: the initial test set of the ATS-1998 static compaction
+// procedure — one length-one scan test per combinational test in C —
+// and its compacted form, obtained by running the combining procedure
+// (tcomp/combine.hpp) on that initial set.
+//
+// [2,3]-style dynamic baseline: an approximation of the Lee/Saluja
+// dynamic compaction procedures, which balance consecutive functional
+// vectors against scan operations while tests are being built.  Each
+// test starts from the combinational test covering the most remaining
+// faults and is greedily extended with further functional vectors (drawn
+// from C's input parts and random candidates) while extensions keep
+// detecting new faults, up to N_SV vectors — the point where a vector
+// sequence stops being cheaper than a scan operation.  See DESIGN.md §4
+// (substitution 4).
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_sim.hpp"
+#include "tcomp/combine.hpp"
+#include "tcomp/scan_test.hpp"
+
+namespace scanc::tcomp {
+
+/// The [4] initial test set: tau_j = (c_j_state, (c_j_inputs)) for every
+/// test in C.
+[[nodiscard]] ScanTestSet comb_initial_set(
+    std::span<const atpg::CombTest> comb);
+
+struct DynamicBaselineOptions {
+  std::uint64_t seed = 1;
+  /// Candidate extension vectors evaluated per step: this many sampled
+  /// from C's input parts plus this many random vectors.
+  std::size_t candidates = 6;
+  /// Cap on a test's sequence length; defaults (0) to N_SV, the paper's
+  /// break-even point between functional vectors and a scan operation.
+  std::size_t max_test_length = 0;
+};
+
+/// Builds a test set in the style of dynamic compaction [2,3].
+[[nodiscard]] ScanTestSet dynamic_baseline(
+    fault::FaultSimulator& fsim, std::span<const atpg::CombTest> comb,
+    const fault::FaultSet& target_coverage,
+    const DynamicBaselineOptions& options = {});
+
+}  // namespace scanc::tcomp

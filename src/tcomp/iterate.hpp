@@ -1,0 +1,66 @@
+// Iterative application of Phases 1 and 2 (Section 3.3).
+//
+// Starting from T0, each iteration re-selects a scan-in state for the
+// current compacted sequence, re-selects the scan-out time, and omits
+// vectors.  Combinational tests that provided a scan-in state are marked
+// "selected"; the iteration terminates when the best candidate is one
+// that was already selected (unselected candidates win ties), or after
+// |C| iterations.  The result is the single long test tau_seq.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_sim.hpp"
+#include "tcomp/omission.hpp"
+#include "tcomp/phase1.hpp"
+#include "tcomp/restoration.hpp"
+
+namespace scanc::tcomp {
+
+/// Which static sequence-compaction engine implements Phase 2.
+enum class Phase2Method : std::uint8_t {
+  Omission,     ///< [8]-style vector omission (paper default)
+  Restoration,  ///< [11]-style vector restoration
+};
+
+struct IterateOptions {
+  Phase1Options phase1;
+  OmissionOptions omission;
+  RestorationOptions restoration;
+  Phase2Method phase2_method = Phase2Method::Omission;
+  bool apply_omission = true;  ///< ablation: disable Phase 2
+  bool iterate = true;         ///< ablation: single pass of Phases 1-2
+  /// Cap on Phase 1+2 rounds (0 = the paper's bound of |C|).  In
+  /// practice coverage and length settle within a few rounds; the cap
+  /// bounds runtime on large circuits where |C| is big.
+  std::size_t max_iterations = 4;
+  /// Stop early when a round neither detects more faults nor shortens
+  /// the sequence.
+  bool stop_on_no_progress = true;
+  /// Optional progress callback (step names, for logging).
+  std::function<void(const char*)> trace;
+};
+
+/// Trace of one iteration, for diagnostics and tests.
+struct IterationRecord {
+  std::size_t candidate = 0;       ///< scan-in source index in C
+  std::size_t detected = 0;        ///< |F_C| after the iteration
+  std::size_t sequence_length = 0; ///< |T_C| after the iteration
+  std::size_t omitted = 0;
+};
+
+struct IterateResult {
+  ScanTest tau_seq;          ///< final (SI_seq, T_seq)
+  fault::FaultSet f_seq;     ///< faults detected by tau_seq
+  fault::FaultSet f0;        ///< faults detected by the original T0 alone
+  std::vector<IterationRecord> iterations;
+};
+
+[[nodiscard]] IterateResult iterate_phases(
+    fault::FaultSimulator& fsim, const sim::Sequence& t0,
+    std::span<const atpg::CombTest> comb, const IterateOptions& options = {});
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,54 @@
+#include "tcomp/pipeline.hpp"
+
+namespace scanc::tcomp {
+
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
+                            std::span<const atpg::CombTest> comb,
+                            const PipelineOptions& options) {
+  PipelineResult result;
+  const auto trace = [&](const char* what) {
+    if (options.trace) options.trace(what);
+  };
+
+  // Phases 1 and 2, iterated.
+  trace("phases 1+2 (iterated)");
+  IterateOptions iopt = options.iterate;
+  if (!iopt.trace) iopt.trace = options.trace;
+  IterateResult it = iterate_phases(fsim, t0, comb, iopt);
+  result.tau_seq = std::move(it.tau_seq);
+  result.f0 = std::move(it.f0);
+  result.f_seq = it.f_seq;
+  result.iterations = it.iterations.size();
+
+  // Phase 3: cover F - F_seq from C.
+  trace("phase 3 (top-off)");
+  FaultSet undetected = fsim.all_faults();
+  undetected -= result.f_seq;
+  TopOffResult topoff = top_off(fsim, comb, undetected);
+  result.added_tests = topoff.tests.size();
+  result.uncoverable = std::move(topoff.uncoverable);
+
+  result.initial.tests.reserve(1 + topoff.tests.size());
+  result.initial.tests.push_back(result.tau_seq);
+  for (ScanTest& t : topoff.tests.tests) {
+    result.initial.tests.push_back(std::move(t));
+  }
+
+  // Phase 4: static compaction by combining.
+  trace("phase 4 (combining)");
+  if (options.run_phase4) {
+    CombineResult comp =
+        combine_tests(fsim, result.initial, options.combine);
+    result.compacted = std::move(comp.tests);
+    result.combinations = comp.combinations;
+  } else {
+    result.compacted = result.initial;
+  }
+  result.final_coverage = coverage(fsim, result.compacted);
+  return result;
+}
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,58 @@
+// The complete DAC-2001 compaction procedure (Sections 3.1-3.5).
+//
+//   Phase 1+2 (iterated): T0 -> tau_seq = (SI_seq, T_seq)
+//   Phase 3: top-off tests from C for faults undetected by tau_seq
+//   Phase 4: static compaction by combining [4]
+//
+// run_pipeline takes the test sequence T0 (from tgen — the [10]/[12]
+// substitute — or a random sequence, the paper's Table 5 variant) and
+// the combinational test set C (from atpg), and returns every
+// intermediate artifact the paper's tables report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_sim.hpp"
+#include "tcomp/baselines.hpp"
+#include "tcomp/combine.hpp"
+#include "tcomp/iterate.hpp"
+#include "tcomp/topoff.hpp"
+
+namespace scanc::tcomp {
+
+struct PipelineOptions {
+  IterateOptions iterate;
+  CombineOptions combine;
+  bool run_phase4 = true;  ///< ablation: skip final static compaction
+  /// Optional progress callback (phase names, for logging).
+  std::function<void(const char*)> trace;
+};
+
+struct PipelineResult {
+  // Phase 1+2 (iterated).
+  ScanTest tau_seq;              ///< the long at-speed test
+  fault::FaultSet f0;            ///< detected by T0 alone (Table 1 "T0")
+  fault::FaultSet f_seq;         ///< detected by tau_seq (Table 1 "scan")
+  std::size_t iterations = 0;
+
+  // Phase 3.
+  std::size_t added_tests = 0;   ///< Table 2 "added c.tst"
+  fault::FaultSet uncoverable;   ///< faults neither tau_seq nor C detect
+
+  // Test sets.
+  ScanTestSet initial;           ///< {tau_seq} + top-off (end of Phase 3)
+  ScanTestSet compacted;         ///< after Phase 4 (== initial if skipped)
+  fault::FaultSet final_coverage;  ///< detected by `compacted`
+  std::size_t combinations = 0;  ///< Phase 4 accepted combinations
+};
+
+[[nodiscard]] PipelineResult run_pipeline(fault::FaultSimulator& fsim,
+                                          const sim::Sequence& t0,
+                                          std::span<const atpg::CombTest>
+                                              comb,
+                                          const PipelineOptions& options =
+                                              {});
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,44 @@
+#include "tcomp/response.hpp"
+
+#include "sim/seq_sim.hpp"
+
+namespace scanc::tcomp {
+
+TestResponse expected_response(const netlist::Circuit& c,
+                               const ScanTest& test) {
+  const sim::Trace trace =
+      sim::simulate_fault_free(c, &test.scan_in, test.seq);
+  TestResponse r;
+  r.outputs = trace.po_frames;
+  r.scan_out = trace.states.empty() ? sim::Vector3(c.num_flip_flops(),
+                                                   sim::V3::X)
+                                    : trace.states.back();
+  return r;
+}
+
+std::vector<TestResponse> expected_responses(const netlist::Circuit& c,
+                                             const ScanTestSet& set) {
+  std::vector<TestResponse> out;
+  out.reserve(set.size());
+  for (const ScanTest& t : set.tests) {
+    out.push_back(expected_response(c, t));
+  }
+  return out;
+}
+
+void write_test_program(const netlist::Circuit& c, const ScanTestSet& set,
+                        std::ostream& out) {
+  for (std::size_t i = 0; i < set.tests.size(); ++i) {
+    const ScanTest& t = set.tests[i];
+    const TestResponse r = expected_response(c, t);
+    out << "test " << i << "\n";
+    out << "scanin " << sim::to_string(t.scan_in) << "\n";
+    for (std::size_t u = 0; u < t.seq.frames.size(); ++u) {
+      out << "vector " << sim::to_string(t.seq.frames[u]) << " expect "
+          << sim::to_string(r.outputs[u]) << "\n";
+    }
+    out << "scanout " << sim::to_string(r.scan_out) << "\n";
+  }
+}
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,47 @@
+// Expected fault-free responses for scan tests.
+//
+// The paper writes a test as tau_i = (SI_i, T_i, SO_i): the expected
+// scan-out vector SO_i is part of the test.  This module computes SO_i
+// (and the per-frame primary-output responses a tester compares against)
+// by fault-free simulation, and serializes complete test programs.
+//
+// Responses may contain X where the circuit state is not fully
+// determined (e.g. partial scan); a tester masks those positions.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "tcomp/scan_test.hpp"
+
+namespace scanc::tcomp {
+
+/// Expected fault-free behaviour of one scan test.
+struct TestResponse {
+  /// Expected PO values after each time unit; outputs[t] matches frame t.
+  std::vector<sim::Vector3> outputs;
+  /// Expected scan-out vector (state captured after the final frame).
+  sim::Vector3 scan_out;
+};
+
+/// Computes the fault-free response of one test.
+[[nodiscard]] TestResponse expected_response(const netlist::Circuit& c,
+                                             const ScanTest& test);
+
+/// Computes responses for a whole set, in order.
+[[nodiscard]] std::vector<TestResponse> expected_responses(
+    const netlist::Circuit& c, const ScanTestSet& set);
+
+/// Writes a complete test program: for every test, the scan-in vector,
+/// each at-speed vector with its expected PO response, and the expected
+/// scan-out vector.
+///
+///   test <index>
+///   scanin <bits>
+///   vector <pi-bits> expect <po-bits>
+///   scanout <bits>
+void write_test_program(const netlist::Circuit& c, const ScanTestSet& set,
+                        std::ostream& out);
+
+}  // namespace scanc::tcomp

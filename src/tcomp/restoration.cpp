@@ -1,0 +1,141 @@
+#include "tcomp/restoration.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace scanc::tcomp {
+
+using fault::FaultClassId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using sim::Sequence;
+
+namespace {
+
+/// Builds the subsequence of `seq` selected by `kept`.
+Sequence build_subsequence(const Sequence& seq,
+                           const std::vector<char>& kept) {
+  Sequence out;
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    if (kept[u]) out.frames.push_back(seq.frames[u]);
+  }
+  return out;
+}
+
+}  // namespace
+
+OmissionResult restore_vectors(FaultSimulator& fsim, const ScanTest& test,
+                               const FaultSet& required,
+                               const RestorationOptions& options) {
+  OmissionResult result;
+  result.test = test;
+  const std::size_t len = test.seq.length();
+  if (len <= 1 || required.none()) return result;
+
+  // Detection times under the full sequence define the processing order
+  // and each fault's restoration anchor.
+  const auto times =
+      fsim.prefix_detection(test.scan_in, test.seq, required);
+  assert(times.all_detected());
+  const std::size_t nf = times.targets.size();
+  std::vector<std::size_t> anchor(nf);
+  for (std::size_t k = 0; k < nf; ++k) {
+    // Scan-out-detected faults anchor at the final vector.
+    anchor[k] = times.first_po[k] >= 0
+                    ? static_cast<std::size_t>(times.first_po[k])
+                    : len - 1;
+  }
+  std::vector<std::size_t> order(nf);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return anchor[a] > anchor[b];
+  });
+
+  std::vector<char> kept(len, 0);
+  std::size_t budget =
+      options.budget_factor == 0 ? std::numeric_limits<std::size_t>::max()
+                                 : options.budget_factor * len;
+  const std::size_t step = std::max<std::size_t>(options.restore_step, 1);
+
+  // Restores up to `step` unkept vectors at or below `from`, scanning
+  // downward and wrapping to the highest unkept position if the region
+  // below `from` is exhausted.  Returns false when everything is kept.
+  const auto restore_near = [&](std::size_t from) {
+    std::size_t added = 0;
+    std::size_t u = std::min(from, len - 1) + 1;
+    while (u-- > 0 && added < step) {
+      if (!kept[u]) {
+        kept[u] = 1;
+        ++added;
+      }
+    }
+    for (std::size_t v = len; added < step && v-- > 0;) {
+      if (!kept[v]) {
+        kept[v] = 1;
+        ++added;
+      }
+    }
+    return added > 0;
+  };
+
+  // Main restoration sweep, fault groups in decreasing anchor order.
+  for (std::size_t base = 0; base < nf; base += 63) {
+    const std::size_t n = std::min<std::size_t>(63, nf - base);
+    FaultSet group(fsim.num_classes());
+    std::size_t max_anchor = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      group.set(times.targets[order[base + k]]);
+      max_anchor = std::max(max_anchor, anchor[order[base + k]]);
+    }
+    // Make sure each fault's anchor vector itself is restored first.
+    for (std::size_t k = 0; k < n; ++k) kept[anchor[order[base + k]]] = 1;
+
+    for (;;) {
+      const Sequence sub = build_subsequence(test.seq, kept);
+      if (budget <= sub.length()) {
+        budget = 0;
+        break;
+      }
+      budget -= sub.length();
+      const auto check =
+          fsim.prefix_detection(result.test.scan_in, sub, group);
+      FaultSet undet = group;
+      undet -= check.detected;
+      if (undet.none()) break;
+      if (!restore_near(max_anchor)) break;
+    }
+    if (budget == 0) break;
+  }
+
+  // Correction loop: restoring for later groups can disturb earlier
+  // verifications, and the budget may have cut the sweep short; keep
+  // restoring until the complete required set is detected.
+  for (;;) {
+    const Sequence sub = build_subsequence(test.seq, kept);
+    const auto check =
+        fsim.prefix_detection(result.test.scan_in, sub, required);
+    if (check.all_detected()) {
+      result.test.seq = sub;
+      result.omitted = len - sub.length();
+      return result;
+    }
+    // Restore near the highest-anchored still-undetected fault.
+    std::size_t from = 0;
+    for (std::size_t k = 0; k < nf; ++k) {
+      if (!check.detected.test(times.targets[k])) {
+        from = std::max(from, anchor[k]);
+      }
+    }
+    if (!restore_near(from)) {
+      // Everything restored: sub == full sequence, which detects all.
+      result.test.seq = test.seq;
+      result.omitted = 0;
+      return result;
+    }
+  }
+}
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,40 @@
+// Vector-restoration static compaction ([11]: Pomeranz & Reddy,
+// ICCD 1997) — the alternative Phase-2 engine.
+//
+// Where omission (tcomp/omission.hpp) starts from the full sequence and
+// removes vectors, restoration starts from the *empty* sequence and adds
+// back only the vectors needed: faults are processed in decreasing order
+// of their detection time, and for each still-undetected fault the
+// vectors immediately preceding (and including) its detection time are
+// restored until the fault is detected by the restored subsequence.
+//
+// Restoring vectors for one fault can perturb the state trajectory seen
+// by a previously verified fault, so the procedure finishes with a
+// correction loop: re-verify everything and keep restoring until the
+// whole required set is detected (the full sequence is the worst case,
+// so termination is guaranteed and coverage preservation is exact).
+#pragma once
+
+#include "fault/fault_sim.hpp"
+#include "tcomp/omission.hpp"
+
+namespace scanc::tcomp {
+
+struct RestorationOptions {
+  /// Vectors restored per unsatisfied check (larger = fewer simulations,
+  /// coarser result).
+  std::size_t restore_step = 1;
+  /// Upper bound on simulated frames across all checks, as a multiple of
+  /// the sequence length (0 = unlimited); on exhaustion the remaining
+  /// unrestored vectors are restored wholesale (coverage still exact).
+  std::size_t budget_factor = 96;
+};
+
+/// Compacts `test` by vector restoration, preserving detection of every
+/// fault in `required` (which `test` must detect on entry).  Returns the
+/// same result shape as omit_vectors.
+[[nodiscard]] OmissionResult restore_vectors(
+    fault::FaultSimulator& fsim, const ScanTest& test,
+    const fault::FaultSet& required, const RestorationOptions& options = {});
+
+}  // namespace scanc::tcomp

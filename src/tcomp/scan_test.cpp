@@ -1,0 +1,56 @@
+#include "tcomp/scan_test.hpp"
+
+#include <algorithm>
+
+namespace scanc::tcomp {
+
+std::uint64_t clock_cycles(const ScanTestSet& set,
+                           std::size_t num_state_vars) {
+  return clock_cycles(set, num_state_vars, 1);
+}
+
+std::uint64_t clock_cycles(const ScanTestSet& set,
+                           std::size_t num_state_vars, std::size_t chains) {
+  if (set.empty()) return 0;
+  const std::uint64_t shift =
+      chains == 0 ? num_state_vars
+                  : (num_state_vars + chains - 1) / chains;
+  return (set.size() + 1) * shift + set.total_vectors();
+}
+
+AtSpeedStats at_speed_stats(const ScanTestSet& set) {
+  AtSpeedStats s;
+  if (set.empty()) return s;
+  s.min_length = set.tests.front().length();
+  s.max_length = s.min_length;
+  std::size_t total = 0;
+  for (const ScanTest& t : set.tests) {
+    total += t.length();
+    s.min_length = std::min(s.min_length, t.length());
+    s.max_length = std::max(s.max_length, t.length());
+  }
+  s.average = static_cast<double>(total) / static_cast<double>(set.size());
+  return s;
+}
+
+void write_test_set(const ScanTestSet& set, std::ostream& out) {
+  for (std::size_t i = 0; i < set.tests.size(); ++i) {
+    const ScanTest& t = set.tests[i];
+    out << "test " << i << "\n";
+    out << "scanin " << sim::to_string(t.scan_in) << "\n";
+    for (const sim::Vector3& v : t.seq.frames) {
+      out << "vector " << sim::to_string(v) << "\n";
+    }
+  }
+}
+
+fault::FaultSet coverage(fault::FaultSimulator& fsim, const ScanTestSet& set,
+                         const fault::FaultSet* targets) {
+  fault::FaultSet covered(fsim.num_classes());
+  for (const ScanTest& t : set.tests) {
+    covered |= fsim.detect_scan_test(t.scan_in, t.seq, targets);
+  }
+  return covered;
+}
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,87 @@
+// Scan tests, scan test sets, and the paper's cost metrics.
+//
+// A scan test is tau = (SI, T): scan in SI, apply the primary-input
+// sequence T at functional speed (one vector per clock), scan out the
+// final state.  (The expected scan-out response SO is implied by fault-
+// free simulation and omitted from the data structure, as in the paper's
+// Section 3 notation.)
+//
+// Test application time for a set {tau_1..tau_k}, with the scan clock
+// running at the functional rate:
+//
+//     N_cyc = (k+1) * N_SV + sum_j L(T_j)
+//
+// (k+1 scan operations of N_SV cycles each — consecutive tests share one
+// scan-out/scan-in overlap — plus one cycle per applied vector.)
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "fault/fault_sim.hpp"
+#include "sim/sequence.hpp"
+
+namespace scanc::tcomp {
+
+/// One scan test (SI_i, T_i).
+struct ScanTest {
+  sim::Vector3 scan_in;  ///< fully-specified scan-in state
+  sim::Sequence seq;     ///< at-speed primary-input sequence, length >= 1
+
+  [[nodiscard]] std::size_t length() const noexcept { return seq.length(); }
+};
+
+/// An ordered set of scan tests.
+struct ScanTestSet {
+  std::vector<ScanTest> tests;
+
+  [[nodiscard]] std::size_t size() const noexcept { return tests.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tests.empty(); }
+
+  /// Total number of primary-input vectors across all tests.
+  [[nodiscard]] std::size_t total_vectors() const noexcept {
+    std::size_t n = 0;
+    for (const ScanTest& t : tests) n += t.length();
+    return n;
+  }
+};
+
+/// Clock cycles to apply the set: (k+1)*N_SV + sum L(T_j).
+/// An empty set costs 0.
+[[nodiscard]] std::uint64_t clock_cycles(const ScanTestSet& set,
+                                         std::size_t num_state_vars);
+
+/// Multi-scan-chain variant: with `chains` balanced scan chains a scan
+/// operation shifts ceil(N_SV / chains) cycles, so
+/// N_cyc = (k+1)*ceil(N_SV/chains) + sum L(T_j).  The paper assumes one
+/// chain; more chains shrink the scan component and therefore the
+/// *relative* advantage of long at-speed sequences.
+[[nodiscard]] std::uint64_t clock_cycles(const ScanTestSet& set,
+                                         std::size_t num_state_vars,
+                                         std::size_t chains);
+
+/// At-speed sequence-length statistics (paper Table 4).
+struct AtSpeedStats {
+  double average = 0.0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+};
+
+[[nodiscard]] AtSpeedStats at_speed_stats(const ScanTestSet& set);
+
+/// Union of fault classes detected by the whole set (each test applied
+/// with its own scan-in/scan-out).
+[[nodiscard]] fault::FaultSet coverage(fault::FaultSimulator& fsim,
+                                       const ScanTestSet& set,
+                                       const fault::FaultSet* targets =
+                                           nullptr);
+
+/// Writes the set in a line-oriented text format a tester flow can
+/// consume:
+///   test <index>
+///   scanin <bits>          # flip_flops() order
+///   vector <bits>          # one line per at-speed PI vector
+void write_test_set(const ScanTestSet& set, std::ostream& out);
+
+}  // namespace scanc::tcomp

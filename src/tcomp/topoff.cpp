@@ -1,0 +1,59 @@
+#include "tcomp/topoff.hpp"
+
+#include <limits>
+
+namespace scanc::tcomp {
+
+using fault::FaultClassId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+TopOffResult top_off(FaultSimulator& fsim,
+                     std::span<const atpg::CombTest> comb,
+                     const FaultSet& undetected) {
+  TopOffResult result;
+  result.uncoverable = FaultSet(fsim.num_classes());
+  if (undetected.none()) return result;
+
+  // Simulate every candidate once over the undetected faults.
+  std::vector<FaultSet> det_sets;
+  det_sets.reserve(comb.size());
+  std::vector<std::uint32_t> n_of(fsim.num_classes(), 0);
+  std::vector<std::size_t> last_of(fsim.num_classes(), 0);
+  for (std::size_t j = 0; j < comb.size(); ++j) {
+    FaultSet det = atpg::detect_comb_test(fsim, comb[j], &undetected);
+    det.for_each([&](std::size_t f) {
+      ++n_of[f];
+      last_of[f] = j;
+    });
+    det_sets.push_back(std::move(det));
+  }
+
+  FaultSet remaining = undetected;
+  remaining.for_each([&](std::size_t f) {
+    if (n_of[f] == 0) result.uncoverable.set(f);
+  });
+  remaining -= result.uncoverable;
+
+  while (!remaining.none()) {
+    // The fault with the fewest detecting tests (lowest id on ties).
+    FaultClassId pick = 0;
+    std::uint32_t pick_n = std::numeric_limits<std::uint32_t>::max();
+    remaining.for_each([&](std::size_t f) {
+      if (n_of[f] < pick_n) {
+        pick_n = n_of[f];
+        pick = static_cast<FaultClassId>(f);
+      }
+    });
+    const std::size_t j = last_of[pick];
+    result.chosen.push_back(j);
+    ScanTest t;
+    t.scan_in = comb[j].state;
+    t.seq.frames.push_back(comb[j].inputs);
+    result.tests.tests.push_back(std::move(t));
+    remaining -= det_sets[j];
+  }
+  return result;
+}
+
+}  // namespace scanc::tcomp

@@ -1,0 +1,38 @@
+// Phase 3 of the DAC-2001 procedure: complete fault coverage (Section
+// 3.4).
+//
+// Every combinational test c_j defines a length-one scan test
+// tau_j = (c_j_state, (c_j_inputs)).  For the faults left undetected by
+// tau_seq, the phase computes per-fault detection counts n(f) and the
+// index last(f) of the last test detecting f, then repeatedly selects the
+// test tau_last(f) for the fault with minimum n(f) until no targeted
+// fault remains.  Faults with n(f) = 1 force their unique test into the
+// set and are therefore covered first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_sim.hpp"
+#include "tcomp/scan_test.hpp"
+
+namespace scanc::tcomp {
+
+struct TopOffResult {
+  /// Selected length-one scan tests, in selection order.
+  ScanTestSet tests;
+  /// Indices into C of the selected tests.
+  std::vector<std::size_t> chosen;
+  /// Faults in the requested set that no test in C detects (left
+  /// uncovered; empty when C is complete for the detectable faults).
+  fault::FaultSet uncoverable;
+};
+
+/// Selects length-one tests from `comb` covering every fault in
+/// `undetected` that C can detect.
+[[nodiscard]] TopOffResult top_off(fault::FaultSimulator& fsim,
+                                   std::span<const atpg::CombTest> comb,
+                                   const fault::FaultSet& undetected);
+
+}  // namespace scanc::tcomp

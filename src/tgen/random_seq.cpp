@@ -1,0 +1,13 @@
+#include "tgen/random_seq.hpp"
+
+#include "util/rng.hpp"
+
+namespace scanc::tgen {
+
+sim::Sequence random_test_sequence(const netlist::Circuit& circuit,
+                                   std::size_t length, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x7a95eedULL);
+  return sim::random_sequence(circuit.num_inputs(), length, rng);
+}
+
+}  // namespace scanc::tgen

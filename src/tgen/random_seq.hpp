@@ -1,0 +1,19 @@
+// Random test-sequence source for T0.
+//
+// The paper's Table 5 variant replaces the ATPG-generated sequence T0
+// with a plain random primary-input sequence of length 1000; this module
+// provides that source.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+#include "sim/sequence.hpp"
+
+namespace scanc::tgen {
+
+/// Random fully-specified PI sequence of the given length (paper: 1000).
+[[nodiscard]] sim::Sequence random_test_sequence(
+    const netlist::Circuit& circuit, std::size_t length, std::uint64_t seed);
+
+}  // namespace scanc::tgen

@@ -1,0 +1,167 @@
+// Dynamic bitset tuned for fault-set bookkeeping: fixed size at
+// construction, word-level access for bit-parallel engines, fast
+// population count and set algebra.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scanc::util {
+
+/// Fixed-size dynamic bitset.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset of `size` bits, all clear (or all set).
+  explicit Bitset(std::size_t size, bool value = false)
+      : size_(size),
+        words_((size + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  /// Clears all bits.
+  void clear() { words_.assign(words_.size(), 0); }
+
+  /// Sets all bits.
+  void fill() {
+    words_.assign(words_.size(), ~0ULL);
+    trim();
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// True if no bit is set.
+  [[nodiscard]] bool none() const noexcept {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// True if all bits are set.
+  [[nodiscard]] bool all() const noexcept { return count() == size_; }
+
+  /// True if any bit of `other` is outside this set.  Sizes must match.
+  [[nodiscard]] bool contains(const Bitset& other) const {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (other.words_[i] & ~words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Index of the first set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return i * 64 + static_cast<std::size_t>(std::countr_zero(words_[i]));
+      }
+    }
+    return size_;
+  }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t from) const noexcept {
+    if (from >= size_) return size_;
+    std::size_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~0ULL << (from & 63));
+    while (true) {
+      if (w != 0) {
+        return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      }
+      if (++wi >= words_.size()) return size_;
+      w = words_[wi];
+    }
+  }
+
+  /// Invokes `fn(index)` for every set bit, in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  Bitset& operator|=(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  Bitset& operator&=(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  /// Removes from this set every bit present in `o` (set difference).
+  Bitset& operator-=(const Bitset& o) {
+    assert(size_ == o.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~o.words_[i];
+    }
+    return *this;
+  }
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator-(Bitset a, const Bitset& b) { return a -= b; }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Raw word access (for bit-parallel detection recording).
+  [[nodiscard]] std::uint64_t word(std::size_t wi) const {
+    return words_[wi];
+  }
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+
+ private:
+  void trim() {
+    if (size_ & 63) {
+      words_.back() &= (1ULL << (size_ & 63)) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace scanc::util

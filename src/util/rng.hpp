@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded via
+// splitmix64).  Every stochastic component in the library takes an
+// explicit seed so experiments are reproducible bit-for-bit across runs
+// and platforms; std::mt19937 distributions are avoided because their
+// results are not portable across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace scanc::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic 64-bit generator.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Next 64 uniformly random bits.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift method.
+  /// `bound` must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection-free approximation is fine for simulation workloads; the
+    // modulo bias of multiply-high is < 2^-64 per draw.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability numer/denom.
+  constexpr bool chance(std::uint64_t numer, std::uint64_t denom) noexcept {
+    return below(denom) < numer;
+  }
+
+  /// Random bit.
+  constexpr bool coin() noexcept { return (next() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace scanc::util

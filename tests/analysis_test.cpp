@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.hpp"
+#include "gen/embedded.hpp"
+#include "netlist/analysis.hpp"
+
+namespace scanc::netlist {
+namespace {
+
+TEST(Analysis, FaninConeOfS27Output) {
+  const Circuit c = gen::make_s27();
+  // G17 = NOT(G11); G11 = NOR(G5, G9); G9 = NAND(G16, G15); ...
+  const util::Bitset cone = fanin_cone(c, c.find("G17"));
+  for (const char* name :
+       {"G17", "G11", "G5", "G9", "G16", "G15", "G8", "G12", "G14", "G3",
+        "G1", "G7", "G6", "G0"}) {
+    EXPECT_TRUE(cone.test(c.find(name))) << name;
+  }
+  // G10 and G13 feed only flip-flop D pins: not in G17's in-cycle cone.
+  EXPECT_FALSE(cone.test(c.find("G10")));
+  EXPECT_FALSE(cone.test(c.find("G13")));
+}
+
+TEST(Analysis, FaninConeStopsAtFlipFlops) {
+  const Circuit c = gen::make_s27();
+  // The cone contains G5 (a DFF output) but not G5's next-state logic.
+  const util::Bitset cone = fanin_cone(c, c.find("G11"));
+  EXPECT_TRUE(cone.test(c.find("G5")));
+  // G10 drives G5's D pin only.
+  EXPECT_FALSE(cone.test(c.find("G10")));
+}
+
+TEST(Analysis, FanoutConeOfInput) {
+  const Circuit c = gen::make_s27();
+  const util::Bitset cone = fanout_cone(c, c.find("G0"));
+  // G0 -> G14 -> {G8, G10}; G8 -> {G15, G16} -> G9 -> G11 -> {G17, ...}.
+  for (const char* name :
+       {"G0", "G14", "G8", "G10", "G15", "G16", "G9", "G11", "G17"}) {
+    EXPECT_TRUE(cone.test(c.find(name))) << name;
+  }
+  // The cone does not cross flip-flops: G5/G6/G7 are capture points, so
+  // logic reachable only through them (G12, G13) stays outside.
+  EXPECT_FALSE(cone.test(c.find("G5")));
+  EXPECT_FALSE(cone.test(c.find("G6")));
+  EXPECT_FALSE(cone.test(c.find("G12")));
+  EXPECT_FALSE(cone.test(c.find("G13")));
+}
+
+TEST(Analysis, SupportOfS27Output) {
+  const Circuit c = gen::make_s27();
+  const std::vector<NodeId> sup = support(c, c.find("G17"));
+  // G17 depends on all four PIs and all three state bits... except G2,
+  // which only reaches G13 (a D pin).
+  std::vector<std::string> names;
+  for (const NodeId id : sup) names.push_back(c.node(id).name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "G0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "G1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "G3"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "G2"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "G5"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "G6"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "G7"), names.end());
+}
+
+TEST(Analysis, DuplicateGatesFindsStructuralTwins) {
+  CircuitBuilder b("dups");
+  b.add_input("a");
+  b.add_input("x");
+  b.add_gate(GateType::And, "g1", {"a", "x"});
+  b.add_gate(GateType::And, "g2", {"x", "a"});  // same multiset
+  b.add_gate(GateType::Or, "g3", {"a", "x"});   // different type
+  b.add_gate(GateType::Xor, "o", {"g1", "g2"});
+  b.mark_output("o");
+  b.mark_output("g3");
+  const Circuit c = b.build();
+  const auto dups = duplicate_gates(c);
+  ASSERT_EQ(dups.size(), 1u);
+  const auto names = std::make_pair(c.node(dups[0].first).name,
+                                    c.node(dups[0].second).name);
+  EXPECT_TRUE((names.first == "g1" && names.second == "g2") ||
+              (names.first == "g2" && names.second == "g1"));
+}
+
+TEST(Analysis, NoDuplicatesInS27) {
+  EXPECT_TRUE(duplicate_gates(gen::make_s27()).empty());
+}
+
+TEST(Analysis, ShapeStatsOnS27) {
+  const ShapeStats s = shape_stats(gen::make_s27());
+  EXPECT_EQ(s.max_fanout, 3u);  // G11 feeds G17, G10, G6
+  EXPECT_EQ(s.max_fanin, 2u);
+  EXPECT_EQ(s.fanout_stems, 4u);  // G14, G8, G11, G12
+  EXPECT_GT(s.avg_fanout, 1.0);
+  EXPECT_GT(s.avg_fanin, 1.0);
+}
+
+TEST(Analysis, GeneratedCircuitsHaveReasonableShape) {
+  gen::GenParams p;
+  p.name = "shape";
+  p.seed = 5;
+  p.num_inputs = 6;
+  p.num_outputs = 4;
+  p.num_flip_flops = 10;
+  p.num_gates = 150;
+  const Circuit c = gen::generate_circuit(p);
+  const ShapeStats s = shape_stats(c);
+  EXPECT_GT(s.fanout_stems, 10u);
+  EXPECT_LT(s.avg_fanin, 4.0);
+  // The reconvergence-avoidance keeps duplicates rare.
+  EXPECT_LT(duplicate_gates(c).size(), c.num_gates() / 10);
+}
+
+}  // namespace
+}  // namespace scanc::netlist

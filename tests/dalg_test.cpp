@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "atpg/dalg.hpp"
+#include "atpg/podem.hpp"
+#include "atpg/val5.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/circuit_gen.hpp"
+#include "gen/embedded.hpp"
+#include "util/rng.hpp"
+
+namespace scanc::atpg {
+namespace {
+
+using fault::Fault;
+using fault::FaultClassId;
+using fault::FaultList;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using netlist::Circuit;
+using netlist::GateType;
+using sim::V3;
+
+TEST(Val5, ComponentsRoundTrip) {
+  for (const V5 v : {V5::Zero, V5::One, V5::D, V5::Db}) {
+    EXPECT_EQ(compose(good_of(v), bad_of(v)), v);
+  }
+  EXPECT_EQ(compose(V3::X, V3::One), V5::X);
+  EXPECT_EQ(compose(V3::One, V3::X), V5::X);
+}
+
+TEST(Val5, ClassicTables) {
+  EXPECT_EQ(v5_not(V5::D), V5::Db);
+  EXPECT_EQ(v5_not(V5::Db), V5::D);
+  EXPECT_EQ(v5_and(V5::D, V5::One), V5::D);
+  EXPECT_EQ(v5_and(V5::D, V5::Zero), V5::Zero);
+  EXPECT_EQ(v5_and(V5::D, V5::Db), V5::Zero);  // good 1&0=0, bad 0&1=0
+  EXPECT_EQ(v5_and(V5::D, V5::X), V5::X);
+  EXPECT_EQ(v5_or(V5::D, V5::Db), V5::One);
+  EXPECT_EQ(v5_or(V5::D, V5::Zero), V5::D);
+  EXPECT_EQ(v5_xor(V5::D, V5::D), V5::Zero);
+  EXPECT_EQ(v5_xor(V5::D, V5::One), V5::Db);
+  EXPECT_TRUE(is_error(V5::D));
+  EXPECT_FALSE(is_error(V5::One));
+}
+
+TEST(Dalg, FindsTestForSimpleAndGate) {
+  netlist::CircuitBuilder b("and2");
+  b.add_input("a");
+  b.add_input("b");
+  b.add_gate(GateType::And, "o", {"a", "b"});
+  b.mark_output("o");
+  const Circuit c = b.build();
+  Dalg dalg(c);
+  const PodemResult r =
+      dalg.generate(Fault{c.find("o"), sim::kStemPin, false});
+  ASSERT_EQ(r.status, PodemStatus::Detected);
+  EXPECT_EQ(r.cube.inputs[0], V3::One);
+  EXPECT_EQ(r.cube.inputs[1], V3::One);
+}
+
+TEST(Dalg, ProvesRedundantFaultUntestable) {
+  netlist::CircuitBuilder b("taut");
+  b.add_input("a");
+  b.add_gate(GateType::Not, "na", {"a"});
+  b.add_gate(GateType::Or, "o", {"a", "na"});
+  b.mark_output("o");
+  const Circuit c = b.build();
+  Dalg dalg(c);
+  EXPECT_EQ(dalg.generate(Fault{c.find("o"), sim::kStemPin, true}).status,
+            PodemStatus::Untestable);
+  EXPECT_EQ(dalg.generate(Fault{c.find("o"), sim::kStemPin, false}).status,
+            PodemStatus::Detected);
+}
+
+// Applies a cube (random-filled) and checks detection via the simulator.
+bool cube_detects(const Circuit& c, const FaultList& fl, FaultClassId id,
+                  const TestCube& cube, std::uint64_t seed) {
+  util::Rng rng(seed);
+  sim::Vector3 state = cube.state;
+  sim::Vector3 inputs = cube.inputs;
+  sim::randomize_x(state, rng);
+  sim::randomize_x(inputs, rng);
+  FaultSimulator fsim(c, fl);
+  sim::Sequence seq;
+  seq.frames.push_back(inputs);
+  return fsim.detect_scan_test(state, seq).test(id);
+}
+
+// Cross-validation: the two engines agree on testability, and every
+// D-algorithm cube detects its fault.
+class DalgVsPodem : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DalgVsPodem, EnginesAgree) {
+  gen::GenParams p;
+  p.name = "dvp";
+  p.seed = GetParam() * 17 + 3;
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_flip_flops = 4;
+  p.num_gates = 45;
+  const Circuit c = gen::generate_circuit(p);
+  const FaultList fl = FaultList::build(c);
+  Podem podem(c);
+  Dalg dalg(c);
+
+  for (FaultClassId id = 0; id < fl.num_classes(); ++id) {
+    const Fault& f = fl.representative(id);
+    const PodemResult a = podem.generate(f);
+    const PodemResult b = dalg.generate(f);
+    if (a.status != PodemStatus::Aborted &&
+        b.status != PodemStatus::Aborted) {
+      EXPECT_EQ(a.status == PodemStatus::Detected,
+                b.status == PodemStatus::Detected)
+          << fault_name(f, c) << " PODEM=" << static_cast<int>(a.status)
+          << " DALG=" << static_cast<int>(b.status);
+    }
+    if (b.status == PodemStatus::Detected) {
+      EXPECT_TRUE(cube_detects(c, fl, id, b.cube, GetParam()))
+          << fault_name(f, c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DalgVsPodem,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Dalg, WorksOnS27) {
+  const Circuit c = gen::make_s27();
+  const FaultList fl = FaultList::build(c);
+  Dalg dalg(c);
+  std::size_t detected = 0;
+  for (FaultClassId id = 0; id < fl.num_classes(); ++id) {
+    const PodemResult r = dalg.generate(fl.representative(id));
+    if (r.status == PodemStatus::Detected) {
+      ++detected;
+      EXPECT_TRUE(cube_detects(c, fl, id, r.cube, 7));
+    }
+  }
+  // Every s27 fault is combinationally testable in the scan view.
+  EXPECT_EQ(detected, fl.num_classes());
+}
+
+}  // namespace
+}  // namespace scanc::atpg

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "expt/options.hpp"
+#include "expt/runner.hpp"
+#include "expt/tables.hpp"
+
+namespace scanc::expt {
+namespace {
+
+CircuitRun sample_run() {
+  CircuitRun r;
+  r.name = "s298";
+  r.flip_flops = 14;
+  r.comb_tests = 24;
+  r.faults = 308;
+  r.detectable = 305;
+  r.atpg.det_t0 = 265;
+  r.atpg.det_scan = 279;
+  r.atpg.det_final = 305;
+  r.atpg.len_t0 = 117;
+  r.atpg.len_scan = 68;
+  r.atpg.added = 10;
+  r.atpg.cyc_init = 246;
+  r.atpg.cyc_comp = 218;
+  r.atpg.atspeed_ave = 8.67;
+  r.atpg.atspeed_min = 1;
+  r.atpg.atspeed_max = 68;
+  r.random = r.atpg;
+  r.random.len_t0 = 1000;
+  r.cyc_dyn = 376;
+  r.cyc_4_init = 374;
+  r.cyc_4_comp = 318;
+  r.atspeed_ave_4 = 1.2;
+  r.atspeed_min_4 = 1;
+  r.atspeed_max_4 = 2;
+  r.seconds = 1.5;
+  return r;
+}
+
+TEST(RunnerCache, SerializationRoundTrips) {
+  const CircuitRun r = sample_run();
+  const std::string text = serialize_run(r);
+  const auto back = deserialize_run(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, r.name);
+  EXPECT_EQ(back->flip_flops, r.flip_flops);
+  EXPECT_EQ(back->faults, r.faults);
+  EXPECT_EQ(back->atpg.det_scan, r.atpg.det_scan);
+  EXPECT_EQ(back->atpg.cyc_comp, r.atpg.cyc_comp);
+  EXPECT_DOUBLE_EQ(back->atspeed_ave_4, r.atspeed_ave_4);
+  EXPECT_EQ(back->random.len_t0, r.random.len_t0);
+  EXPECT_EQ(back->cyc_dyn, r.cyc_dyn);
+}
+
+TEST(RunnerCache, RejectsCorruptAndStaleInput) {
+  EXPECT_FALSE(deserialize_run("").has_value());
+  EXPECT_FALSE(deserialize_run("version=0\nname=x\n").has_value());
+  std::string text = serialize_run(sample_run());
+  text = text.substr(0, text.size() / 2);  // truncated
+  EXPECT_FALSE(deserialize_run(text).has_value());
+}
+
+TEST(Options, ParsesFlags) {
+  const char* argv[] = {"bin",          "--circuits=s298,b01", "--full",
+                        "--seed=42",    "--fresh",             "--cache=/tmp/x",
+                        "--no-dynamic", "--verbose"};
+  const BenchConfig cfg = parse_bench_args(8, argv);
+  ASSERT_EQ(cfg.circuits.size(), 2u);
+  EXPECT_EQ(cfg.circuits[0], "s298");
+  EXPECT_EQ(cfg.circuits[1], "b01");
+  EXPECT_TRUE(cfg.include_large);
+  EXPECT_TRUE(cfg.runner.force_fresh);
+  EXPECT_TRUE(cfg.runner.verbose);
+  EXPECT_FALSE(cfg.runner.run_dynamic_baseline);
+  EXPECT_EQ(cfg.runner.seed, 42u);
+  EXPECT_EQ(cfg.runner.cache_path, "/tmp/x");
+}
+
+TEST(Options, RejectsUnknownFlagAndCircuit) {
+  const char* bad_flag[] = {"bin", "--bogus"};
+  EXPECT_THROW((void)parse_bench_args(2, bad_flag), std::invalid_argument);
+  const char* bad_circuit[] = {"bin", "--circuits=nosuch"};
+  EXPECT_THROW((void)parse_bench_args(2, bad_circuit),
+               std::invalid_argument);
+}
+
+TEST(Tables, AllPrintersProduceRows) {
+  const std::vector<CircuitRun> runs = {sample_run()};
+  for (const auto printer : {print_table1, print_table2, print_table3,
+                             print_table4, print_table5}) {
+    std::ostringstream out;
+    printer(runs, out);
+    EXPECT_NE(out.str().find("s298"), std::string::npos);
+    EXPECT_GT(out.str().size(), 80u);
+  }
+  std::ostringstream md;
+  write_markdown_report(runs, md);
+  EXPECT_NE(md.str().find("| s298 |"), std::string::npos);
+}
+
+TEST(Tables, Table3TotalsExcludeLarge) {
+  CircuitRun small = sample_run();
+  CircuitRun large = sample_run();
+  large.name = "s35932";
+  large.cyc_4_init = 1000000;  // would dominate the total if included
+  std::ostringstream out;
+  print_table3({small, large}, out);
+  const std::string text = out.str();
+  const std::size_t total_pos = text.find("total*");
+  ASSERT_NE(total_pos, std::string::npos);
+  EXPECT_EQ(text.find("1000374", total_pos), std::string::npos)
+      << "total must not include s35932";
+}
+
+TEST(Runner, EndToEndWithCacheOnTinyCircuit) {
+  // Use the smallest suite entry end-to-end, writing a real cache file.
+  const auto entry = gen::find_suite_entry("b02");
+  ASSERT_TRUE(entry.has_value());
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "scanc_test_cache").string();
+  RunnerOptions opt;
+  opt.cache_path = cache;
+  opt.force_fresh = true;
+  opt.random_t0_length = 200;  // keep the test quick
+  const CircuitRun fresh = run_circuit(*entry, opt);
+  EXPECT_EQ(fresh.name, "b02");
+  EXPECT_GT(fresh.faults, 0u);
+  EXPECT_GE(fresh.atpg.det_final, fresh.atpg.det_scan);
+  EXPECT_GE(fresh.atpg.det_scan, fresh.atpg.det_t0);
+  EXPECT_LE(fresh.atpg.cyc_comp, fresh.atpg.cyc_init);
+
+  // Second call must hit the cache and reproduce the result.
+  opt.force_fresh = false;
+  const CircuitRun cached = run_circuit(*entry, opt);
+  EXPECT_EQ(serialize_run(cached), serialize_run(fresh));
+  std::filesystem::remove(cache + ".b02.seed1");
+}
+
+}  // namespace
+}  // namespace scanc::expt

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.hpp"
+#include "gen/suite.hpp"
+#include "netlist/bench_writer.hpp"
+#include "sim/seq_sim.hpp"
+#include "util/rng.hpp"
+
+namespace scanc::gen {
+namespace {
+
+using netlist::Circuit;
+
+GenParams small_params(std::uint64_t seed) {
+  GenParams p;
+  p.name = "t";
+  p.seed = seed;
+  p.num_inputs = 5;
+  p.num_outputs = 4;
+  p.num_flip_flops = 8;
+  p.num_gates = 80;
+  return p;
+}
+
+TEST(CircuitGen, MatchesRequestedInterface) {
+  const Circuit c = generate_circuit(small_params(42));
+  EXPECT_EQ(c.num_inputs(), 5u);
+  EXPECT_EQ(c.num_flip_flops(), 8u);
+  // POs may dedup by one when the parity root coincides with a chosen PO.
+  EXPECT_GE(c.num_outputs(), 3u);
+  EXPECT_LE(c.num_outputs(), 4u);
+}
+
+TEST(CircuitGen, GateCountNearTarget) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    GenParams p = small_params(seed);
+    p.num_gates = 200;
+    const Circuit c = generate_circuit(p);
+    EXPECT_GE(c.num_gates(), 150u) << seed;
+    EXPECT_LE(c.num_gates(), 260u) << seed;
+  }
+}
+
+TEST(CircuitGen, DeterministicForSameSeed) {
+  const Circuit a = generate_circuit(small_params(7));
+  const Circuit b = generate_circuit(small_params(7));
+  EXPECT_EQ(netlist::to_bench_string(a), netlist::to_bench_string(b));
+}
+
+TEST(CircuitGen, DifferentSeedsDiffer) {
+  const Circuit a = generate_circuit(small_params(7));
+  const Circuit b = generate_circuit(small_params(8));
+  EXPECT_NE(netlist::to_bench_string(a), netlist::to_bench_string(b));
+}
+
+TEST(CircuitGen, RejectsDegenerateParams) {
+  GenParams p = small_params(1);
+  p.num_inputs = 0;
+  EXPECT_THROW((void)generate_circuit(p), std::invalid_argument);
+  p = small_params(1);
+  p.num_outputs = 0;
+  EXPECT_THROW((void)generate_circuit(p), std::invalid_argument);
+}
+
+TEST(CircuitGen, NoDanglingSignals) {
+  const Circuit c = generate_circuit(small_params(9));
+  for (netlist::NodeId id = 0; id < c.num_nodes(); ++id) {
+    const bool used = !c.node(id).fanouts.empty() || c.is_primary_output(id);
+    EXPECT_TRUE(used) << c.node(id).name;
+  }
+}
+
+// The key structural property for the paper's procedure: circuits must be
+// initializable from the all-X state by primary inputs alone.
+class Initializability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Initializability, RandomSequenceResolvesMostState) {
+  GenParams p = small_params(GetParam());
+  p.num_flip_flops = 12;
+  p.num_gates = 120;
+  const Circuit c = generate_circuit(p);
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const sim::Sequence seq = sim::random_sequence(c.num_inputs(), 64, rng);
+  const sim::Trace t = sim::simulate_fault_free(c, nullptr, seq);
+  std::size_t binary = 0;
+  for (const sim::V3 v : t.states.back()) {
+    if (sim::is_binary(v)) ++binary;
+  }
+  // At least half the flip-flops settle to known values.
+  EXPECT_GE(binary, c.num_flip_flops() / 2) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Initializability,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Suite, HasAllPaperCircuits) {
+  EXPECT_EQ(suite().size(), 19u);
+  EXPECT_TRUE(find_suite_entry("s298").has_value());
+  EXPECT_TRUE(find_suite_entry("s35932").has_value());
+  EXPECT_TRUE(find_suite_entry("b11").has_value());
+  EXPECT_FALSE(find_suite_entry("nope").has_value());
+}
+
+TEST(Suite, NamesExcludeLargeByDefault) {
+  const auto names = suite_names(false);
+  EXPECT_EQ(names.size(), 18u);
+  for (const auto& n : names) EXPECT_NE(n, "s35932");
+  const auto all = suite_names(true);
+  EXPECT_EQ(all.size(), 19u);
+}
+
+TEST(Suite, EntriesCarryPaperNumbers) {
+  const auto e = find_suite_entry("s298");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->paper.flip_flops, 14);
+  EXPECT_EQ(e->paper.total_faults, 308);
+  EXPECT_EQ(e->paper.len_t0, 117);
+  EXPECT_EQ(e->params.num_flip_flops, 14u);
+}
+
+TEST(Suite, CircuitsBuildWithMatchingInterface) {
+  for (const SuiteEntry& e : suite()) {
+    if (e.large) continue;  // s35932 covered in the bench run
+    if (e.params.num_gates > 1000) continue;  // keep unit tests fast
+    const Circuit c = build_suite_circuit(e);
+    EXPECT_EQ(c.num_inputs(), e.params.num_inputs) << e.params.name;
+    EXPECT_EQ(c.num_flip_flops(), e.params.num_flip_flops) << e.params.name;
+  }
+}
+
+}  // namespace
+}  // namespace scanc::gen

@@ -1,0 +1,119 @@
+// End-to-end integration tests: the full experiment flow on small suite
+// circuits, asserting the invariants that must hold regardless of the
+// synthetic-circuit substitution (see DESIGN.md §3 "expected shape").
+#include <gtest/gtest.h>
+
+#include "atpg/comb_tset.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/suite.hpp"
+#include "tcomp/baselines.hpp"
+#include "tcomp/pipeline.hpp"
+#include "tgen/greedy_tgen.hpp"
+#include "tgen/random_seq.hpp"
+
+namespace scanc {
+namespace {
+
+using fault::FaultList;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+struct FlowResult {
+  netlist::Circuit circuit;
+  FaultList faults;
+  std::unique_ptr<FaultSimulator> fsim;
+  atpg::CombTestSet comb;
+  tcomp::PipelineResult pipeline;
+  tcomp::ScanTestSet b4_init;
+  tcomp::CombineResult b4_comp;
+};
+
+FlowResult run_flow(const std::string& name, bool random_t0) {
+  const auto entry = gen::find_suite_entry(name);
+  EXPECT_TRUE(entry.has_value());
+  FlowResult r{gen::build_suite_circuit(*entry), FaultList{}, nullptr,
+               {}, {}, {}, {}};
+  r.faults = FaultList::build(r.circuit);
+  r.fsim = std::make_unique<FaultSimulator>(r.circuit, r.faults);
+  r.comb = atpg::generate_comb_test_set(r.circuit, r.faults, {});
+  sim::Sequence t0;
+  if (random_t0) {
+    t0 = tgen::random_test_sequence(r.circuit, 300, 1);
+  } else {
+    tgen::GreedyTgenOptions gopt;
+    gopt.max_length = 400;
+    t0 = tgen::generate_test_sequence(r.circuit, r.faults, gopt).sequence;
+  }
+  r.pipeline = tcomp::run_pipeline(*r.fsim, t0, r.comb.tests);
+  r.b4_init = tcomp::comb_initial_set(r.comb.tests);
+  r.b4_comp = tcomp::combine_tests(*r.fsim, r.b4_init);
+  return r;
+}
+
+class SuiteFlow : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteFlow, PaperShapeInvariants) {
+  const FlowResult r = run_flow(GetParam(), /*random_t0=*/false);
+  const std::size_t nsv = r.circuit.num_flip_flops();
+
+  // Table 1 shape: det(T0) <= det(tau_seq) <= det(final).
+  EXPECT_LE(r.pipeline.f0.count(), r.pipeline.f_seq.count());
+  EXPECT_LE(r.pipeline.f_seq.count(), r.pipeline.final_coverage.count());
+
+  // The final test set achieves complete coverage of every fault that
+  // tau_seq or C detects.
+  const FaultSet want = r.pipeline.f_seq | r.comb.detected;
+  EXPECT_TRUE(r.pipeline.final_coverage.contains(want));
+
+  // The [4] baseline preserves its own coverage through combining.
+  FaultSet before = tcomp::coverage(*r.fsim, r.b4_init);
+  FaultSet after = tcomp::coverage(*r.fsim, r.b4_comp.tests);
+  EXPECT_TRUE(after.contains(before));
+
+  // Both procedures' compaction steps never increase test time.
+  EXPECT_LE(tcomp::clock_cycles(r.pipeline.compacted, nsv),
+            tcomp::clock_cycles(r.pipeline.initial, nsv));
+  EXPECT_LE(tcomp::clock_cycles(r.b4_comp.tests, nsv),
+            tcomp::clock_cycles(r.b4_init, nsv));
+
+  // Table 4 shape: the proposed set's at-speed sequences are longer on
+  // average than the [4] baseline's (the paper's at-speed claim) — the
+  // baseline starts from length-one tests, the proposed set from
+  // tau_seq, so this holds by construction whenever tau_seq is longer
+  // than one vector.
+  if (r.pipeline.tau_seq.seq.length() > 1) {
+    const auto prop = tcomp::at_speed_stats(r.pipeline.compacted);
+    const auto base = tcomp::at_speed_stats(r.b4_comp.tests);
+    EXPECT_GT(prop.max_length, base.max_length);
+  }
+
+  // Both final sets detect the same fault universe (complete coverage of
+  // C's detectable faults).
+  EXPECT_TRUE(r.pipeline.final_coverage.contains(r.comb.detected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, SuiteFlow,
+                         ::testing::Values("s298", "s344", "b01", "b06"));
+
+TEST(SuiteFlowRandom, RandomT0VariantInvariants) {
+  const FlowResult r = run_flow("s298", /*random_t0=*/true);
+  // Table 5 shape: the procedure still reaches complete coverage of C's
+  // detectable faults from a plain random T0.
+  EXPECT_TRUE(r.pipeline.final_coverage.contains(r.comb.detected));
+  // And tau_seq is far shorter than the length-300 random T0.
+  EXPECT_LT(r.pipeline.tau_seq.seq.length(), 300u);
+}
+
+TEST(SuiteFlowDeterminism, SameSeedSameTables) {
+  const FlowResult a = run_flow("b06", false);
+  const FlowResult b = run_flow("b06", false);
+  EXPECT_EQ(a.pipeline.tau_seq.seq, b.pipeline.tau_seq.seq);
+  EXPECT_EQ(a.pipeline.added_tests, b.pipeline.added_tests);
+  EXPECT_EQ(
+      tcomp::clock_cycles(a.pipeline.compacted, a.circuit.num_flip_flops()),
+      tcomp::clock_cycles(b.pipeline.compacted, b.circuit.num_flip_flops()));
+}
+
+}  // namespace
+}  // namespace scanc

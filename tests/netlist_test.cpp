@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/embedded.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/bench_writer.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/gate.hpp"
+
+namespace scanc::netlist {
+namespace {
+
+TEST(GateType, NamesRoundTrip) {
+  for (int i = 0; i < kNumGateTypes; ++i) {
+    const auto t = static_cast<GateType>(i);
+    const auto parsed = gate_type_from_string(to_string(t));
+    ASSERT_TRUE(parsed.has_value()) << to_string(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(GateType, ParsesAliasesCaseInsensitive) {
+  EXPECT_EQ(gate_type_from_string("NAND"), GateType::Nand);
+  EXPECT_EQ(gate_type_from_string("BUFF"), GateType::Buf);
+  EXPECT_EQ(gate_type_from_string("Inv"), GateType::Not);
+  EXPECT_EQ(gate_type_from_string("bogus"), std::nullopt);
+}
+
+TEST(GateType, Classification) {
+  EXPECT_TRUE(is_source(GateType::Input));
+  EXPECT_TRUE(is_source(GateType::Dff));
+  EXPECT_TRUE(is_source(GateType::Const0));
+  EXPECT_FALSE(is_source(GateType::Nand));
+  EXPECT_TRUE(is_combinational(GateType::Xor));
+  EXPECT_TRUE(is_nary(GateType::Nor));
+  EXPECT_FALSE(is_nary(GateType::Not));
+  EXPECT_EQ(required_fanins(GateType::Dff), 1);
+  EXPECT_EQ(required_fanins(GateType::Input), 0);
+  EXPECT_EQ(required_fanins(GateType::And), -1);
+}
+
+TEST(GateType, ControllingValues) {
+  EXPECT_TRUE(has_controlling_value(GateType::And));
+  EXPECT_FALSE(controlling_value(GateType::And));
+  EXPECT_TRUE(controlling_value(GateType::Or));
+  EXPECT_TRUE(controlling_value(GateType::Nor));
+  EXPECT_FALSE(has_controlling_value(GateType::Xor));
+  EXPECT_TRUE(is_inverting(GateType::Nand));
+  EXPECT_FALSE(is_inverting(GateType::Or));
+}
+
+TEST(CircuitBuilder, BuildsSmallCombinationalCircuit) {
+  CircuitBuilder b("tiny");
+  b.add_input("a");
+  b.add_input("b");
+  b.add_gate(GateType::And, "c", {"a", "b"});
+  b.add_gate(GateType::Not, "d", {"c"});
+  b.mark_output("d");
+  const Circuit c = b.build();
+  EXPECT_EQ(c.name(), "tiny");
+  EXPECT_EQ(c.num_nodes(), 4u);
+  EXPECT_EQ(c.num_inputs(), 2u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_flip_flops(), 0u);
+  EXPECT_EQ(c.num_gates(), 2u);
+  EXPECT_EQ(c.depth(), 2u);
+  const NodeId d = c.find("d");
+  ASSERT_NE(d, kNoNode);
+  EXPECT_TRUE(c.is_primary_output(d));
+  EXPECT_EQ(c.node(d).level, 2u);
+}
+
+TEST(CircuitBuilder, ForwardReferencesResolve) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_gate(GateType::Dff, "q", {"next"});   // "next" defined later
+  b.add_gate(GateType::Xor, "next", {"a", "q"});
+  b.mark_output("next");
+  const Circuit c = b.build();
+  EXPECT_EQ(c.num_flip_flops(), 1u);
+  const NodeId q = c.find("q");
+  const NodeId next = c.find("next");
+  ASSERT_NE(q, kNoNode);
+  EXPECT_EQ(c.node(q).fanins[0], next);
+}
+
+TEST(CircuitBuilder, RejectsDuplicateDefinition) {
+  CircuitBuilder b;
+  b.add_input("a");
+  EXPECT_THROW(b.add_input("a"), std::invalid_argument);
+}
+
+TEST(CircuitBuilder, RejectsUndefinedSignal) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_gate(GateType::And, "c", {"a", "ghost"});
+  b.mark_output("c");
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(CircuitBuilder, RejectsCombinationalCycle) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_gate(GateType::And, "x", {"a", "y"});
+  b.add_gate(GateType::Or, "y", {"a", "x"});
+  b.mark_output("y");
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(CircuitBuilder, AcceptsCycleThroughFlipFlop) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_gate(GateType::Dff, "q", {"x"});
+  b.add_gate(GateType::And, "x", {"a", "q"});
+  b.mark_output("x");
+  EXPECT_NO_THROW((void)b.build());
+}
+
+TEST(CircuitBuilder, RejectsWrongArity) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_input("b");
+  EXPECT_THROW(b.add_gate(GateType::Not, "n", {"a", "b"}),
+               std::invalid_argument);
+  EXPECT_THROW(b.add_gate(GateType::And, "m", {}), std::invalid_argument);
+}
+
+TEST(CircuitBuilder, FanoutsAreComputed) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_gate(GateType::Not, "n1", {"a"});
+  b.add_gate(GateType::Not, "n2", {"a"});
+  b.mark_output("n1");
+  b.mark_output("n2");
+  const Circuit c = b.build();
+  EXPECT_EQ(c.node(c.find("a")).fanouts.size(), 2u);
+}
+
+TEST(CircuitBuilder, DuplicateOutputMarkIsIdempotent) {
+  CircuitBuilder b;
+  b.add_input("a");
+  b.add_gate(GateType::Buf, "o", {"a"});
+  b.mark_output("o");
+  b.mark_output("o");
+  const Circuit c = b.build();
+  EXPECT_EQ(c.num_outputs(), 1u);
+}
+
+TEST(BenchParser, ParsesS27) {
+  const Circuit c = gen::make_s27();
+  EXPECT_EQ(c.num_inputs(), 4u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_flip_flops(), 3u);
+  EXPECT_EQ(c.num_gates(), 10u);
+  EXPECT_EQ(c.node(c.find("G11")).type, GateType::Nor);
+  EXPECT_EQ(c.node(c.find("G17")).type, GateType::Not);
+  EXPECT_EQ(c.node(c.find("G7")).type, GateType::Dff);
+}
+
+TEST(BenchParser, HandlesCommentsAndBlankLines) {
+  const Circuit c = netlist::parse_bench(R"(
+# a comment
+INPUT(a)   # trailing comment
+
+OUTPUT(o)
+o = NOT(a)
+)");
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_gates(), 1u);
+}
+
+TEST(BenchParser, ReportsLineNumbers) {
+  try {
+    (void)parse_bench("INPUT(a)\no = FROB(a)\nOUTPUT(o)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(BenchParser, RejectsMalformedLines) {
+  EXPECT_THROW((void)parse_bench("INPUT a\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("INPUT(a) junk\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("x = AND(a,)\nINPUT(a)\n"),
+               BenchParseError);
+  EXPECT_THROW((void)parse_bench("FOO(a)\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("x = AND(a, b%c)\n"), BenchParseError);
+}
+
+TEST(BenchWriter, RoundTripsS27) {
+  const Circuit c = gen::make_s27();
+  const std::string text = to_bench_string(c);
+  const Circuit c2 = parse_bench(text, "s27");
+  EXPECT_EQ(c2.num_nodes(), c.num_nodes());
+  EXPECT_EQ(c2.num_inputs(), c.num_inputs());
+  EXPECT_EQ(c2.num_outputs(), c.num_outputs());
+  EXPECT_EQ(c2.num_flip_flops(), c.num_flip_flops());
+  EXPECT_EQ(c2.num_gates(), c.num_gates());
+  // Structure must match node-by-node under name lookup.
+  for (NodeId id = 0; id < c.num_nodes(); ++id) {
+    const Node& n = c.node(id);
+    const NodeId id2 = c2.find(n.name);
+    ASSERT_NE(id2, kNoNode) << n.name;
+    const Node& n2 = c2.node(id2);
+    EXPECT_EQ(n2.type, n.type) << n.name;
+    ASSERT_EQ(n2.fanins.size(), n.fanins.size()) << n.name;
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      EXPECT_EQ(c2.node(n2.fanins[i]).name, c.node(n.fanins[i]).name);
+    }
+  }
+}
+
+TEST(Circuit, StatsMatchS27) {
+  const CircuitStats s = stats(gen::make_s27());
+  EXPECT_EQ(s.inputs, 4u);
+  EXPECT_EQ(s.outputs, 1u);
+  EXPECT_EQ(s.flip_flops, 3u);
+  EXPECT_EQ(s.gates, 10u);
+  EXPECT_GE(s.depth, 4u);
+}
+
+TEST(Circuit, TopoOrderRespectsDependencies) {
+  const Circuit c = gen::make_s27();
+  std::vector<int> pos(c.num_nodes(), -1);
+  int k = 0;
+  for (const NodeId id : c.topo_order()) pos[id] = k++;
+  for (const NodeId id : c.topo_order()) {
+    for (const NodeId f : c.node(id).fanins) {
+      if (is_combinational(c.node(f).type)) {
+        EXPECT_LT(pos[f], pos[id]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanc::netlist

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/embedded.hpp"
+#include "sim/seq_sim.hpp"
+#include "tcomp/response.hpp"
+
+namespace scanc::tcomp {
+namespace {
+
+using netlist::Circuit;
+
+TEST(Response, S27HandComputedValues) {
+  const Circuit c = gen::make_s27();
+  ScanTest t;
+  t.scan_in = sim::vector3_from_string("000");
+  t.seq.frames.push_back(sim::vector3_from_string("1111"));
+  t.seq.frames.push_back(sim::vector3_from_string("0000"));
+  const TestResponse r = expected_response(c, t);
+  // Same values as the SeqSim hand-computed test, but with a known
+  // initial state instead of all-X.
+  ASSERT_EQ(r.outputs.size(), 2u);
+  EXPECT_EQ(sim::to_string(r.outputs[0]), "1");
+  EXPECT_EQ(sim::to_string(r.scan_out), "000");
+}
+
+TEST(Response, ScanOutMatchesSimulatorFinalState) {
+  const Circuit c = gen::make_s27();
+  ScanTest t;
+  t.scan_in = sim::vector3_from_string("101");
+  for (const char* v : {"1010", "0110", "1100"}) {
+    t.seq.frames.push_back(sim::vector3_from_string(v));
+  }
+  const TestResponse r = expected_response(c, t);
+  const sim::Trace trace = sim::simulate_fault_free(c, &t.scan_in, t.seq);
+  EXPECT_EQ(r.scan_out, trace.states.back());
+  ASSERT_EQ(r.outputs.size(), 3u);
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_EQ(r.outputs[u], trace.po_frames[u]);
+  }
+}
+
+TEST(Response, BatchMatchesIndividual) {
+  const Circuit c = gen::make_s27();
+  ScanTestSet set;
+  ScanTest a;
+  a.scan_in = sim::vector3_from_string("111");
+  a.seq.frames.push_back(sim::vector3_from_string("0000"));
+  ScanTest b;
+  b.scan_in = sim::vector3_from_string("010");
+  b.seq.frames.push_back(sim::vector3_from_string("1111"));
+  b.seq.frames.push_back(sim::vector3_from_string("0101"));
+  set.tests = {a, b};
+  const std::vector<TestResponse> rs = expected_responses(c, set);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].scan_out, expected_response(c, a).scan_out);
+  EXPECT_EQ(rs[1].scan_out, expected_response(c, b).scan_out);
+}
+
+TEST(Response, TestProgramFormat) {
+  const Circuit c = gen::make_s27();
+  ScanTestSet set;
+  ScanTest t;
+  t.scan_in = sim::vector3_from_string("000");
+  t.seq.frames.push_back(sim::vector3_from_string("1111"));
+  set.tests = {t};
+  std::ostringstream out;
+  write_test_program(c, set, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("test 0\n"), std::string::npos);
+  EXPECT_NE(text.find("scanin 000\n"), std::string::npos);
+  EXPECT_NE(text.find("vector 1111 expect 1\n"), std::string::npos);
+  EXPECT_NE(text.find("scanout "), std::string::npos);
+}
+
+TEST(Response, PartialScanInYieldsXWhereUndetermined) {
+  // An X scan-in bit (unscanned flip-flop) propagates X into the
+  // response wherever the logic depends on it.
+  const Circuit c = gen::make_s27();
+  ScanTest t;
+  t.scan_in = sim::vector3_from_string("xx0");  // G5, G6 unknown
+  t.seq.frames.push_back(sim::vector3_from_string("0000"));
+  const TestResponse r = expected_response(c, t);
+  // G17 = NOT(NOR(G5, G9)): with G5 = X and G9 = NAND(G16, G15) where
+  // G12 = NOR(0, G7=0) = 1 -> G15 = 1, G16 = OR(0, G8); G8 = AND(1, G6=X)
+  // = X -> G16 = X -> G9 = NAND(X, 1) = X -> G11 = NOR(X, X) = X.
+  EXPECT_EQ(sim::to_string(r.outputs[0]), "x");
+}
+
+TEST(Response, EmptySequenceYieldsXScanOut) {
+  const Circuit c = gen::make_s27();
+  ScanTest t;
+  t.scan_in = sim::vector3_from_string("000");
+  const TestResponse r = expected_response(c, t);
+  EXPECT_TRUE(r.outputs.empty());
+  EXPECT_EQ(sim::to_string(r.scan_out), "xxx");
+}
+
+}  // namespace
+}  // namespace scanc::tcomp

@@ -1,0 +1,123 @@
+// Shared test utilities.
+//
+// serial_detects() is an *independent* golden model for fault detection:
+// a scalar, one-fault-at-a-time sequential simulator written without any
+// code from the packed engine's fault-injection path.  Property tests
+// compare the production parallel-fault simulator against it.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/packed.hpp"
+#include "sim/sequence.hpp"
+
+namespace scanc::test {
+
+/// Scalar simulation of one machine (fault-free or single-fault).
+/// Returns per-frame PO vectors and per-frame *captured* states — the
+/// clean latch contents that scan-out observes (a Q-output stem fault
+/// corrupts only what the logic reads, per the full-scan PPI convention).
+struct SerialTrace {
+  std::vector<sim::Vector3> po_frames;
+  std::vector<sim::Vector3> states;
+};
+
+inline SerialTrace serial_simulate(const netlist::Circuit& c,
+                                   const fault::Fault* f,
+                                   const sim::Vector3* scan_in,
+                                   const sim::Sequence& seq) {
+  using netlist::GateType;
+  using netlist::NodeId;
+  using sim::V3;
+
+  const auto forced = [&](NodeId node, int pin, V3 v) -> V3 {
+    if (f != nullptr && f->node == node && f->pin == pin) {
+      return f->stuck_one ? V3::One : V3::Zero;
+    }
+    return v;
+  };
+
+  std::vector<V3> val(c.num_nodes(), V3::X);
+  for (NodeId id = 0; id < c.num_nodes(); ++id) {
+    if (c.node(id).type == GateType::Const0) {
+      val[id] = forced(id, sim::kStemPin, V3::Zero);
+    } else if (c.node(id).type == GateType::Const1) {
+      val[id] = forced(id, sim::kStemPin, V3::One);
+    } else if (netlist::is_source(c.node(id).type)) {
+      val[id] = forced(id, sim::kStemPin, V3::X);
+    }
+  }
+  const auto ffs = c.flip_flops();
+  if (scan_in != nullptr) {
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      val[ffs[i]] = forced(ffs[i], sim::kStemPin, (*scan_in)[i]);
+    }
+  }
+
+  SerialTrace trace;
+  std::vector<V3> fanins;
+  std::vector<V3> next(ffs.size());
+  for (const sim::Vector3& pi : seq.frames) {
+    const auto pis = c.primary_inputs();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      val[pis[i]] = forced(pis[i], sim::kStemPin, pi[i]);
+    }
+    for (const netlist::NodeId id : c.topo_order()) {
+      const netlist::Node& n = c.node(id);
+      fanins.clear();
+      for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+        fanins.push_back(forced(id, static_cast<int>(p), val[n.fanins[p]]));
+      }
+      val[id] = forced(id, sim::kStemPin,
+                       sim::eval_gate_scalar(n.type, fanins));
+    }
+    sim::Vector3 po(c.num_outputs(), V3::X);
+    for (std::size_t i = 0; i < c.primary_outputs().size(); ++i) {
+      po[i] = val[c.primary_outputs()[i]];
+    }
+    trace.po_frames.push_back(std::move(po));
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      // Captured value: D-side faults apply, Q stem faults do not.
+      next[i] = forced(ffs[i], 0, val[c.node(ffs[i]).fanins[0]]);
+    }
+    sim::Vector3 st(ffs.size(), V3::X);
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      st[i] = next[i];
+      // The logic reads the captured value through the (possibly stuck) Q.
+      val[ffs[i]] = forced(ffs[i], sim::kStemPin, next[i]);
+    }
+    trace.states.push_back(std::move(st));
+  }
+  return trace;
+}
+
+/// Conservative detection: some observation shows binary fault-free vs
+/// binary faulty values that differ.  Observations: POs at every frame;
+/// the final state if observe_scan_out.
+inline bool serial_detects(const netlist::Circuit& c, const fault::Fault& f,
+                           const sim::Vector3* scan_in,
+                           const sim::Sequence& seq, bool observe_scan_out) {
+  using sim::V3;
+  const SerialTrace good = serial_simulate(c, nullptr, scan_in, seq);
+  const SerialTrace bad = serial_simulate(c, &f, scan_in, seq);
+  const auto differs = [](V3 a, V3 b) {
+    return sim::is_binary(a) && sim::is_binary(b) && a != b;
+  };
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    for (std::size_t i = 0; i < good.po_frames[t].size(); ++i) {
+      if (differs(good.po_frames[t][i], bad.po_frames[t][i])) return true;
+    }
+  }
+  if (observe_scan_out && !seq.frames.empty()) {
+    const auto& gs = good.states.back();
+    const auto& bs = bad.states.back();
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      if (differs(gs[i], bs[i])) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace scanc::test

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "fault/transition.hpp"
+#include "gen/circuit_gen.hpp"
+#include "gen/embedded.hpp"
+#include "sim/seq_sim.hpp"
+#include "tgen/random_seq.hpp"
+#include "util/rng.hpp"
+
+namespace scanc::fault {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using sim::V3;
+using sim::Vector3;
+
+TEST(TransitionModel, IndexingRoundTrips) {
+  EXPECT_EQ(transition_fault_index(0, false), 0u);
+  EXPECT_EQ(transition_fault_index(0, true), 1u);
+  EXPECT_EQ(transition_fault_index(7, false), 14u);
+  const Circuit c = gen::make_s27();
+  EXPECT_EQ(num_transition_faults(c), 2 * c.num_nodes());
+}
+
+TEST(TransitionSim, LengthOneTestDetectsNothing) {
+  // The structural heart of the paper's at-speed argument.
+  const Circuit c = gen::make_s27();
+  TransitionFaultSim tsim(c);
+  sim::Sequence seq;
+  seq.frames.push_back(sim::vector3_from_string("1111"));
+  const util::Bitset det =
+      tsim.detect(sim::vector3_from_string("000"), seq);
+  EXPECT_TRUE(det.none());
+}
+
+TEST(TransitionSim, HandCraftedLaunchCapture) {
+  // o = BUF(a): slow-to-rise at 'a' is caught by a 0 -> 1 input pair,
+  // slow-to-fall by 1 -> 0; the same pair cannot catch both.
+  netlist::CircuitBuilder b("buf");
+  b.add_input("a");
+  b.add_gate(GateType::Dff, "q", {"a"});  // gives the circuit state
+  b.add_gate(GateType::Buf, "o", {"a"});
+  b.mark_output("o");
+  const Circuit c = b.build();
+  TransitionFaultSim tsim(c);
+  const netlist::NodeId a = c.find("a");
+
+  sim::Sequence rise;
+  rise.frames.push_back(sim::vector3_from_string("0"));
+  rise.frames.push_back(sim::vector3_from_string("1"));
+  const util::Bitset det_rise =
+      tsim.detect(sim::vector3_from_string("0"), rise);
+  EXPECT_TRUE(det_rise.test(transition_fault_index(a, false)));  // STR
+  EXPECT_FALSE(det_rise.test(transition_fault_index(a, true)));
+
+  sim::Sequence fall;
+  fall.frames.push_back(sim::vector3_from_string("1"));
+  fall.frames.push_back(sim::vector3_from_string("0"));
+  const util::Bitset det_fall =
+      tsim.detect(sim::vector3_from_string("0"), fall);
+  EXPECT_TRUE(det_fall.test(transition_fault_index(a, true)));  // STF
+  EXPECT_FALSE(det_fall.test(transition_fault_index(a, false)));
+}
+
+// Independent reference: explicit per-frame re-simulation with a scalar
+// forced value, checking PO (and final scan-out) differences.
+bool reference_detects(const Circuit& c, netlist::NodeId node,
+                       bool slow_to_fall, const Vector3& si,
+                       const sim::Sequence& seq) {
+  const sim::Trace good = sim::simulate_fault_free(c, &si, seq);
+  for (std::size_t t = 1; t < seq.length(); ++t) {
+    // Launch: the node held the initial value in the previous frame.
+    sim::PackedSeqSim probe(c);
+    probe.reset();
+    probe.load_state(si);
+    for (std::size_t u = 0; u + 1 < t; ++u) {
+      probe.apply_frame(seq.frames[u]);
+      probe.latch();
+    }
+    probe.apply_frame(seq.frames[t - 1]);
+    const V3 launch = sim::slot(probe.value(node), 0);
+    if (launch != (slow_to_fall ? V3::One : V3::Zero)) continue;
+    probe.latch();
+
+    // Capture: stuck-at behaviour for one cycle from the frame-t state.
+    sim::InjectionMap inj(c.num_nodes());
+    inj.add(node, sim::kStemPin, slow_to_fall, 1ULL << 1);
+    sim::PackedSeqSim faulty(c);
+    faulty.reset(&inj);
+    faulty.load_state(probe.state_slot(0), &inj);
+    faulty.apply_frame(seq.frames[t], &inj);
+    for (std::size_t i = 0; i < c.num_outputs(); ++i) {
+      const V3 g = good.po_frames[t][i];
+      const V3 f = sim::slot(faulty.value(c.primary_outputs()[i]), 1);
+      if (sim::is_binary(g) && sim::is_binary(f) && g != f) return true;
+    }
+    if (t + 1 == seq.length()) {
+      faulty.latch(&inj);
+      for (std::size_t i = 0; i < c.num_flip_flops(); ++i) {
+        const V3 g = good.states[t][i];
+        const V3 f = sim::slot(faulty.captured(i), 1);
+        if (sim::is_binary(g) && sim::is_binary(f) && g != f) return true;
+      }
+    }
+  }
+  return false;
+}
+
+class TransitionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransitionProperty, MatchesReferenceModel) {
+  gen::GenParams p;
+  p.name = "tf";
+  p.seed = GetParam() * 19 + 7;
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_flip_flops = 4;
+  p.num_gates = 35;
+  const Circuit c = gen::generate_circuit(p);
+  TransitionFaultSim tsim(c);
+  util::Rng rng(GetParam());
+  const sim::Sequence seq = sim::random_sequence(c.num_inputs(), 8, rng);
+  const Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  const util::Bitset det = tsim.detect(si, seq);
+  for (netlist::NodeId id = 0; id < c.num_nodes(); ++id) {
+    for (const bool stf : {false, true}) {
+      EXPECT_EQ(det.test(transition_fault_index(id, stf)),
+                reference_detects(c, id, stf, si, seq))
+          << c.node(id).name << (stf ? "/STF" : "/STR");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitionProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(TransitionSim, LongerSequencesDetectMore) {
+  const Circuit c = gen::make_s27();
+  TransitionFaultSim tsim(c);
+  util::Rng rng(3);
+  const sim::Sequence seq = sim::random_sequence(c.num_inputs(), 40, rng);
+  const Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  const util::Bitset det_short = tsim.detect(si, seq.subsequence(0, 4));
+  const util::Bitset det_long = tsim.detect(si, seq);
+  EXPECT_GE(det_long.count(), det_short.count());
+  EXPECT_GT(det_long.count(), 0u);
+}
+
+}  // namespace
+}  // namespace scanc::fault
