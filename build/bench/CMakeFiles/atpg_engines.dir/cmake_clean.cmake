@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_engines.dir/atpg_engines.cpp.o"
+  "CMakeFiles/atpg_engines.dir/atpg_engines.cpp.o.d"
+  "atpg_engines"
+  "atpg_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

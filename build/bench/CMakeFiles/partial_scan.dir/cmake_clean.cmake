@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_scan.dir/partial_scan.cpp.o"
+  "CMakeFiles/partial_scan.dir/partial_scan.cpp.o.d"
+  "partial_scan"
+  "partial_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_markdown.dir/report_markdown.cpp.o"
+  "CMakeFiles/report_markdown.dir/report_markdown.cpp.o.d"
+  "report_markdown"
+  "report_markdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_markdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_detected.dir/table1_detected.cpp.o"
+  "CMakeFiles/table1_detected.dir/table1_detected.cpp.o.d"
+  "table1_detected"
+  "table1_detected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_detected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lengths.dir/table2_lengths.cpp.o"
+  "CMakeFiles/table2_lengths.dir/table2_lengths.cpp.o.d"
+  "table2_lengths"
+  "table2_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

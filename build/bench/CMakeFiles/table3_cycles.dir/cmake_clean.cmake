@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cycles.dir/table3_cycles.cpp.o"
+  "CMakeFiles/table3_cycles.dir/table3_cycles.cpp.o.d"
+  "table3_cycles"
+  "table3_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_atspeed.dir/table4_atspeed.cpp.o"
+  "CMakeFiles/table4_atspeed.dir/table4_atspeed.cpp.o.d"
+  "table4_atspeed"
+  "table4_atspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_atspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

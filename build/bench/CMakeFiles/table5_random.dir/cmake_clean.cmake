@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_random.dir/table5_random.cpp.o"
+  "CMakeFiles/table5_random.dir/table5_random.cpp.o.d"
+  "table5_random"
+  "table5_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgen_quality.dir/tgen_quality.cpp.o"
+  "CMakeFiles/tgen_quality.dir/tgen_quality.cpp.o.d"
+  "tgen_quality"
+  "tgen_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgen_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_coverage.dir/transition_coverage.cpp.o"
+  "CMakeFiles/transition_coverage.dir/transition_coverage.cpp.o.d"
+  "transition_coverage"
+  "transition_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

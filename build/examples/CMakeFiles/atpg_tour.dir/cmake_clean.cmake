@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_tour.dir/atpg_tour.cpp.o"
+  "CMakeFiles/atpg_tour.dir/atpg_tour.cpp.o.d"
+  "atpg_tour"
+  "atpg_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atspeed_compaction.dir/atspeed_compaction.cpp.o"
+  "CMakeFiles/atspeed_compaction.dir/atspeed_compaction.cpp.o.d"
+  "atspeed_compaction"
+  "atspeed_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atspeed_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_bench.dir/compact_bench.cpp.o"
+  "CMakeFiles/compact_bench.dir/compact_bench.cpp.o.d"
+  "compact_bench"
+  "compact_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

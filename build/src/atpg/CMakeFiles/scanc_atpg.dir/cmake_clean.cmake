@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_atpg.dir/comb_tset.cpp.o"
+  "CMakeFiles/scanc_atpg.dir/comb_tset.cpp.o.d"
+  "CMakeFiles/scanc_atpg.dir/dalg.cpp.o"
+  "CMakeFiles/scanc_atpg.dir/dalg.cpp.o.d"
+  "CMakeFiles/scanc_atpg.dir/podem.cpp.o"
+  "CMakeFiles/scanc_atpg.dir/podem.cpp.o.d"
+  "libscanc_atpg.a"
+  "libscanc_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

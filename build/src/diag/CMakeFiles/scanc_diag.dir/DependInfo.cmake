@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diag/diagnosis.cpp" "src/diag/CMakeFiles/scanc_diag.dir/diagnosis.cpp.o" "gcc" "src/diag/CMakeFiles/scanc_diag.dir/diagnosis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/scanc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcomp/CMakeFiles/scanc_tcomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/scanc_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scanc_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

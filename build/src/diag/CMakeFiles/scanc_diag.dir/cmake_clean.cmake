@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_diag.dir/diagnosis.cpp.o"
+  "CMakeFiles/scanc_diag.dir/diagnosis.cpp.o.d"
+  "libscanc_diag.a"
+  "libscanc_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_expt.dir/options.cpp.o"
+  "CMakeFiles/scanc_expt.dir/options.cpp.o.d"
+  "CMakeFiles/scanc_expt.dir/runner.cpp.o"
+  "CMakeFiles/scanc_expt.dir/runner.cpp.o.d"
+  "CMakeFiles/scanc_expt.dir/tables.cpp.o"
+  "CMakeFiles/scanc_expt.dir/tables.cpp.o.d"
+  "libscanc_expt.a"
+  "libscanc_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

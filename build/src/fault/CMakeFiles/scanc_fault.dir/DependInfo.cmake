@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault_list.cpp" "src/fault/CMakeFiles/scanc_fault.dir/fault_list.cpp.o" "gcc" "src/fault/CMakeFiles/scanc_fault.dir/fault_list.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/fault/CMakeFiles/scanc_fault.dir/fault_sim.cpp.o" "gcc" "src/fault/CMakeFiles/scanc_fault.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/fault/transition.cpp" "src/fault/CMakeFiles/scanc_fault.dir/transition.cpp.o" "gcc" "src/fault/CMakeFiles/scanc_fault.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scanc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

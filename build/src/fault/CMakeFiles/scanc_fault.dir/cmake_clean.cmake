@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_fault.dir/fault_list.cpp.o"
+  "CMakeFiles/scanc_fault.dir/fault_list.cpp.o.d"
+  "CMakeFiles/scanc_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/scanc_fault.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/scanc_fault.dir/transition.cpp.o"
+  "CMakeFiles/scanc_fault.dir/transition.cpp.o.d"
+  "libscanc_fault.a"
+  "libscanc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_gen.dir/circuit_gen.cpp.o"
+  "CMakeFiles/scanc_gen.dir/circuit_gen.cpp.o.d"
+  "CMakeFiles/scanc_gen.dir/embedded.cpp.o"
+  "CMakeFiles/scanc_gen.dir/embedded.cpp.o.d"
+  "CMakeFiles/scanc_gen.dir/suite.cpp.o"
+  "CMakeFiles/scanc_gen.dir/suite.cpp.o.d"
+  "libscanc_gen.a"
+  "libscanc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

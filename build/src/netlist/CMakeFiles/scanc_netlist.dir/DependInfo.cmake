@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/analysis.cpp" "src/netlist/CMakeFiles/scanc_netlist.dir/analysis.cpp.o" "gcc" "src/netlist/CMakeFiles/scanc_netlist.dir/analysis.cpp.o.d"
+  "/root/repo/src/netlist/bench_parser.cpp" "src/netlist/CMakeFiles/scanc_netlist.dir/bench_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/scanc_netlist.dir/bench_parser.cpp.o.d"
+  "/root/repo/src/netlist/bench_writer.cpp" "src/netlist/CMakeFiles/scanc_netlist.dir/bench_writer.cpp.o" "gcc" "src/netlist/CMakeFiles/scanc_netlist.dir/bench_writer.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/scanc_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/scanc_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/scanc_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/scanc_netlist.dir/gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

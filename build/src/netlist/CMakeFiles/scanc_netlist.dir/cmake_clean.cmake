@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_netlist.dir/analysis.cpp.o"
+  "CMakeFiles/scanc_netlist.dir/analysis.cpp.o.d"
+  "CMakeFiles/scanc_netlist.dir/bench_parser.cpp.o"
+  "CMakeFiles/scanc_netlist.dir/bench_parser.cpp.o.d"
+  "CMakeFiles/scanc_netlist.dir/bench_writer.cpp.o"
+  "CMakeFiles/scanc_netlist.dir/bench_writer.cpp.o.d"
+  "CMakeFiles/scanc_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/scanc_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/scanc_netlist.dir/gate.cpp.o"
+  "CMakeFiles/scanc_netlist.dir/gate.cpp.o.d"
+  "libscanc_netlist.a"
+  "libscanc_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscanc_netlist.a"
+)

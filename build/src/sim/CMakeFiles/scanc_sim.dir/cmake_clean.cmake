@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_sim.dir/seq_sim.cpp.o"
+  "CMakeFiles/scanc_sim.dir/seq_sim.cpp.o.d"
+  "libscanc_sim.a"
+  "libscanc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

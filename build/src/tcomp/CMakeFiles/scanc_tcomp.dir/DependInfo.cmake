@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcomp/baselines.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/baselines.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/baselines.cpp.o.d"
+  "/root/repo/src/tcomp/combine.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/combine.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/combine.cpp.o.d"
+  "/root/repo/src/tcomp/iterate.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/iterate.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/iterate.cpp.o.d"
+  "/root/repo/src/tcomp/omission.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/omission.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/omission.cpp.o.d"
+  "/root/repo/src/tcomp/phase1.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/phase1.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/phase1.cpp.o.d"
+  "/root/repo/src/tcomp/pipeline.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/pipeline.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/pipeline.cpp.o.d"
+  "/root/repo/src/tcomp/response.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/response.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/response.cpp.o.d"
+  "/root/repo/src/tcomp/restoration.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/restoration.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/restoration.cpp.o.d"
+  "/root/repo/src/tcomp/scan_test.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/scan_test.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/scan_test.cpp.o.d"
+  "/root/repo/src/tcomp/topoff.cpp" "src/tcomp/CMakeFiles/scanc_tcomp.dir/topoff.cpp.o" "gcc" "src/tcomp/CMakeFiles/scanc_tcomp.dir/topoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scanc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/scanc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/scanc_atpg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_tcomp.dir/baselines.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/baselines.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/combine.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/combine.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/iterate.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/iterate.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/omission.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/omission.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/phase1.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/phase1.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/pipeline.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/pipeline.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/response.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/response.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/restoration.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/restoration.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/scan_test.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/scan_test.cpp.o.d"
+  "CMakeFiles/scanc_tcomp.dir/topoff.cpp.o"
+  "CMakeFiles/scanc_tcomp.dir/topoff.cpp.o.d"
+  "libscanc_tcomp.a"
+  "libscanc_tcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_tcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

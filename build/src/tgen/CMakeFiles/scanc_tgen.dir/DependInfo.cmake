@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgen/greedy_tgen.cpp" "src/tgen/CMakeFiles/scanc_tgen.dir/greedy_tgen.cpp.o" "gcc" "src/tgen/CMakeFiles/scanc_tgen.dir/greedy_tgen.cpp.o.d"
+  "/root/repo/src/tgen/random_seq.cpp" "src/tgen/CMakeFiles/scanc_tgen.dir/random_seq.cpp.o" "gcc" "src/tgen/CMakeFiles/scanc_tgen.dir/random_seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scanc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/scanc_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

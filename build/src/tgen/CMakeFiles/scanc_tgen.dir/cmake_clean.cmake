@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanc_tgen.dir/greedy_tgen.cpp.o"
+  "CMakeFiles/scanc_tgen.dir/greedy_tgen.cpp.o.d"
+  "CMakeFiles/scanc_tgen.dir/random_seq.cpp.o"
+  "CMakeFiles/scanc_tgen.dir/random_seq.cpp.o.d"
+  "libscanc_tgen.a"
+  "libscanc_tgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanc_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

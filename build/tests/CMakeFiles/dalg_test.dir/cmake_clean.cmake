@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dalg_test.dir/dalg_test.cpp.o"
+  "CMakeFiles/dalg_test.dir/dalg_test.cpp.o.d"
+  "dalg_test"
+  "dalg_test.pdb"
+  "dalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/expt_test.cpp" "tests/CMakeFiles/expt_test.dir/expt_test.cpp.o" "gcc" "tests/CMakeFiles/expt_test.dir/expt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scanc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/scanc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/scanc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/scanc_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/scanc_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcomp/CMakeFiles/scanc_tcomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/expt/CMakeFiles/scanc_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/scanc_diag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_test.dir/tcomp_test.cpp.o"
+  "CMakeFiles/tcomp_test.dir/tcomp_test.cpp.o.d"
+  "tcomp_test"
+  "tcomp_test.pdb"
+  "tcomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
