@@ -63,6 +63,51 @@ void BM_ParallelFaultSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelFaultSimulation);
 
+// Thread-count sweep over the two hottest queries (the BENCH_*.json
+// speedup tracker): same work as the serial benchmarks above, fanned
+// across the group-execution layer.  Real time is the honest metric for
+// a multi-threaded region.
+void BM_DetectScanTestThreads(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const fault::FaultList fl = fault::FaultList::build(c);
+  fault::FaultSimulator fsim(c, fl);
+  fsim.set_num_threads(static_cast<std::size_t>(state.range(0)));
+  const sim::Sequence seq = tgen::random_test_sequence(c, 64, 11);
+  util::Rng rng(3);
+  const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detect_scan_test(si, seq));
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(fl.num_classes()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DetectScanTestThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_DetectionTimesThreads(benchmark::State& state) {
+  const netlist::Circuit c = mid_circuit();
+  const fault::FaultList fl = fault::FaultList::build(c);
+  fault::FaultSimulator fsim(c, fl);
+  fsim.set_num_threads(static_cast<std::size_t>(state.range(0)));
+  const sim::Sequence seq = tgen::random_test_sequence(c, 64, 11);
+  util::Rng rng(3);
+  const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  const fault::FaultSet all = fsim.all_faults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detection_times(si, seq, all));
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(fl.num_classes()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DetectionTimesThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
 void BM_DetectionTimesRecording(benchmark::State& state) {
   const netlist::Circuit c = mid_circuit();
   const fault::FaultList fl = fault::FaultList::build(c);

@@ -38,6 +38,9 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
   if (const char* v = std::getenv("SCANC_SEED")) {
     cfg.runner.seed = std::strtoull(v, nullptr, 10);
   }
+  if (const char* v = std::getenv("SCANC_THREADS")) {
+    cfg.runner.num_threads = std::strtoull(v, nullptr, 10);
+  }
   if (const char* v = std::getenv("SCANC_CACHE")) {
     cfg.runner.cache_path = v;
   }
@@ -52,6 +55,8 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
       cfg.runner.force_fresh = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       cfg.runner.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cfg.runner.num_threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--cache=", 0) == 0) {
       cfg.runner.cache_path = arg.substr(8);
     } else if (arg == "--no-dynamic") {

@@ -5,6 +5,9 @@
 //   --full             SCANC_FULL=1     include s35932
 //   --fresh            SCANC_FRESH=1    ignore the result cache
 //   --seed=N           SCANC_SEED       experiment seed (default 1)
+//   --threads=N        SCANC_THREADS    fault-sim worker threads
+//                                       (default 1; 0 = all hardware
+//                                       threads; results are identical)
 //   --cache=PATH       SCANC_CACHE      cache file prefix
 //   --no-dynamic                        skip the [2,3]-style baseline
 //   --verbose          SCANC_VERBOSE=1  progress notes on stderr

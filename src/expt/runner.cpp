@@ -195,6 +195,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   const netlist::Circuit circuit = gen::build_suite_circuit(entry);
   const fault::FaultList faults = fault::FaultList::build(circuit);
   fault::FaultSimulator fsim(circuit, faults);
+  fsim.set_num_threads(options.num_threads);
   const std::size_t nsv = circuit.num_flip_flops();
 
   CircuitRun run;

@@ -61,6 +61,10 @@ struct CircuitRun {
 struct RunnerOptions {
   std::uint64_t seed = 1;
   std::size_t random_t0_length = 1000;
+  /// Fault-simulation worker threads (0 = one per hardware thread).
+  /// Measured numbers are identical for every setting; only wall-clock
+  /// time changes, so cached results stay valid across thread counts.
+  std::size_t num_threads = 1;
   bool run_dynamic_baseline = true;
   /// Cache file path; empty disables caching.
   std::string cache_path = ".scanc_cache";

@@ -1,25 +1,15 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 
 namespace scanc::fault {
 
 using netlist::Circuit;
-using netlist::NodeId;
-using sim::PackedV3;
 using sim::Sequence;
 using sim::Vector3;
-
-namespace {
-
-/// Fault slots occupied by a group of size n: bits 1..n.
-std::uint64_t group_mask(std::size_t n) {
-  return n >= 63 ? ~1ULL : ((1ULL << (n + 1)) - 2);
-}
-
-}  // namespace
 
 FaultSimulator::FaultSimulator(const Circuit& circuit,
                                const FaultList& faults)
@@ -31,19 +21,9 @@ FaultSimulator::FaultSimulator(const Circuit& circuit,
                                util::Bitset scan_mask)
     : circuit_(&circuit),
       faults_(&faults),
-      sim_(circuit),
-      injections_(circuit.num_nodes()),
-      scan_mask_(std::move(scan_mask)) {
+      scan_mask_(std::move(scan_mask)),
+      exec_(circuit, faults, scan_mask_) {
   assert(scan_mask_.size() == circuit.num_flip_flops());
-}
-
-Vector3 FaultSimulator::masked_state(const Vector3& scan_in) const {
-  if (scan_mask_.all()) return scan_in;
-  Vector3 masked = scan_in;
-  for (std::size_t i = 0; i < masked.size(); ++i) {
-    if (!scan_mask_.test(i)) masked[i] = sim::V3::X;
-  }
-  return masked;
 }
 
 std::vector<FaultClassId> FaultSimulator::collect(
@@ -63,101 +43,31 @@ std::vector<FaultClassId> FaultSimulator::collect(
   return out;
 }
 
-void FaultSimulator::build_injections(std::span<const FaultClassId> group) {
-  injections_.clear();
-  for (std::size_t j = 0; j < group.size(); ++j) {
-    const Fault& f = faults_->representative(group[j]);
-    injections_.add(f.node, f.pin, f.stuck_one, 1ULL << (j + 1));
-  }
-}
-
-std::uint64_t FaultSimulator::po_detections() const {
-  std::uint64_t det = 0;
-  for (const NodeId po : circuit_->primary_outputs()) {
-    const PackedV3 w = sim_.value(po);
-    const bool ref0 = (w.is0 & 1) != 0;
-    const bool ref1 = (w.is1 & 1) != 0;
-    if (ref0 == ref1) continue;  // fault-free X: no detection here
-    det |= sim::differs_from_reference(w, ref1);
-  }
-  return det & ~1ULL;
-}
-
-std::uint64_t FaultSimulator::state_detections() const {
-  std::uint64_t det = 0;
-  for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
-    if (!scan_mask_.test(i)) continue;  // not on the scan chain
-    // Scan-out observes the captured latch contents (PPO convention).
-    const PackedV3 w = sim_.captured(i);
-    const bool ref0 = (w.is0 & 1) != 0;
-    const bool ref1 = (w.is1 & 1) != 0;
-    if (ref0 == ref1) continue;
-    det |= sim::differs_from_reference(w, ref1);
-  }
-  return det & ~1ULL;
-}
-
-std::uint64_t FaultSimulator::run_group(const Vector3* scan_in,
-                                        const Sequence& seq,
-                                        std::span<const FaultClassId> group,
-                                        bool observe_scan_out,
-                                        bool early_exit, DetectionTimes* times,
-                                        std::size_t target_base) {
-  build_injections(group);
-  sim_.reset(&injections_);
-  if (scan_in != nullptr) {
-    sim_.load_state(masked_state(*scan_in), &injections_);
-  }
-
-  const std::uint64_t full = group_mask(group.size());
-  std::uint64_t det = 0;
-  for (std::size_t t = 0; t < seq.length(); ++t) {
-    sim_.apply_frame(seq.frames[t], &injections_);
-    const std::uint64_t po_det = po_detections();
-    if (times != nullptr) {
-      std::uint64_t fresh = po_det & ~det;
-      while (fresh != 0) {
-        const int bit = std::countr_zero(fresh);
-        fresh &= fresh - 1;
-        times->first_po[target_base + static_cast<std::size_t>(bit) - 1] =
-            static_cast<std::int64_t>(t);
-      }
-    }
-    det |= po_det;
-    sim_.latch(&injections_);
-    if (times != nullptr) {
-      // Scan-out after time unit t would observe the just-latched state.
-      const std::uint64_t sd = state_detections();
-      std::uint64_t bits = sd;
-      while (bits != 0) {
-        const int bit = std::countr_zero(bits);
-        bits &= bits - 1;
-        times->state_diff[target_base + static_cast<std::size_t>(bit) - 1]
-            .set(t);
-      }
-    } else if (early_exit && det == full &&
-               t + 1 < seq.length()) {
-      return det;
+void FaultSimulator::reduce_masks(std::span<const FaultClassId> list,
+                                  std::span<const std::uint64_t> group_masks,
+                                  FaultSet& out) const {
+  for (std::size_t g = 0; g < group_masks.size(); ++g) {
+    const std::size_t base = g * kGroupSize;
+    const std::size_t n = std::min(kGroupSize, list.size() - base);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (group_masks[g] & (1ULL << (j + 1))) out.set(list[base + j]);
     }
   }
-  if (observe_scan_out) det |= state_detections();
-  return det;
 }
 
 FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
                                         const FaultSet* targets) {
   const std::vector<FaultClassId> list = collect(targets);
+  std::vector<std::uint64_t> det(num_groups(list.size()), 0);
+  for_each_group(exec_, list, policy(),
+                 [&](GroupWorker& w, std::size_t g,
+                     std::span<const FaultClassId> group) {
+                   det[g] = w.run_detect(nullptr, seq, group,
+                                         /*observe_scan_out=*/false,
+                                         /*early_exit=*/true);
+                 });
   FaultSet detected(num_classes());
-  for (std::size_t base = 0; base < list.size(); base += 63) {
-    const std::size_t n = std::min<std::size_t>(63, list.size() - base);
-    const std::span<const FaultClassId> group(list.data() + base, n);
-    const std::uint64_t det = run_group(nullptr, seq, group,
-                                        /*observe_scan_out=*/false,
-                                        /*early_exit=*/true, nullptr, 0);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (det & (1ULL << (j + 1))) detected.set(group[j]);
-    }
-  }
+  reduce_masks(list, det, detected);
   return detected;
 }
 
@@ -165,17 +75,16 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
                                           const Sequence& seq,
                                           const FaultSet* targets) {
   const std::vector<FaultClassId> list = collect(targets);
+  std::vector<std::uint64_t> det(num_groups(list.size()), 0);
+  for_each_group(exec_, list, policy(),
+                 [&](GroupWorker& w, std::size_t g,
+                     std::span<const FaultClassId> group) {
+                   det[g] = w.run_detect(&scan_in, seq, group,
+                                         /*observe_scan_out=*/true,
+                                         /*early_exit=*/true);
+                 });
   FaultSet detected(num_classes());
-  for (std::size_t base = 0; base < list.size(); base += 63) {
-    const std::size_t n = std::min<std::size_t>(63, list.size() - base);
-    const std::span<const FaultClassId> group(list.data() + base, n);
-    const std::uint64_t det = run_group(&scan_in, seq, group,
-                                        /*observe_scan_out=*/true,
-                                        /*early_exit=*/true, nullptr, 0);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (det & (1ULL << (j + 1))) detected.set(group[j]);
-    }
-  }
+  reduce_masks(list, det, detected);
   return detected;
 }
 
@@ -184,14 +93,17 @@ FaultSimulator::DetectionTimes FaultSimulator::detection_times(
   DetectionTimes times;
   times.targets = collect(&targets);
   times.first_po.assign(times.targets.size(), -1);
-  times.state_diff.assign(times.targets.size(),
-                          util::Bitset(seq.length()));
-  for (std::size_t base = 0; base < times.targets.size(); base += 63) {
-    const std::size_t n = std::min<std::size_t>(63, times.targets.size() - base);
-    const std::span<const FaultClassId> group(times.targets.data() + base, n);
-    run_group(&scan_in, seq, group, /*observe_scan_out=*/true,
-              /*early_exit=*/false, &times, base);
-  }
+  times.state_diff.assign(times.targets.size(), util::Bitset(seq.length()));
+  const std::span<std::int64_t> first_po(times.first_po);
+  const std::span<util::Bitset> state_diff(times.state_diff);
+  for_each_group(exec_, times.targets, policy(),
+                 [&](GroupWorker& w, std::size_t g,
+                     std::span<const FaultClassId> group) {
+                   const std::size_t base = g * kGroupSize;
+                   w.run_times(scan_in, seq, group,
+                               first_po.subspan(base, group.size()),
+                               state_diff.subspan(base, group.size()));
+                 });
   return times;
 }
 
@@ -201,34 +113,42 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
   out.targets = collect(&targets);
   out.first_po.assign(out.targets.size(), -1);
   out.detected = util::Bitset(num_classes());
-  for (std::size_t base = 0; base < out.targets.size(); base += 63) {
-    const std::size_t n = std::min<std::size_t>(63, out.targets.size() - base);
-    const std::span<const FaultClassId> group(out.targets.data() + base, n);
-    build_injections(group);
-    sim_.reset(&injections_);
-    sim_.load_state(masked_state(scan_in), &injections_);
-
-    const std::uint64_t full = group_mask(n);
-    std::uint64_t det = 0;
-    for (std::size_t t = 0; t < seq.length(); ++t) {
-      sim_.apply_frame(seq.frames[t], &injections_);
-      std::uint64_t fresh = po_detections() & ~det;
-      det |= fresh;
-      while (fresh != 0) {
-        const int bit = std::countr_zero(fresh);
-        fresh &= fresh - 1;
-        out.first_po[base + static_cast<std::size_t>(bit) - 1] =
-            static_cast<std::int64_t>(t);
-      }
-      if (det == full) break;  // everything PO-detected: skip the rest
-      sim_.latch(&injections_);
-    }
-    if (det != full) det |= state_detections();  // final scan-out
-    for (std::size_t j = 0; j < n; ++j) {
-      if (det & (1ULL << (j + 1))) out.detected.set(group[j]);
-    }
-  }
+  const std::span<std::int64_t> first_po(out.first_po);
+  std::vector<std::uint64_t> det(num_groups(out.targets.size()), 0);
+  for_each_group(exec_, out.targets, policy(),
+                 [&](GroupWorker& w, std::size_t g,
+                     std::span<const FaultClassId> group) {
+                   const std::size_t base = g * kGroupSize;
+                   det[g] = w.run_prefix(scan_in, seq, group,
+                                         first_po.subspan(base,
+                                                          group.size()));
+                 });
+  reduce_masks(out.targets, det, out.detected);
   return out;
+}
+
+bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
+                                 const FaultSet& required) {
+  const std::vector<FaultClassId> list = collect(&required);
+  // Cooperative early exit: the first group that misses a fault flips
+  // the flag; pending groups are skipped and in-flight groups abort at
+  // their next frame boundary.  The answer never depends on the races —
+  // the flag only ever moves true -> false, and it moves iff some group
+  // genuinely fails.
+  std::atomic<bool> all_ok{true};
+  for_each_group(exec_, list, policy(),
+                 [&](GroupWorker& w, std::size_t /*g*/,
+                     std::span<const FaultClassId> group) {
+                   if (!all_ok.load(std::memory_order_relaxed)) return;
+                   const std::uint64_t det =
+                       w.run_detect(&scan_in, seq, group,
+                                    /*observe_scan_out=*/true,
+                                    /*early_exit=*/true, &all_ok);
+                   if (det != group_slot_mask(group.size())) {
+                     all_ok.store(false, std::memory_order_relaxed);
+                   }
+                 });
+  return all_ok.load(std::memory_order_relaxed);
 }
 
 FaultSet FaultSimulator::consistent_faults(
@@ -238,38 +158,19 @@ FaultSet FaultSimulator::consistent_faults(
   assert(observed_pos.size() == seq.length());
   assert(observed_scan_out.size() == circuit_->num_flip_flops());
   const std::vector<FaultClassId> list = collect(&targets);
+  std::vector<std::uint64_t> mismatch(num_groups(list.size()), 0);
+  for_each_group(exec_, list, policy(),
+                 [&](GroupWorker& w, std::size_t g,
+                     std::span<const FaultClassId> group) {
+                   mismatch[g] = w.run_consistency(
+                       scan_in, seq, observed_pos, observed_scan_out, group);
+                 });
   FaultSet consistent(num_classes());
-
-  // Mismatch bits for one observation point: predicted binary, observed
-  // binary, values differ.
-  const auto mismatches = [](const PackedV3 w, sim::V3 obs) -> std::uint64_t {
-    if (!sim::is_binary(obs)) return 0;
-    return sim::differs_from_reference(w, obs == sim::V3::One);
-  };
-
-  for (std::size_t base = 0; base < list.size(); base += 63) {
-    const std::size_t n = std::min<std::size_t>(63, list.size() - base);
-    const std::span<const FaultClassId> group(list.data() + base, n);
-    build_injections(group);
-    sim_.reset(&injections_);
-    sim_.load_state(masked_state(scan_in), &injections_);
-
-    std::uint64_t mismatch = 0;
-    for (std::size_t t = 0; t < seq.length(); ++t) {
-      sim_.apply_frame(seq.frames[t], &injections_);
-      const auto pos = circuit_->primary_outputs();
-      for (std::size_t i = 0; i < pos.size(); ++i) {
-        mismatch |= mismatches(sim_.value(pos[i]), observed_pos[t][i]);
-      }
-      sim_.latch(&injections_);
-      if ((mismatch & group_mask(n)) == group_mask(n)) break;
-    }
-    for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
-      if (!scan_mask_.test(i)) continue;
-      mismatch |= mismatches(sim_.captured(i), observed_scan_out[i]);
-    }
+  for (std::size_t g = 0; g < mismatch.size(); ++g) {
+    const std::size_t base = g * kGroupSize;
+    const std::size_t n = std::min(kGroupSize, list.size() - base);
     for (std::size_t j = 0; j < n; ++j) {
-      if (!(mismatch & (1ULL << (j + 1)))) consistent.set(group[j]);
+      if (!(mismatch[g] & (1ULL << (j + 1)))) consistent.set(list[base + j]);
     }
   }
   return consistent;
@@ -278,26 +179,27 @@ FaultSet FaultSimulator::consistent_faults(
 FaultSimulator::Session::Session(FaultSimulator& parent,
                                  const FaultSet& targets)
     : parent_(&parent),
+      worker_(&parent.exec_.serial_worker()),
       targets_(parent.collect(&targets)),
       detected_(parent.num_classes()) {
-  num_groups_ = (targets_.size() + 62) / 63;
+  num_groups_ = fault::num_groups(targets_.size());
   const std::size_t nff = parent_->circuit_->num_flip_flops();
   ff_values_.resize(num_groups_ * nff);
   group_remaining_.resize(num_groups_);
   for (std::size_t g = 0; g < num_groups_; ++g) {
     install_group(g);
-    parent_->sim_.reset(&parent_->injections_);
-    parent_->sim_.get_ff_values(
+    worker_->sim().reset(&worker_->injections());
+    worker_->sim().get_ff_values(
         std::span<sim::PackedV3>(ff_values_.data() + g * nff, nff));
     group_remaining_[g] = static_cast<std::uint32_t>(
-        std::min<std::size_t>(63, targets_.size() - g * 63));
+        std::min(kGroupSize, targets_.size() - g * kGroupSize));
   }
 }
 
 void FaultSimulator::Session::install_group(std::size_t g) {
-  const std::size_t base = g * 63;
-  const std::size_t n = std::min<std::size_t>(63, targets_.size() - base);
-  parent_->build_injections(
+  const std::size_t base = g * kGroupSize;
+  const std::size_t n = std::min(kGroupSize, targets_.size() - base);
+  worker_->build_injections(
       std::span<const FaultClassId>(targets_.data() + base, n));
 }
 
@@ -307,18 +209,18 @@ std::size_t FaultSimulator::Session::step(const sim::Vector3& pi) {
   for (std::size_t g = 0; g < num_groups_; ++g) {
     if (group_remaining_[g] == 0) continue;  // group fully detected
     install_group(g);
-    parent_->sim_.set_ff_values(
+    worker_->sim().set_ff_values(
         std::span<const sim::PackedV3>(ff_values_.data() + g * nff, nff));
-    parent_->sim_.apply_frame(pi, &parent_->injections_);
-    std::uint64_t det = parent_->po_detections();
-    parent_->sim_.latch(&parent_->injections_);
-    parent_->sim_.get_ff_values(
+    worker_->sim().apply_frame(pi, &worker_->injections());
+    std::uint64_t det = worker_->po_detections();
+    worker_->sim().latch(&worker_->injections());
+    worker_->sim().get_ff_values(
         std::span<sim::PackedV3>(ff_values_.data() + g * nff, nff));
     while (det != 0) {
       const int bit = std::countr_zero(det);
       det &= det - 1;
       const FaultClassId id =
-          targets_[g * 63 + static_cast<std::size_t>(bit) - 1];
+          targets_[g * kGroupSize + static_cast<std::size_t>(bit) - 1];
       if (!detected_.test(id)) {
         detected_.set(id);
         --group_remaining_[g];
@@ -353,20 +255,6 @@ void FaultSimulator::Session::restore(const Snapshot& snap) {
   ff_values_ = snap.ff_values;
   detected_ = snap.detected;
   group_remaining_ = snap.group_remaining;
-}
-
-bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
-                                 const FaultSet& required) {
-  const std::vector<FaultClassId> list = collect(&required);
-  for (std::size_t base = 0; base < list.size(); base += 63) {
-    const std::size_t n = std::min<std::size_t>(63, list.size() - base);
-    const std::span<const FaultClassId> group(list.data() + base, n);
-    const std::uint64_t det = run_group(&scan_in, seq, group,
-                                        /*observe_scan_out=*/true,
-                                        /*early_exit=*/true, nullptr, 0);
-    if (det != group_mask(n)) return false;
-  }
-  return true;
 }
 
 }  // namespace scanc::fault

@@ -5,6 +5,14 @@
 // as stuck-line masks (sim/injection.hpp) at the representative fault of
 // each collapsed class.
 //
+// Layering (docs/execution.md):
+//   engine     fault::GroupWorker      — worker-local mutable state
+//   execution  fault::for_each_group   — group partitioning + thread pool
+//   call-site  FaultSimulator queries  — this file; paper-facing API
+// Every query routes through the same group plan, so set_num_threads(n)
+// parallelises all of them while keeping results bit-identical to a
+// serial run (see group_exec.hpp for the determinism argument).
+//
 // Detection is conservative (standard for 3-valued simulation): a fault
 // is detected at an observation point only when both the fault-free and
 // the faulty values are binary and differ.  Observation points are the
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "fault/fault_list.hpp"
+#include "fault/group_exec.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/seq_sim.hpp"
 #include "util/bitset.hpp"
@@ -46,6 +55,14 @@ class FaultSimulator {
   /// notes the procedure extends to partial scan; this is that extension.
   FaultSimulator(const netlist::Circuit& circuit, const FaultList& faults,
                  util::Bitset scan_mask);
+
+  /// Worker threads every query fans fault groups across: 1 (default)
+  /// runs serially on the calling thread, 0 means one per hardware
+  /// thread.  Results are bit-identical for every setting.
+  void set_num_threads(std::size_t n) noexcept { num_threads_ = n; }
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return num_threads_;
+  }
 
   /// The scan-chain membership mask (all-set for full scan).
   [[nodiscard]] const util::Bitset& scan_mask() const noexcept {
@@ -133,9 +150,15 @@ class FaultSimulator {
     std::vector<std::int64_t> first_po;  ///< per target; -1 = not at a PO
     util::Bitset detected;               ///< per *class*: test detects it
 
-    /// True if every simulated target is detected.
+    /// True if every simulated target is detected.  `detected` is
+    /// indexed by class, not by target, so this checks the targets
+    /// actually simulated — extra class bits (e.g. after merging in
+    /// another query's result) don't skew the answer.
     [[nodiscard]] bool all_detected() const noexcept {
-      return detected.count() == targets.size();
+      for (const FaultClassId t : targets) {
+        if (!detected.test(t)) return false;
+      }
+      return true;
     }
   };
 
@@ -144,7 +167,9 @@ class FaultSimulator {
                                                  const FaultSet& targets);
 
   /// True iff the scan test (scan_in, seq) detects every class in
-  /// `required`.  Exits early where possible.
+  /// `required`.  Exits early where possible: serially, the first
+  /// failing group stops the scan; in parallel, a shared "all satisfied
+  /// so far" flag cancels in-flight groups cooperatively.
   [[nodiscard]] bool detects_all(const sim::Vector3& scan_in,
                                  const sim::Sequence& seq,
                                  const FaultSet& required);
@@ -165,6 +190,9 @@ class FaultSimulator {
   /// start in the all-X state and advance one frame per step() with PO
   /// observation.  snapshot()/restore() allow speculative extension —
   /// the engine a simulation-based sequence generator needs.
+  ///
+  /// Sessions run on the parent's serial engine: step() is not
+  /// parallelised and must not run concurrently with parent queries.
   class Session {
    public:
     Session(FaultSimulator& parent, const FaultSet& targets);
@@ -197,6 +225,7 @@ class FaultSimulator {
     void install_group(std::size_t g);
 
     FaultSimulator* parent_;
+    GroupWorker* worker_;  // the parent's serial engine
     std::vector<FaultClassId> targets_;
     std::size_t num_groups_ = 0;
     std::vector<sim::PackedV3> ff_values_;  // num_groups x num_ffs
@@ -207,28 +236,26 @@ class FaultSimulator {
   };
 
  private:
-  /// Simulates one group of <= 63 classes through the whole test.
-  /// Returns the detection mask (bit j+1 = group[j] detected; bit 0 unused).
-  std::uint64_t run_group(const sim::Vector3* scan_in,
-                          const sim::Sequence& seq,
-                          std::span<const FaultClassId> group,
-                          bool observe_scan_out, bool early_exit,
-                          DetectionTimes* times, std::size_t target_base);
+  /// The execution policy every query plan runs under.
+  [[nodiscard]] ExecPolicy policy() const noexcept {
+    return ExecPolicy{num_threads_};
+  }
 
-  void build_injections(std::span<const FaultClassId> group);
-  [[nodiscard]] std::uint64_t po_detections() const;
-  [[nodiscard]] std::uint64_t state_detections() const;
+  /// Targets to simulate: every class, or the members of `targets`.
+  [[nodiscard]] std::vector<FaultClassId> collect(
+      const FaultSet* targets) const;
 
-  std::vector<FaultClassId> collect(const FaultSet* targets) const;
-
-  /// Copies `scan_in` with unscanned positions forced to X.
-  [[nodiscard]] sim::Vector3 masked_state(const sim::Vector3& scan_in) const;
+  /// Scatters per-group detection masks into a per-class FaultSet, in
+  /// group order.
+  void reduce_masks(std::span<const FaultClassId> list,
+                    std::span<const std::uint64_t> group_masks,
+                    FaultSet& out) const;
 
   const netlist::Circuit* circuit_;
   const FaultList* faults_;
-  sim::PackedSeqSim sim_;
-  sim::InjectionMap injections_;
   util::Bitset scan_mask_;
+  std::size_t num_threads_ = 1;
+  GroupExecutor exec_;
 };
 
 }  // namespace scanc::fault

@@ -1,0 +1,56 @@
+#include "fault/group_exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace scanc::fault {
+
+GroupExecutor::GroupExecutor(const netlist::Circuit& circuit,
+                             const FaultList& faults, util::Bitset scan_mask)
+    : circuit_(&circuit), faults_(&faults), scan_mask_(std::move(scan_mask)) {}
+
+GroupWorker& GroupExecutor::worker(std::size_t i) {
+  while (workers_.size() <= i) {
+    workers_.push_back(
+        std::make_unique<GroupWorker>(*circuit_, *faults_, scan_mask_));
+  }
+  return *workers_[i];
+}
+
+void GroupExecutor::for_each_group(std::span<const FaultClassId> targets,
+                                   const ExecPolicy& policy,
+                                   const GroupFn& fn) {
+  const std::size_t ng = num_groups(targets.size());
+  if (ng == 0) return;
+  const auto group_at = [targets](std::size_t g) {
+    const std::size_t base = g * kGroupSize;
+    return targets.subspan(base,
+                           std::min(kGroupSize, targets.size() - base));
+  };
+
+  const std::size_t threads =
+      std::min(util::ThreadPool::resolve_threads(policy.num_threads), ng);
+  if (threads <= 1) {
+    GroupWorker& w = worker(0);
+    for (std::size_t g = 0; g < ng; ++g) fn(w, g, group_at(g));
+    return;
+  }
+
+  // One worker per executing thread, created before the fan-out so the
+  // worker vector is never mutated concurrently.
+  worker(threads - 1);
+  if (pool_ == nullptr || pool_->size() < threads) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  std::atomic<std::size_t> next{0};
+  pool_->parallel_for(threads, [&](std::size_t wi) {
+    GroupWorker& w = *workers_[wi];
+    for (std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
+         g < ng; g = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(w, g, group_at(g));
+    }
+  });
+}
+
+}  // namespace scanc::fault

@@ -1,0 +1,184 @@
+#include "fault/group_worker.hpp"
+
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace scanc::fault {
+
+using netlist::NodeId;
+using sim::PackedV3;
+using sim::Sequence;
+using sim::Vector3;
+
+GroupWorker::GroupWorker(const netlist::Circuit& circuit,
+                         const FaultList& faults, util::Bitset scan_mask)
+    : circuit_(&circuit),
+      faults_(&faults),
+      scan_mask_(std::move(scan_mask)),
+      sim_(circuit),
+      injections_(circuit.num_nodes()) {
+  assert(scan_mask_.size() == circuit.num_flip_flops());
+}
+
+Vector3 GroupWorker::masked_state(const Vector3& scan_in) const {
+  if (scan_mask_.all()) return scan_in;
+  Vector3 masked = scan_in;
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    if (!scan_mask_.test(i)) masked[i] = sim::V3::X;
+  }
+  return masked;
+}
+
+void GroupWorker::build_injections(std::span<const FaultClassId> group) {
+  injections_.clear();
+  for (std::size_t j = 0; j < group.size(); ++j) {
+    const Fault& f = faults_->representative(group[j]);
+    injections_.add(f.node, f.pin, f.stuck_one, 1ULL << (j + 1));
+  }
+}
+
+void GroupWorker::start_test(const Vector3* scan_in,
+                             std::span<const FaultClassId> group) {
+  build_injections(group);
+  sim_.reset(&injections_);
+  if (scan_in != nullptr) {
+    sim_.load_state(masked_state(*scan_in), &injections_);
+  }
+}
+
+std::uint64_t GroupWorker::po_detections() const {
+  std::uint64_t det = 0;
+  for (const NodeId po : circuit_->primary_outputs()) {
+    const PackedV3 w = sim_.value(po);
+    const bool ref0 = (w.is0 & 1) != 0;
+    const bool ref1 = (w.is1 & 1) != 0;
+    if (ref0 == ref1) continue;  // fault-free X: no detection here
+    det |= sim::differs_from_reference(w, ref1);
+  }
+  return det & ~1ULL;
+}
+
+std::uint64_t GroupWorker::state_detections() const {
+  std::uint64_t det = 0;
+  for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
+    if (!scan_mask_.test(i)) continue;  // not on the scan chain
+    // Scan-out observes the captured latch contents (PPO convention).
+    const PackedV3 w = sim_.captured(i);
+    const bool ref0 = (w.is0 & 1) != 0;
+    const bool ref1 = (w.is1 & 1) != 0;
+    if (ref0 == ref1) continue;
+    det |= sim::differs_from_reference(w, ref1);
+  }
+  return det & ~1ULL;
+}
+
+std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
+                                      const Sequence& seq,
+                                      std::span<const FaultClassId> group,
+                                      bool observe_scan_out, bool early_exit,
+                                      const std::atomic<bool>* keep_going) {
+  start_test(scan_in, group);
+  const std::uint64_t full = group_slot_mask(group.size());
+  std::uint64_t det = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (keep_going != nullptr &&
+        !keep_going->load(std::memory_order_relaxed)) {
+      return det;  // another group already decided the answer
+    }
+    sim_.apply_frame(seq.frames[t], &injections_);
+    det |= po_detections();
+    sim_.latch(&injections_);
+    if (early_exit && det == full && t + 1 < seq.length()) return det;
+  }
+  if (observe_scan_out) det |= state_detections();
+  return det;
+}
+
+void GroupWorker::run_times(const Vector3& scan_in, const Sequence& seq,
+                            std::span<const FaultClassId> group,
+                            std::span<std::int64_t> first_po,
+                            std::span<util::Bitset> state_diff) {
+  assert(first_po.size() == group.size());
+  assert(state_diff.size() == group.size());
+  start_test(&scan_in, group);
+  std::uint64_t det = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    sim_.apply_frame(seq.frames[t], &injections_);
+    std::uint64_t fresh = po_detections() & ~det;
+    det |= fresh;
+    while (fresh != 0) {
+      const int bit = std::countr_zero(fresh);
+      fresh &= fresh - 1;
+      first_po[static_cast<std::size_t>(bit) - 1] =
+          static_cast<std::int64_t>(t);
+    }
+    sim_.latch(&injections_);
+    // Scan-out after time unit t would observe the just-latched state.
+    std::uint64_t bits = state_detections();
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      state_diff[static_cast<std::size_t>(bit) - 1].set(t);
+    }
+  }
+}
+
+std::uint64_t GroupWorker::run_prefix(const Vector3& scan_in,
+                                      const Sequence& seq,
+                                      std::span<const FaultClassId> group,
+                                      std::span<std::int64_t> first_po) {
+  assert(first_po.size() == group.size());
+  start_test(&scan_in, group);
+  const std::uint64_t full = group_slot_mask(group.size());
+  std::uint64_t det = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    sim_.apply_frame(seq.frames[t], &injections_);
+    std::uint64_t fresh = po_detections() & ~det;
+    det |= fresh;
+    while (fresh != 0) {
+      const int bit = std::countr_zero(fresh);
+      fresh &= fresh - 1;
+      first_po[static_cast<std::size_t>(bit) - 1] =
+          static_cast<std::int64_t>(t);
+    }
+    if (det == full) return det;  // everything PO-detected: skip the rest
+    sim_.latch(&injections_);
+  }
+  return det | state_detections();  // final scan-out
+}
+
+std::uint64_t GroupWorker::run_consistency(
+    const Vector3& scan_in, const Sequence& seq,
+    std::span<const sim::Vector3> observed_pos,
+    const Vector3& observed_scan_out, std::span<const FaultClassId> group) {
+  assert(observed_pos.size() == seq.length());
+  assert(observed_scan_out.size() == circuit_->num_flip_flops());
+  start_test(&scan_in, group);
+
+  // Mismatch bits for one observation point: predicted binary, observed
+  // binary, values differ.
+  const auto mismatches = [](const PackedV3 w, sim::V3 obs) -> std::uint64_t {
+    if (!sim::is_binary(obs)) return 0;
+    return sim::differs_from_reference(w, obs == sim::V3::One);
+  };
+
+  const std::uint64_t full = group_slot_mask(group.size());
+  std::uint64_t mismatch = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    sim_.apply_frame(seq.frames[t], &injections_);
+    const auto pos = circuit_->primary_outputs();
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      mismatch |= mismatches(sim_.value(pos[i]), observed_pos[t][i]);
+    }
+    sim_.latch(&injections_);
+    if ((mismatch & full) == full) break;
+  }
+  for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
+    if (!scan_mask_.test(i)) continue;
+    mismatch |= mismatches(sim_.captured(i), observed_scan_out[i]);
+  }
+  return mismatch;
+}
+
+}  // namespace scanc::fault

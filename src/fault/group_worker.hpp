@@ -1,0 +1,118 @@
+// Worker-local parallel-fault simulation engine.
+//
+// A GroupWorker owns everything one pass over a group of <= 63 collapsed
+// fault classes mutates — the PackedSeqSim, the InjectionMap, and the
+// scan-mask scratch — and borrows only const circuit/fault data.  Any
+// number of workers can therefore simulate disjoint fault groups
+// concurrently over the same circuit; the execution layer
+// (fault/group_exec.hpp) hands each executing thread its own worker.
+//
+// The per-group primitives map one-to-one onto the FaultSimulator
+// queries built on top of them:
+//   run_detect      -> detect_no_scan / detect_scan_test / detects_all
+//   run_times       -> detection_times
+//   run_prefix      -> prefix_detection
+//   run_consistency -> consistent_faults
+// Each primitive is a pure function of (const inputs, group): it fully
+// re-initialises the owned state, so results never depend on what the
+// worker ran before.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "fault/fault_list.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/seq_sim.hpp"
+#include "util/bitset.hpp"
+
+namespace scanc::fault {
+
+/// Fault slots occupied by a group of size n: bits 1..n (slot 0 is the
+/// fault-free reference machine).
+[[nodiscard]] constexpr std::uint64_t group_slot_mask(std::size_t n) noexcept {
+  return n >= 63 ? ~1ULL : ((1ULL << (n + 1)) - 2);
+}
+
+class GroupWorker {
+ public:
+  /// Borrows `circuit` and `faults`; copies `scan_mask` so the worker
+  /// stays valid if the owning simulator moves.
+  GroupWorker(const netlist::Circuit& circuit, const FaultList& faults,
+              util::Bitset scan_mask);
+
+  /// Simulates one group through the whole test and returns its
+  /// detection mask (bit j+1 = group[j] detected; bit 0 unused).
+  /// `scan_in == nullptr` runs from the all-X state (no scan).  With
+  /// `early_exit`, the pass stops once every group fault is PO-detected.
+  /// `keep_going`, when given, is polled every frame: once it reads
+  /// false the pass aborts and returns a partial mask (cooperative
+  /// cancellation for detects_all under parallel execution).
+  std::uint64_t run_detect(const sim::Vector3* scan_in,
+                           const sim::Sequence& seq,
+                           std::span<const FaultClassId> group,
+                           bool observe_scan_out, bool early_exit,
+                           const std::atomic<bool>* keep_going = nullptr);
+
+  /// Full detection-time recording for one group.  `first_po[j]` (init
+  /// to -1 by the caller) receives the earliest PO detection time of
+  /// group[j]; `state_diff[j]` (pre-sized to seq.length()) collects the
+  /// time units whose scan-out would detect it.  Spans are group-local
+  /// (index j, not class id).
+  void run_times(const sim::Vector3& scan_in, const sim::Sequence& seq,
+                 std::span<const FaultClassId> group,
+                 std::span<std::int64_t> first_po,
+                 std::span<util::Bitset> state_diff);
+
+  /// Lighter prefix-coverage pass: records first PO detection times into
+  /// `first_po` (group-local, init to -1) and returns the detection mask
+  /// of the complete test including the final scan-out.  Exits early
+  /// when every group fault is PO-detected.
+  std::uint64_t run_prefix(const sim::Vector3& scan_in,
+                           const sim::Sequence& seq,
+                           std::span<const FaultClassId> group,
+                           std::span<std::int64_t> first_po);
+
+  /// Response-comparison pass for diagnosis: returns the mask of group
+  /// faults whose predicted response *mismatches* the observation
+  /// (binary-vs-binary differences only).
+  std::uint64_t run_consistency(const sim::Vector3& scan_in,
+                                const sim::Sequence& seq,
+                                std::span<const sim::Vector3> observed_pos,
+                                const sim::Vector3& observed_scan_out,
+                                std::span<const FaultClassId> group);
+
+  // --- incremental primitives (FaultSimulator::Session) ---------------
+
+  /// Registers the group's stuck-line injections (slot j+1 = group[j]).
+  void build_injections(std::span<const FaultClassId> group);
+
+  /// PO / scan-out detection masks for the current simulation state.
+  [[nodiscard]] std::uint64_t po_detections() const;
+  [[nodiscard]] std::uint64_t state_detections() const;
+
+  /// Copies `scan_in` with unscanned positions forced to X.
+  [[nodiscard]] sim::Vector3 masked_state(const sim::Vector3& scan_in) const;
+
+  [[nodiscard]] sim::PackedSeqSim& sim() noexcept { return sim_; }
+  [[nodiscard]] sim::InjectionMap& injections() noexcept {
+    return injections_;
+  }
+  [[nodiscard]] const util::Bitset& scan_mask() const noexcept {
+    return scan_mask_;
+  }
+
+ private:
+  /// Resets the engine and loads the (masked) scan-in state, if any.
+  void start_test(const sim::Vector3* scan_in,
+                  std::span<const FaultClassId> group);
+
+  const netlist::Circuit* circuit_;
+  const FaultList* faults_;
+  util::Bitset scan_mask_;
+  sim::PackedSeqSim sim_;
+  sim::InjectionMap injections_;
+};
+
+}  // namespace scanc::fault

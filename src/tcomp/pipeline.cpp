@@ -12,6 +12,7 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   const auto trace = [&](const char* what) {
     if (options.trace) options.trace(what);
   };
+  if (options.num_threads != 0) fsim.set_num_threads(options.num_threads);
 
   // Phases 1 and 2, iterated.
   trace("phases 1+2 (iterated)");

@@ -26,6 +26,11 @@ struct PipelineOptions {
   IterateOptions iterate;
   CombineOptions combine;
   bool run_phase4 = true;  ///< ablation: skip final static compaction
+  /// Fault-simulation worker threads for every phase (applied to `fsim`
+  /// at pipeline entry): 0 = keep the simulator's current setting,
+  /// 1 = serial, otherwise that many threads.  Results are identical for
+  /// every setting (see docs/execution.md).
+  std::size_t num_threads = 0;
   /// Optional progress callback (phase names, for logging).
   std::function<void(const char*)> trace;
 };

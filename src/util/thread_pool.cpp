@@ -1,0 +1,97 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace scanc::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Batch {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    std::exception_ptr error;            // first failure, guarded by m
+    std::atomic<bool> failed{false};     // fast-path skip flag
+  };
+  const auto batch = std::make_shared<Batch>();
+  batch->pending = n;
+
+  // fn is captured by reference: the caller blocks below until every
+  // task has finished, so the reference outlives all uses.
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([batch, &fn, i] {
+      if (!batch->failed.load(std::memory_order_acquire)) {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(batch->m);
+          if (!batch->error) batch->error = std::current_exception();
+          batch->failed.store(true, std::memory_order_release);
+        }
+      }
+      const std::lock_guard<std::mutex> lock(batch->m);
+      if (--batch->pending == 0) batch->done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done.wait(lock, [&] { return batch->pending == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace scanc::util

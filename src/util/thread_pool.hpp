@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a shared work queue.
+//
+// The pool owns its threads for its whole lifetime (no spawn-per-call),
+// tasks are plain std::function<void()>, and parallel_for() provides the
+// blocking fork-join shape every parallel engine in the library uses:
+// run fn(0..n-1) across the pool, wait for all of them, and rethrow the
+// first exception a task raised on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scanc::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains nothing: pending tasks still run, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues one task.  Tasks must not throw out of the queue — use
+  /// parallel_for for exception-propagating batches.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until
+  /// all invocations complete.  If any invocation throws, remaining
+  /// not-yet-started invocations are skipped and the first exception is
+  /// rethrown here.  With an empty pool the calls run inline.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Maps a thread-count knob to an actual count: 0 means "one per
+  /// hardware thread", anything else is taken literally (minimum 1).
+  [[nodiscard]] static std::size_t resolve_threads(
+      std::size_t requested) noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace scanc::util

@@ -266,6 +266,55 @@ TEST_P(DetectionTimesProperty, PrefixSemanticsOnRandomCircuits) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DetectionTimesProperty,
                          ::testing::Range<std::uint64_t>(1, 7));
 
+// Regression: PrefixDetection::all_detected() must check the targets
+// actually simulated.  `detected` is indexed per *class* while `targets`
+// is the simulated subset, so a count()-vs-size comparison breaks as
+// soon as `detected` carries class bits outside that subset.
+TEST(FaultSim, PrefixAllDetectedChecksSimulatedTargets) {
+  const Circuit c = gen::make_s27();
+  const FaultList fl = FaultList::build(c);
+  FaultSimulator fsim(c, fl);
+  util::Rng rng(23);
+  const Sequence seq = sim::random_sequence(c.num_inputs(), 12, rng);
+  const Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+
+  // Non-trivial targets filter: exactly the classes the test covers.
+  const FaultSet covered = fsim.detect_scan_test(si, seq);
+  ASSERT_FALSE(covered.none());
+  auto result = fsim.prefix_detection(si, seq, covered);
+  EXPECT_TRUE(result.all_detected());
+
+  // Merging unrelated per-class coverage into `detected` (count now
+  // exceeds targets.size()) must not flip the answer.
+  FaultSet extra(fl.num_classes());
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    if (!covered.test(i)) extra.set(i);
+  }
+  result.detected |= extra;
+  EXPECT_TRUE(result.all_detected());
+
+  // A targets filter containing an uncovered class must report false
+  // even though other classes push the detected count past size().
+  if (!extra.none()) {
+    FaultSet with_missing = covered;
+    with_missing.set(extra.find_first());
+    const auto miss = fsim.prefix_detection(si, seq, with_missing);
+    EXPECT_FALSE(miss.all_detected());
+  }
+
+  // Hand-built record pinning the per-class semantics.
+  FaultSimulator::PrefixDetection pd;
+  pd.targets = {0, 1};
+  pd.first_po = {-1, -1};
+  pd.detected = FaultSet(fl.num_classes());
+  pd.detected.set(0);
+  pd.detected.set(2);  // stray non-target class bits
+  pd.detected.set(3);
+  EXPECT_FALSE(pd.all_detected());  // target 1 missing
+  pd.detected.set(1);
+  EXPECT_TRUE(pd.all_detected());   // count() == 4 > targets.size() == 2
+}
+
 TEST(Session, LatchedEffectsCountsBinaryDifferences) {
   const Circuit c = gen::make_s27();
   const FaultList fl = FaultList::build(c);
