@@ -1,4 +1,10 @@
 // Shared main() scaffolding for the per-table bench binaries.
+//
+// Installs a SIGINT/SIGTERM handler that raises the run's cancel token:
+// Ctrl-C (or a --time-budget deadline) stops the measurement at the
+// next frame boundary, checkpoints every completed phase, prints the
+// tables with partial rows marked, and exits 0 — rerunning resumes
+// from the journal (docs/robustness.md).
 #pragma once
 
 #include <exception>
@@ -6,6 +12,7 @@
 
 #include "expt/options.hpp"
 #include "expt/tables.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::bench {
 
@@ -15,9 +22,17 @@ using TablePrinter = void (*)(const std::vector<expt::CircuitRun>&,
 inline int table_main(int argc, const char* const* argv,
                       TablePrinter printer) {
   try {
-    const expt::BenchConfig cfg = expt::parse_bench_args(argc, argv);
+    expt::BenchConfig cfg = expt::parse_bench_args(argc, argv);
+    if (!cfg.runner.cancel.valid()) {
+      cfg.runner.cancel = util::CancelToken::make();
+    }
+    const util::ScopedSignalCancel on_signal(cfg.runner.cancel);
     const std::vector<expt::CircuitRun> runs = expt::run_configured(cfg);
     printer(runs, std::cout);
+    if (cfg.runner.cancel.stop_requested()) {
+      std::cerr << "note: run interrupted; completed phases are "
+                   "checkpointed, rerun to resume\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

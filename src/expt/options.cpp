@@ -1,9 +1,11 @@
 #include "expt/options.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "gen/suite.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::expt {
 namespace {
@@ -25,6 +27,19 @@ std::vector<std::string> split_names(const std::string& arg) {
   return out;
 }
 
+/// Parses a time budget in (fractional) seconds; throws on garbage so a
+/// typo does not silently run without a deadline.
+double parse_seconds(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const double s = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(s > 0.0)) {
+    throw std::invalid_argument("bad time budget for " + flag + ": " +
+                                value);
+  }
+  return s;
+}
+
 }  // namespace
 
 BenchConfig parse_bench_args(int argc, const char* const* argv) {
@@ -44,6 +59,10 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
   if (const char* v = std::getenv("SCANC_CACHE")) {
     cfg.runner.cache_path = v;
   }
+  if (const char* v = std::getenv("SCANC_TIME_BUDGET")) {
+    cfg.runner.cancel = util::CancelToken::make(
+        util::Deadline::after(parse_seconds("SCANC_TIME_BUDGET", v)));
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,6 +78,11 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
       cfg.runner.num_threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--cache=", 0) == 0) {
       cfg.runner.cache_path = arg.substr(8);
+    } else if (arg.rfind("--time-budget=", 0) == 0) {
+      // Anchored here, at parse time: the budget covers the whole
+      // invocation, not each circuit.
+      cfg.runner.cancel = util::CancelToken::make(util::Deadline::after(
+          parse_seconds("--time-budget", arg.c_str() + 14)));
     } else if (arg == "--no-dynamic") {
       cfg.runner.run_dynamic_baseline = false;
     } else if (arg == "--verbose") {
@@ -82,7 +106,9 @@ std::vector<CircuitRun> run_configured(const BenchConfig& config) {
   }
   std::vector<CircuitRun> runs;
   for (const std::string& name : config.circuits) {
+    if (config.runner.cancel.stop_requested()) break;
     runs.push_back(run_circuit(*gen::find_suite_entry(name), config.runner));
+    if (!runs.back().completed) break;
   }
   return runs;
 }

@@ -11,6 +11,15 @@
 //   --cache=PATH       SCANC_CACHE      cache file prefix
 //   --no-dynamic                        skip the [2,3]-style baseline
 //   --verbose          SCANC_VERBOSE=1  progress notes on stderr
+//   --time-budget=S    SCANC_TIME_BUDGET
+//                                       stop gracefully after S seconds
+//                                       (fractional OK), keeping every
+//                                       completed phase checkpointed;
+//                                       rerunning resumes and the final
+//                                       numbers match an uninterrupted
+//                                       run (docs/robustness.md).  The
+//                                       deadline is anchored when the
+//                                       flags are parsed.
 #pragma once
 
 #include <string>

@@ -1,7 +1,10 @@
 #include "expt/runner.hpp"
 
+#include <cerrno>
+#include <charconv>
 #include <chrono>
-#include <fstream>
+#include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -14,17 +17,14 @@
 #include "tcomp/pipeline.hpp"
 #include "tgen/greedy_tgen.hpp"
 #include "tgen/random_seq.hpp"
+#include "util/store.hpp"
 
 namespace scanc::expt {
 namespace {
 
-/// Bump when measurement semantics change: stale cache entries are
-/// discarded by version mismatch.
-constexpr int kCacheVersion = 4;
-
-std::string cache_file(const RunnerOptions& opt, const std::string& name) {
-  return opt.cache_path + "." + name + ".seed" + std::to_string(opt.seed);
-}
+/// Bump when measurement semantics change: stale cache entries and
+/// journals are discarded by version mismatch.
+constexpr int kCacheVersion = 5;
 
 void put(std::ostream& out, const std::string& key, std::uint64_t v) {
   out << key << "=" << v << "\n";
@@ -53,38 +53,182 @@ void put_variant(std::ostream& out, const std::string& p,
 
 using Map = std::unordered_map<std::string, std::string>;
 
-std::uint64_t get_u(const Map& m, const std::string& key) {
-  return std::stoull(m.at(key));
-}
+// No-throw lookups: a missing or malformed key flips `ok` so the caller
+// treats the whole entry as a cache miss.  A corrupt file must never
+// escape as an exception (the store layer already filters torn writes;
+// this guards entries whose *payload* was damaged or hand-edited).
 
-double get_d(const Map& m, const std::string& key) {
-  return std::stod(m.at(key));
-}
-
-VariantResult get_variant(const Map& m, const std::string& p) {
-  VariantResult v;
-  v.det_t0 = get_u(m, p + ".det_t0");
-  v.det_scan = get_u(m, p + ".det_scan");
-  v.det_final = get_u(m, p + ".det_final");
-  v.len_t0 = get_u(m, p + ".len_t0");
-  v.len_scan = get_u(m, p + ".len_scan");
-  v.added = get_u(m, p + ".added");
-  v.cyc_init = get_u(m, p + ".cyc_init");
-  v.cyc_comp = get_u(m, p + ".cyc_comp");
-  v.atspeed_ave = get_d(m, p + ".atspeed_ave");
-  v.atspeed_min = get_u(m, p + ".atspeed_min");
-  v.atspeed_max = get_u(m, p + ".atspeed_max");
-  v.tests_final = get_u(m, p + ".tests_final");
-  v.vectors_final = get_u(m, p + ".vectors_final");
+std::uint64_t get_u(const Map& m, const std::string& key, bool& ok) {
+  const auto it = m.find(key);
+  if (it == m.end()) {
+    ok = false;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  const char* first = it->second.data();
+  const char* last = first + it->second.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last) {
+    ok = false;
+    return 0;
+  }
   return v;
 }
 
-VariantResult measure_variant(fault::FaultSimulator& fsim,
-                              const sim::Sequence& t0,
-                              std::span<const atpg::CombTest> comb,
-                              std::size_t nsv, bool verbose) {
+double get_d(const Map& m, const std::string& key, bool& ok) {
+  const auto it = m.find(key);
+  if (it == m.end()) {
+    ok = false;
+    return 0.0;
+  }
+  // strtod instead of from_chars<double> for toolchain portability;
+  // it never throws.  Reject trailing junk and empty values.
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() ||
+      end != it->second.c_str() + it->second.size()) {
+    ok = false;
+    return 0.0;
+  }
+  return v;
+}
+
+std::string get_s(const Map& m, const std::string& key, bool& ok) {
+  const auto it = m.find(key);
+  if (it == m.end()) {
+    ok = false;
+    return {};
+  }
+  return it->second;
+}
+
+VariantResult get_variant(const Map& m, const std::string& p, bool& ok) {
+  VariantResult v;
+  v.det_t0 = get_u(m, p + ".det_t0", ok);
+  v.det_scan = get_u(m, p + ".det_scan", ok);
+  v.det_final = get_u(m, p + ".det_final", ok);
+  v.len_t0 = get_u(m, p + ".len_t0", ok);
+  v.len_scan = get_u(m, p + ".len_scan", ok);
+  v.added = get_u(m, p + ".added", ok);
+  v.cyc_init = get_u(m, p + ".cyc_init", ok);
+  v.cyc_comp = get_u(m, p + ".cyc_comp", ok);
+  v.atspeed_ave = get_d(m, p + ".atspeed_ave", ok);
+  v.atspeed_min = get_u(m, p + ".atspeed_min", ok);
+  v.atspeed_max = get_u(m, p + ".atspeed_max", ok);
+  v.tests_final = get_u(m, p + ".tests_final", ok);
+  v.vectors_final = get_u(m, p + ".vectors_final", ok);
+  return v;
+}
+
+Map parse_lines(const std::string& text) {
+  Map m;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    m[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// Per-phase checkpoint journal.
+//
+// run_circuit's measurement splits into four independent phases (the
+// pipeline on the greedy T0, the pipeline on the random T0, the [4]
+// baseline, the dynamic baseline).  Each phase's scalar results are
+// journaled — atomically, via the checksummed store — the moment the
+// phase completes *uninterrupted*; a later attempt (after a deadline
+// cut, SIGINT, or kill -9) reloads the journal and skips straight to
+// the first missing phase.  Inputs (circuit, C, T0) are recomputed
+// deterministically from the seed, so a resumed run produces numbers
+// bit-identical to an uninterrupted one.  The `seconds` field
+// accumulates wall-clock across attempts.
+
+struct PhaseJournal {
+  bool has_atpg = false;
+  bool has_random = false;
+  bool has_baseline4 = false;
+  bool has_dynamic = false;
+  VariantResult atpg;
+  VariantResult random;
+  std::uint64_t cyc_4_init = 0;
+  std::uint64_t cyc_4_comp = 0;
+  double atspeed_ave_4 = 0.0;
+  std::size_t atspeed_min_4 = 0;
+  std::size_t atspeed_max_4 = 0;
+  std::uint64_t cyc_dyn = 0;
+  double seconds = 0.0;  ///< wall-clock spent in prior attempts
+};
+
+std::string serialize_journal(const PhaseJournal& j) {
+  std::ostringstream out;
+  out << "version=" << kCacheVersion << "\n";
+  put(out, "seconds", j.seconds);
+  if (j.has_atpg) put_variant(out, "atpg", j.atpg);
+  if (j.has_random) put_variant(out, "random", j.random);
+  if (j.has_baseline4) {
+    put(out, "cyc_4_init", j.cyc_4_init);
+    put(out, "cyc_4_comp", j.cyc_4_comp);
+    put(out, "atspeed_ave_4", j.atspeed_ave_4);
+    put(out, "atspeed_min_4", j.atspeed_min_4);
+    put(out, "atspeed_max_4", j.atspeed_max_4);
+  }
+  if (j.has_dynamic) put(out, "cyc_dyn", j.cyc_dyn);
+  return out.str();
+}
+
+PhaseJournal parse_journal(const std::string& text) {
+  const Map m = parse_lines(text);
+  PhaseJournal j;
+  bool ok = true;
+  if (get_u(m, "version", ok) != kCacheVersion || !ok) return {};
+  j.seconds = get_d(m, "seconds", ok);
+  if (!ok) return {};
+  // Each phase is optional; a damaged phase degrades to "recompute it".
+  if (m.count("atpg.det_t0") != 0) {
+    bool vok = true;
+    j.atpg = get_variant(m, "atpg", vok);
+    j.has_atpg = vok;
+  }
+  if (m.count("random.det_t0") != 0) {
+    bool vok = true;
+    j.random = get_variant(m, "random", vok);
+    j.has_random = vok;
+  }
+  if (m.count("cyc_4_init") != 0) {
+    bool vok = true;
+    j.cyc_4_init = get_u(m, "cyc_4_init", vok);
+    j.cyc_4_comp = get_u(m, "cyc_4_comp", vok);
+    j.atspeed_ave_4 = get_d(m, "atspeed_ave_4", vok);
+    j.atspeed_min_4 = get_u(m, "atspeed_min_4", vok);
+    j.atspeed_max_4 = get_u(m, "atspeed_max_4", vok);
+    j.has_baseline4 = vok;
+  }
+  if (m.count("cyc_dyn") != 0) {
+    bool vok = true;
+    j.cyc_dyn = get_u(m, "cyc_dyn", vok);
+    j.has_dynamic = vok;
+  }
+  return j;
+}
+
+struct VariantMeasurement {
+  VariantResult result;
+  bool completed = true;
+  tcomp::PipelinePhase stopped_at = tcomp::PipelinePhase::Done;
+};
+
+VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
+                                   const sim::Sequence& t0,
+                                   std::span<const atpg::CombTest> comb,
+                                   std::size_t nsv,
+                                   const RunnerOptions& options) {
   tcomp::PipelineOptions popt;
-  if (verbose) {
+  popt.cancel = options.cancel;
+  if (options.verbose) {
     const auto t0_clock = std::chrono::steady_clock::now();
     popt.trace = [t0_clock](const char* what) {
       const double elapsed = std::chrono::duration<double>(
@@ -95,7 +239,10 @@ VariantResult measure_variant(fault::FaultSimulator& fsim,
     };
   }
   const tcomp::PipelineResult r = tcomp::run_pipeline(fsim, t0, comb, popt);
-  VariantResult v;
+  VariantMeasurement out;
+  out.completed = r.completed;
+  out.stopped_at = r.stopped_at;
+  VariantResult& v = out.result;
   v.det_t0 = r.f0.count();
   v.det_scan = r.f_seq.count();
   v.det_final = r.final_coverage.count();
@@ -110,10 +257,16 @@ VariantResult measure_variant(fault::FaultSimulator& fsim,
   v.atspeed_max = s.max_length;
   v.tests_final = r.compacted.size();
   v.vectors_final = r.compacted.total_vectors();
-  return v;
+  return out;
 }
 
 }  // namespace
+
+std::string cache_entry_path(const RunnerOptions& options,
+                             const std::string& circuit_name) {
+  return options.cache_path + "." + circuit_name + ".seed" +
+         std::to_string(options.seed);
+}
 
 std::string serialize_run(const CircuitRun& run) {
   std::ostringstream out;
@@ -132,63 +285,80 @@ std::string serialize_run(const CircuitRun& run) {
   put(out, "atspeed_min_4", run.atspeed_min_4);
   put(out, "atspeed_max_4", run.atspeed_max_4);
   put(out, "seconds", run.seconds);
+  put(out, "completed", static_cast<std::uint64_t>(run.completed ? 1 : 0));
+  out << "stopped_at=" << run.stopped_at << "\n";
   return out.str();
 }
 
 std::optional<CircuitRun> deserialize_run(const std::string& text) {
-  Map m;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) continue;
-    m[line.substr(0, eq)] = line.substr(eq + 1);
-  }
-  try {
-    if (std::stoi(m.at("version")) != kCacheVersion) return std::nullopt;
-    CircuitRun run;
-    run.name = m.at("name");
-    run.flip_flops = get_u(m, "flip_flops");
-    run.comb_tests = get_u(m, "comb_tests");
-    run.faults = get_u(m, "faults");
-    run.detectable = get_u(m, "detectable");
-    run.atpg = get_variant(m, "atpg");
-    run.random = get_variant(m, "random");
-    run.cyc_dyn = get_u(m, "cyc_dyn");
-    run.cyc_4_init = get_u(m, "cyc_4_init");
-    run.cyc_4_comp = get_u(m, "cyc_4_comp");
-    run.atspeed_ave_4 = get_d(m, "atspeed_ave_4");
-    run.atspeed_min_4 = get_u(m, "atspeed_min_4");
-    run.atspeed_max_4 = get_u(m, "atspeed_max_4");
-    run.seconds = get_d(m, "seconds");
-    return run;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  const Map m = parse_lines(text);
+  bool ok = true;
+  if (get_u(m, "version", ok) != kCacheVersion || !ok) return std::nullopt;
+  CircuitRun run;
+  run.name = get_s(m, "name", ok);
+  run.flip_flops = get_u(m, "flip_flops", ok);
+  run.comb_tests = get_u(m, "comb_tests", ok);
+  run.faults = get_u(m, "faults", ok);
+  run.detectable = get_u(m, "detectable", ok);
+  run.atpg = get_variant(m, "atpg", ok);
+  run.random = get_variant(m, "random", ok);
+  run.cyc_dyn = get_u(m, "cyc_dyn", ok);
+  run.cyc_4_init = get_u(m, "cyc_4_init", ok);
+  run.cyc_4_comp = get_u(m, "cyc_4_comp", ok);
+  run.atspeed_ave_4 = get_d(m, "atspeed_ave_4", ok);
+  run.atspeed_min_4 = get_u(m, "atspeed_min_4", ok);
+  run.atspeed_max_4 = get_u(m, "atspeed_max_4", ok);
+  run.seconds = get_d(m, "seconds", ok);
+  run.completed = get_u(m, "completed", ok) != 0;
+  run.stopped_at = m.count("stopped_at") != 0 ? m.at("stopped_at") : "";
+  if (!ok) return std::nullopt;
+  return run;
 }
 
 CircuitRun run_circuit(const gen::SuiteEntry& entry,
                        const RunnerOptions& options) {
-  if (!options.cache_path.empty() && !options.force_fresh) {
-    std::ifstream in(cache_file(options, entry.params.name));
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      if (auto run = deserialize_run(buf.str())) return *run;
+  const bool use_disk = !options.cache_path.empty();
+  const std::string path = cache_entry_path(options, entry.params.name);
+  const std::string journal_path = path + ".journal";
+
+  if (use_disk && !options.force_fresh) {
+    // A corrupt, truncated, or version-skewed entry degrades to a miss:
+    // store_read filters envelope damage, deserialize_run filters
+    // payload damage, and neither throws.
+    if (const auto payload = util::store_read(path)) {
+      if (auto run = deserialize_run(*payload)) return *run;
     }
   }
 
+  PhaseJournal journal;
+  if (use_disk && !options.force_fresh) {
+    if (const auto payload = util::store_read(journal_path)) {
+      journal = parse_journal(*payload);
+    }
+  }
+  if (options.force_fresh && use_disk) std::remove(journal_path.c_str());
+
   const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
   const auto note = [&](const char* what) {
     if (options.verbose) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
       std::cerr << "[" << entry.params.name << " +" << std::fixed
-                << std::setprecision(1) << elapsed << "s] " << what
+                << std::setprecision(1) << elapsed() << "s] " << what
                 << "\n";
     }
+  };
+  // Checkpoint: persist the journal after a phase completes.  Atomic
+  // replacement means a kill -9 mid-write leaves the previous journal
+  // intact; the interrupted phase simply reruns next time.
+  const auto checkpoint = [&] {
+    if (!use_disk) return;
+    PhaseJournal j = journal;
+    j.seconds += elapsed();
+    util::store_write(journal_path, serialize_journal(j));
   };
 
   note("building circuit");
@@ -196,12 +366,23 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   const fault::FaultList faults = fault::FaultList::build(circuit);
   fault::FaultSimulator fsim(circuit, faults);
   fsim.set_num_threads(options.num_threads);
+  fsim.set_cancel(options.cancel);
   const std::size_t nsv = circuit.num_flip_flops();
 
   CircuitRun run;
   run.name = entry.params.name;
   run.flip_flops = nsv;
   run.faults = faults.num_classes();
+
+  // Returns `run` marked partial.  Finished phases were already
+  // journaled; this attempt's wall clock joins the accumulated total so
+  // the final (completed) `seconds` covers all attempts.
+  const auto partial = [&](const std::string& where) {
+    run.completed = false;
+    run.stopped_at = where;
+    run.seconds = journal.seconds + elapsed();
+    return run;
+  };
 
   note("generating combinational test set C");
   atpg::CombTestSetOptions copt;
@@ -210,50 +391,113 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
       atpg::generate_comb_test_set(circuit, faults, copt);
   run.comb_tests = comb.tests.size();
   run.detectable = faults.num_classes() - comb.proven_untestable;
+  if (options.cancel.stop_requested()) return partial("setup");
 
-  note("generating T0 (greedy)");
-  tgen::GreedyTgenOptions gopt;
-  gopt.seed = options.seed;
-  gopt.max_length = 1024;
-  const tgen::GreedyTgenResult t0_atpg =
-      generate_test_sequence(circuit, faults, gopt);
+  // --- Phase: pipeline on the greedy T0 ------------------------------
+  if (journal.has_atpg) {
+    note("pipeline (greedy T0): journaled, skipping");
+    run.atpg = journal.atpg;
+  } else {
+    note("generating T0 (greedy)");
+    tgen::GreedyTgenOptions gopt;
+    gopt.seed = options.seed;
+    gopt.max_length = 1024;
+    const tgen::GreedyTgenResult t0_atpg =
+        generate_test_sequence(circuit, faults, gopt);
+    if (options.cancel.stop_requested()) return partial("setup");
 
-  note("pipeline (greedy T0)");
-  run.atpg = measure_variant(fsim, t0_atpg.sequence, comb.tests, nsv,
-                             options.verbose);
-
-  note("pipeline (random T0)");
-  const sim::Sequence t0_rand = tgen::random_test_sequence(
-      circuit, options.random_t0_length, options.seed);
-  run.random = measure_variant(fsim, t0_rand, comb.tests, nsv,
-                               options.verbose);
-
-  note("baseline [4]");
-  const tcomp::ScanTestSet b4 = tcomp::comb_initial_set(comb.tests);
-  run.cyc_4_init = tcomp::clock_cycles(b4, nsv);
-  const tcomp::CombineResult b4c = tcomp::combine_tests(fsim, b4);
-  run.cyc_4_comp = tcomp::clock_cycles(b4c.tests, nsv);
-  const tcomp::AtSpeedStats s4 = tcomp::at_speed_stats(b4c.tests);
-  run.atspeed_ave_4 = s4.average;
-  run.atspeed_min_4 = s4.min_length;
-  run.atspeed_max_4 = s4.max_length;
-
-  if (options.run_dynamic_baseline) {
-    note("baseline [2,3]-style dynamic");
-    tcomp::DynamicBaselineOptions dopt;
-    dopt.seed = options.seed;
-    const tcomp::ScanTestSet dyn =
-        tcomp::dynamic_baseline(fsim, comb.tests, comb.detected, dopt);
-    run.cyc_dyn = tcomp::clock_cycles(dyn, nsv);
+    note("pipeline (greedy T0)");
+    const VariantMeasurement m =
+        measure_variant(fsim, t0_atpg.sequence, comb.tests, nsv, options);
+    run.atpg = m.result;
+    // Journal only a phase the token never interrupted: the token is
+    // sticky, so stop_requested() here proves every simulation inside
+    // the phase ran to completion.
+    if (!m.completed || options.cancel.stop_requested()) {
+      return partial(std::string("pipeline-atpg/") +
+                     tcomp::to_string(m.stopped_at));
+    }
+    journal.atpg = run.atpg;
+    journal.has_atpg = true;
+    checkpoint();
   }
 
-  run.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+  // --- Phase: pipeline on the random T0 ------------------------------
+  if (journal.has_random) {
+    note("pipeline (random T0): journaled, skipping");
+    run.random = journal.random;
+  } else {
+    note("pipeline (random T0)");
+    const sim::Sequence t0_rand = tgen::random_test_sequence(
+        circuit, options.random_t0_length, options.seed);
+    const VariantMeasurement m =
+        measure_variant(fsim, t0_rand, comb.tests, nsv, options);
+    run.random = m.result;
+    if (!m.completed || options.cancel.stop_requested()) {
+      return partial(std::string("pipeline-random/") +
+                     tcomp::to_string(m.stopped_at));
+    }
+    journal.random = run.random;
+    journal.has_random = true;
+    checkpoint();
+  }
 
-  if (!options.cache_path.empty()) {
-    std::ofstream out(cache_file(options, entry.params.name));
-    out << serialize_run(run);
+  // --- Phase: baseline [4] -------------------------------------------
+  if (journal.has_baseline4) {
+    note("baseline [4]: journaled, skipping");
+    run.cyc_4_init = journal.cyc_4_init;
+    run.cyc_4_comp = journal.cyc_4_comp;
+    run.atspeed_ave_4 = journal.atspeed_ave_4;
+    run.atspeed_min_4 = journal.atspeed_min_4;
+    run.atspeed_max_4 = journal.atspeed_max_4;
+  } else {
+    note("baseline [4]");
+    const tcomp::ScanTestSet b4 = tcomp::comb_initial_set(comb.tests);
+    run.cyc_4_init = tcomp::clock_cycles(b4, nsv);
+    tcomp::CombineOptions b4opt;
+    b4opt.cancel = options.cancel;
+    const tcomp::CombineResult b4c = tcomp::combine_tests(fsim, b4, b4opt);
+    run.cyc_4_comp = tcomp::clock_cycles(b4c.tests, nsv);
+    const tcomp::AtSpeedStats s4 = tcomp::at_speed_stats(b4c.tests);
+    run.atspeed_ave_4 = s4.average;
+    run.atspeed_min_4 = s4.min_length;
+    run.atspeed_max_4 = s4.max_length;
+    if (options.cancel.stop_requested()) return partial("baseline4");
+    journal.cyc_4_init = run.cyc_4_init;
+    journal.cyc_4_comp = run.cyc_4_comp;
+    journal.atspeed_ave_4 = run.atspeed_ave_4;
+    journal.atspeed_min_4 = run.atspeed_min_4;
+    journal.atspeed_max_4 = run.atspeed_max_4;
+    journal.has_baseline4 = true;
+    checkpoint();
+  }
+
+  // --- Phase: dynamic baseline ---------------------------------------
+  if (options.run_dynamic_baseline) {
+    if (journal.has_dynamic) {
+      note("baseline [2,3]-style dynamic: journaled, skipping");
+      run.cyc_dyn = journal.cyc_dyn;
+    } else {
+      note("baseline [2,3]-style dynamic");
+      tcomp::DynamicBaselineOptions dopt;
+      dopt.seed = options.seed;
+      const tcomp::ScanTestSet dyn =
+          tcomp::dynamic_baseline(fsim, comb.tests, comb.detected, dopt);
+      run.cyc_dyn = tcomp::clock_cycles(dyn, nsv);
+      if (options.cancel.stop_requested()) return partial("dynamic");
+      journal.cyc_dyn = run.cyc_dyn;
+      journal.has_dynamic = true;
+      checkpoint();
+    }
+  }
+
+  run.seconds = journal.seconds + elapsed();
+
+  if (use_disk) {
+    // Final result first, then retire the journal; a crash between the
+    // two leaves a redundant journal that the next cache hit ignores.
+    util::store_write(path, serialize_run(run));
+    std::remove(journal_path.c_str());
   }
   return run;
 }
@@ -263,7 +507,11 @@ std::vector<CircuitRun> run_suite(bool include_large,
   std::vector<CircuitRun> runs;
   for (const gen::SuiteEntry& e : gen::suite()) {
     if (e.large && !include_large) continue;
+    if (options.cancel.stop_requested()) break;
     runs.push_back(run_circuit(e, options));
+    // A partial run means the token fired mid-circuit; keep the row
+    // (tables mark it) but do not start further circuits.
+    if (!runs.back().completed) break;
   }
   return runs;
 }

@@ -17,6 +17,7 @@
 
 #include "gen/suite.hpp"
 #include "tcomp/scan_test.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::expt {
 
@@ -56,6 +57,15 @@ struct CircuitRun {
   std::size_t atspeed_max_4 = 0;
 
   double seconds = 0.0;         ///< wall-clock runtime of the measurement
+                                ///  (accumulated across resumed attempts)
+
+  /// False when cancellation (deadline or signal) cut the measurement
+  /// short; the fields then hold best-so-far values and `stopped_at`
+  /// names the phase that did not complete.  Partial runs are never
+  /// written to the result cache; completed phases live in the
+  /// checkpoint journal and are reused on the next attempt.
+  bool completed = true;
+  std::string stopped_at;
 };
 
 struct RunnerOptions {
@@ -66,10 +76,19 @@ struct RunnerOptions {
   /// time changes, so cached results stay valid across thread counts.
   std::size_t num_threads = 1;
   bool run_dynamic_baseline = true;
-  /// Cache file path; empty disables caching.
+  /// Cache file path prefix; empty disables caching *and* the per-phase
+  /// checkpoint journal (see docs/robustness.md for the on-disk format).
   std::string cache_path = ".scanc_cache";
-  bool force_fresh = false;  ///< ignore cached entries
+  bool force_fresh = false;  ///< ignore cached entries and journals
   bool verbose = false;      ///< progress notes to stderr
+  /// Cooperative cancellation for the whole run: raised explicitly
+  /// (e.g. by util::ScopedSignalCancel on SIGINT/SIGTERM) or by a
+  /// deadline (util::CancelToken::make(util::Deadline::after(s)) — the
+  /// bench binaries' --time-budget flag).  On cancellation run_circuit
+  /// returns a partial CircuitRun (completed == false) after
+  /// checkpointing every finished phase, and run_suite stops launching
+  /// circuits.  The default token never cancels.
+  util::CancelToken cancel;
 };
 
 /// Runs (or loads from cache) the full measurement for one suite entry.
@@ -84,5 +103,11 @@ struct RunnerOptions {
 [[nodiscard]] std::string serialize_run(const CircuitRun& run);
 [[nodiscard]] std::optional<CircuitRun> deserialize_run(
     const std::string& text);
+
+/// On-disk location of the cached result for `circuit_name` under
+/// `options` (the per-phase checkpoint journal lives next to it at this
+/// path + ".journal").  Exposed for the resilience tests.
+[[nodiscard]] std::string cache_entry_path(const RunnerOptions& options,
+                                           const std::string& circuit_name);
 
 }  // namespace scanc::expt

@@ -31,6 +31,23 @@ bool is_large(const std::string& name) {
   return e && e->large;
 }
 
+/// Row label; interrupted (partial) runs carry a "!" marker explained
+/// by partial_note below.
+std::string row_label(const CircuitRun& r) {
+  return r.completed ? r.name : r.name + "!";
+}
+
+/// Footnote for interrupted rows: their values are best-so-far, and a
+/// rerun resumes from the checkpoint journal.
+void partial_note(const std::vector<CircuitRun>& runs, std::ostream& out) {
+  for (const CircuitRun& r : runs) {
+    if (!r.completed) {
+      out << "(! " << r.name << ": interrupted at " << r.stopped_at
+          << "; values are best-so-far — rerun to resume)\n";
+    }
+  }
+}
+
 }  // namespace
 
 void print_table1(const std::vector<CircuitRun>& runs, std::ostream& out) {
@@ -41,11 +58,12 @@ void print_table1(const std::vector<CircuitRun>& runs, std::ostream& out) {
   for (const CircuitRun& r : runs) {
     const gen::PaperRow p = paper_row(r.name);
     line(out, "%-8s %6zu %6zu %7zu | %7zu %7zu %7zu | %7d %7d %7d\n",
-         r.name.c_str(), r.flip_flops, r.comb_tests, r.faults, r.atpg.det_t0,
-         r.atpg.det_scan, r.atpg.det_final, p.det_t0, p.det_scan,
-         p.det_final);
+         row_label(r).c_str(), r.flip_flops, r.comb_tests, r.faults,
+         r.atpg.det_t0, r.atpg.det_scan, r.atpg.det_final, p.det_t0,
+         p.det_scan, p.det_final);
   }
   out << "(* = paper-reported values, on the original benchmarks)\n";
+  partial_note(runs, out);
 }
 
 void print_table2(const std::vector<CircuitRun>& runs, std::ostream& out) {
@@ -54,10 +72,11 @@ void print_table2(const std::vector<CircuitRun>& runs, std::ostream& out) {
        "added", "T0*", "scan*", "added*");
   for (const CircuitRun& r : runs) {
     const gen::PaperRow p = paper_row(r.name);
-    line(out, "%-8s %7zu %7zu %6zu | %7d %7d %6d\n", r.name.c_str(),
+    line(out, "%-8s %7zu %7zu %6zu | %7d %7d %6d\n", row_label(r).c_str(),
          r.atpg.len_t0, r.atpg.len_scan, r.atpg.added, p.len_t0, p.len_scan,
          p.added_tests);
   }
+  partial_note(runs, out);
 }
 
 void print_table3(const std::vector<CircuitRun>& runs, std::ostream& out) {
@@ -69,7 +88,7 @@ void print_table3(const std::vector<CircuitRun>& runs, std::ostream& out) {
   for (const CircuitRun& r : runs) {
     line(out, "%-8s %9" PRIu64 " | %9" PRIu64 " %9" PRIu64 " | %9" PRIu64
               " %9" PRIu64 " | %9" PRIu64 " %9" PRIu64 "\n",
-         r.name.c_str(), r.cyc_dyn, r.cyc_4_init, r.cyc_4_comp,
+         row_label(r).c_str(), r.cyc_dyn, r.cyc_4_init, r.cyc_4_comp,
          r.atpg.cyc_init, r.atpg.cyc_comp, r.random.cyc_init,
          r.random.cyc_comp);
     if (!is_large(r.name)) {
@@ -84,7 +103,9 @@ void print_table3(const std::vector<CircuitRun>& runs, std::ostream& out) {
   line(out, "%-8s %9s | %9" PRIu64 " %9" PRIu64 " | %9" PRIu64 " %9" PRIu64
             " | %9" PRIu64 " %9" PRIu64 "\n",
        "total*", "-", tot[0], tot[1], tot[2], tot[3], tot[4], tot[5]);
-  out << "(totals computed without s35932, as in the paper)\n\n";
+  out << "(totals computed without s35932, as in the paper)\n";
+  partial_note(runs, out);
+  out << "\n";
   out << "Paper-reported (original benchmarks):\n";
   line(out, "%-8s %9s | %9s %9s | %9s %9s\n", "circuit", "[2,3]", "[4]init",
        "[4]comp", "prop-init", "prop-comp");
@@ -101,13 +122,14 @@ void print_table4(const std::vector<CircuitRun>& runs, std::ostream& out) {
        "[4]range", "propave", "prop range", "randave", "rand range");
   for (const CircuitRun& r : runs) {
     line(out, "%-8s | %7.2f %11s | %7.2f %11s | %7.2f %11s\n",
-         r.name.c_str(), r.atspeed_ave_4,
+         row_label(r).c_str(), r.atspeed_ave_4,
          range(r.atspeed_min_4, r.atspeed_max_4).c_str(),
          r.atpg.atspeed_ave,
          range(r.atpg.atspeed_min, r.atpg.atspeed_max).c_str(),
          r.random.atspeed_ave,
          range(r.random.atspeed_min, r.random.atspeed_max).c_str());
   }
+  partial_note(runs, out);
   out << "\nPaper-reported averages: ";
   for (const CircuitRun& r : runs) {
     const gen::PaperRow p = paper_row(r.name);
@@ -123,10 +145,12 @@ void print_table5(const std::vector<CircuitRun>& runs, std::ostream& out) {
   line(out, "%-8s | %7s %7s %7s | %7s %7s | %6s\n", "circuit", "T0", "scan",
        "final", "lenT0", "lenScan", "added");
   for (const CircuitRun& r : runs) {
-    line(out, "%-8s | %7zu %7zu %7zu | %7zu %7zu | %6zu\n", r.name.c_str(),
-         r.random.det_t0, r.random.det_scan, r.random.det_final,
-         r.random.len_t0, r.random.len_scan, r.random.added);
+    line(out, "%-8s | %7zu %7zu %7zu | %7zu %7zu | %6zu\n",
+         row_label(r).c_str(), r.random.det_t0, r.random.det_scan,
+         r.random.det_final, r.random.len_t0, r.random.len_scan,
+         r.random.added);
   }
+  partial_note(runs, out);
 }
 
 void write_markdown_report(const std::vector<CircuitRun>& runs,
@@ -142,13 +166,14 @@ void write_markdown_report(const std::vector<CircuitRun>& runs,
          "| %s | %zu | %zu | %zu | %zu | %zu | %zu | %zu | %zu | %zu | "
          "%" PRIu64 " | %" PRIu64 " | %" PRIu64 " | %" PRIu64
          " | %.2f | %.2f | %.1f |\n",
-         r.name.c_str(), r.flip_flops, r.comb_tests, r.faults,
+         row_label(r).c_str(), r.flip_flops, r.comb_tests, r.faults,
          r.atpg.det_t0, r.atpg.det_scan, r.atpg.det_final, r.atpg.len_t0,
          r.atpg.len_scan, r.atpg.added, r.cyc_4_init, r.cyc_4_comp,
          r.atpg.cyc_init, r.atpg.cyc_comp, r.atspeed_ave_4,
          r.atpg.atspeed_ave, r.seconds);
   }
   out << "\n";
+  partial_note(runs, out);
 }
 
 }  // namespace scanc::expt

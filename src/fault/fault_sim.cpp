@@ -62,9 +62,11 @@ FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
   for_each_group(exec_, list, policy(),
                  [&](GroupWorker& w, std::size_t g,
                      std::span<const FaultClassId> group) {
+                   if (cancel_.stop_requested()) return;  // skip group
                    det[g] = w.run_detect(nullptr, seq, group,
                                          /*observe_scan_out=*/false,
-                                         /*early_exit=*/true);
+                                         /*early_exit=*/true,
+                                         /*keep_going=*/nullptr, &cancel_);
                  });
   FaultSet detected(num_classes());
   reduce_masks(list, det, detected);
@@ -79,9 +81,11 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
   for_each_group(exec_, list, policy(),
                  [&](GroupWorker& w, std::size_t g,
                      std::span<const FaultClassId> group) {
+                   if (cancel_.stop_requested()) return;  // skip group
                    det[g] = w.run_detect(&scan_in, seq, group,
                                          /*observe_scan_out=*/true,
-                                         /*early_exit=*/true);
+                                         /*early_exit=*/true,
+                                         /*keep_going=*/nullptr, &cancel_);
                  });
   FaultSet detected(num_classes());
   reduce_masks(list, det, detected);
@@ -99,10 +103,12 @@ FaultSimulator::DetectionTimes FaultSimulator::detection_times(
   for_each_group(exec_, times.targets, policy(),
                  [&](GroupWorker& w, std::size_t g,
                      std::span<const FaultClassId> group) {
+                   if (cancel_.stop_requested()) return;  // skip group
                    const std::size_t base = g * kGroupSize;
                    w.run_times(scan_in, seq, group,
                                first_po.subspan(base, group.size()),
-                               state_diff.subspan(base, group.size()));
+                               state_diff.subspan(base, group.size()),
+                               &cancel_);
                  });
   return times;
 }
@@ -118,10 +124,12 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
   for_each_group(exec_, out.targets, policy(),
                  [&](GroupWorker& w, std::size_t g,
                      std::span<const FaultClassId> group) {
+                   if (cancel_.stop_requested()) return;  // skip group
                    const std::size_t base = g * kGroupSize;
                    det[g] = w.run_prefix(scan_in, seq, group,
                                          first_po.subspan(base,
-                                                          group.size()));
+                                                          group.size()),
+                                         &cancel_);
                  });
   reduce_masks(out.targets, det, out.detected);
   return out;
@@ -140,10 +148,16 @@ bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
                  [&](GroupWorker& w, std::size_t /*g*/,
                      std::span<const FaultClassId> group) {
                    if (!all_ok.load(std::memory_order_relaxed)) return;
+                   if (cancel_.stop_requested()) {
+                     // Cancelled: give up on the remaining groups and
+                     // report false (conservative — see set_cancel).
+                     all_ok.store(false, std::memory_order_relaxed);
+                     return;
+                   }
                    const std::uint64_t det =
                        w.run_detect(&scan_in, seq, group,
                                     /*observe_scan_out=*/true,
-                                    /*early_exit=*/true, &all_ok);
+                                    /*early_exit=*/true, &all_ok, &cancel_);
                    if (det != group_slot_mask(group.size())) {
                      all_ok.store(false, std::memory_order_relaxed);
                    }

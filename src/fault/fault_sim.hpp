@@ -38,6 +38,7 @@
 #include "netlist/circuit.hpp"
 #include "sim/seq_sim.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::fault {
 
@@ -62,6 +63,21 @@ class FaultSimulator {
   void set_num_threads(std::size_t n) noexcept { num_threads_ = n; }
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return num_threads_;
+  }
+
+  /// Cooperative cancellation for every query: once `token` is raised
+  /// (explicitly or by its deadline), in-flight passes abort at the
+  /// next simulation-frame boundary, pending fault groups are skipped,
+  /// and the query returns promptly with a *partial* result.  Callers
+  /// that observe token.stop_requested() must treat results as
+  /// incomplete (detects_all conservatively reports false).  The
+  /// default (inert) token never cancels and costs one relaxed load
+  /// per frame.
+  void set_cancel(util::CancelToken token) noexcept {
+    cancel_ = std::move(token);
+  }
+  [[nodiscard]] const util::CancelToken& cancel() const noexcept {
+    return cancel_;
   }
 
   /// The scan-chain membership mask (all-set for full scan).
@@ -255,6 +271,7 @@ class FaultSimulator {
   const FaultList* faults_;
   util::Bitset scan_mask_;
   std::size_t num_threads_ = 1;
+  util::CancelToken cancel_;
   GroupExecutor exec_;
 };
 

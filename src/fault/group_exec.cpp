@@ -39,7 +39,7 @@ void GroupExecutor::for_each_group(std::span<const FaultClassId> targets,
 
   // One worker per executing thread, created before the fan-out so the
   // worker vector is never mutated concurrently.
-  worker(threads - 1);
+  static_cast<void>(worker(threads - 1));
   if (pool_ == nullptr || pool_->size() < threads) {
     pool_ = std::make_unique<util::ThreadPool>(threads);
   }

@@ -77,7 +77,8 @@ std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
                                       const Sequence& seq,
                                       std::span<const FaultClassId> group,
                                       bool observe_scan_out, bool early_exit,
-                                      const std::atomic<bool>* keep_going) {
+                                      const std::atomic<bool>* keep_going,
+                                      const util::CancelToken* cancel) {
   start_test(scan_in, group);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
@@ -85,6 +86,9 @@ std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
     if (keep_going != nullptr &&
         !keep_going->load(std::memory_order_relaxed)) {
       return det;  // another group already decided the answer
+    }
+    if (cancel != nullptr && cancel->stop_requested()) {
+      return det;  // cooperative cancellation: partial mask
     }
     sim_.apply_frame(seq.frames[t], &injections_);
     det |= po_detections();
@@ -98,12 +102,14 @@ std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
 void GroupWorker::run_times(const Vector3& scan_in, const Sequence& seq,
                             std::span<const FaultClassId> group,
                             std::span<std::int64_t> first_po,
-                            std::span<util::Bitset> state_diff) {
+                            std::span<util::Bitset> state_diff,
+                            const util::CancelToken* cancel) {
   assert(first_po.size() == group.size());
   assert(state_diff.size() == group.size());
   start_test(&scan_in, group);
   std::uint64_t det = 0;
   for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (cancel != nullptr && cancel->stop_requested()) return;
     sim_.apply_frame(seq.frames[t], &injections_);
     std::uint64_t fresh = po_detections() & ~det;
     det |= fresh;
@@ -127,12 +133,14 @@ void GroupWorker::run_times(const Vector3& scan_in, const Sequence& seq,
 std::uint64_t GroupWorker::run_prefix(const Vector3& scan_in,
                                       const Sequence& seq,
                                       std::span<const FaultClassId> group,
-                                      std::span<std::int64_t> first_po) {
+                                      std::span<std::int64_t> first_po,
+                                      const util::CancelToken* cancel) {
   assert(first_po.size() == group.size());
   start_test(&scan_in, group);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
   for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (cancel != nullptr && cancel->stop_requested()) return det;
     sim_.apply_frame(seq.frames[t], &injections_);
     std::uint64_t fresh = po_detections() & ~det;
     det |= fresh;

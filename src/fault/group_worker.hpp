@@ -26,6 +26,7 @@
 #include "netlist/circuit.hpp"
 #include "sim/seq_sim.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::fault {
 
@@ -48,31 +49,39 @@ class GroupWorker {
   /// `early_exit`, the pass stops once every group fault is PO-detected.
   /// `keep_going`, when given, is polled every frame: once it reads
   /// false the pass aborts and returns a partial mask (cooperative
-  /// cancellation for detects_all under parallel execution).
+  /// cancellation for detects_all under parallel execution).  `cancel`,
+  /// when given, is likewise polled every frame; a raised token aborts
+  /// the pass with a partial mask — callers that observe
+  /// cancel->stop_requested() must treat the result as incomplete.
   std::uint64_t run_detect(const sim::Vector3* scan_in,
                            const sim::Sequence& seq,
                            std::span<const FaultClassId> group,
                            bool observe_scan_out, bool early_exit,
-                           const std::atomic<bool>* keep_going = nullptr);
+                           const std::atomic<bool>* keep_going = nullptr,
+                           const util::CancelToken* cancel = nullptr);
 
   /// Full detection-time recording for one group.  `first_po[j]` (init
   /// to -1 by the caller) receives the earliest PO detection time of
   /// group[j]; `state_diff[j]` (pre-sized to seq.length()) collects the
   /// time units whose scan-out would detect it.  Spans are group-local
-  /// (index j, not class id).
+  /// (index j, not class id).  A raised `cancel` aborts at the next
+  /// frame boundary, leaving partial records.
   void run_times(const sim::Vector3& scan_in, const sim::Sequence& seq,
                  std::span<const FaultClassId> group,
                  std::span<std::int64_t> first_po,
-                 std::span<util::Bitset> state_diff);
+                 std::span<util::Bitset> state_diff,
+                 const util::CancelToken* cancel = nullptr);
 
   /// Lighter prefix-coverage pass: records first PO detection times into
   /// `first_po` (group-local, init to -1) and returns the detection mask
   /// of the complete test including the final scan-out.  Exits early
-  /// when every group fault is PO-detected.
+  /// when every group fault is PO-detected.  A raised `cancel` aborts at
+  /// the next frame boundary with a partial mask.
   std::uint64_t run_prefix(const sim::Vector3& scan_in,
                            const sim::Sequence& seq,
                            std::span<const FaultClassId> group,
-                           std::span<std::int64_t> first_po);
+                           std::span<std::int64_t> first_po,
+                           const util::CancelToken* cancel = nullptr);
 
   /// Response-comparison pass for diagnosis: returns the mask of group
   /// faults whose predicted response *mismatches* the observation

@@ -9,6 +9,11 @@
 namespace scanc::netlist {
 namespace {
 
+/// Upper bound on one logical line.  Real .bench lines are tiny; a line
+/// this long means a binary or corrupt file, and rejecting it early
+/// keeps hostile inputs from ballooning signal-name allocations.
+constexpr std::size_t kMaxLineBytes = 64ull << 20;  // 64 MiB
+
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
     s.remove_prefix(1);
@@ -61,6 +66,9 @@ Circuit parse_bench(std::string_view text, std::string name) {
         pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
     pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
     ++lineno;
+    if (line.size() > kMaxLineBytes) {
+      throw BenchParseError(lineno, "line exceeds 64 MiB");
+    }
 
     // Strip comments and whitespace.
     if (const std::size_t hash = line.find('#');
@@ -91,10 +99,20 @@ Circuit parse_bench(std::string_view text, std::string name) {
         throw BenchParseError(lineno, "INPUT/OUTPUT takes one signal");
       }
       if (kind == GateType::Input) {
-        builder.add_input(names[0]);
+        try {
+          builder.add_input(names[0]);
+        } catch (const std::invalid_argument& e) {
+          // e.g. a duplicate INPUT(x): surface it as a parse error with
+          // the offending line, like every other builder rejection.
+          throw BenchParseError(lineno, e.what());
+        }
       } else if (trim(head) == "OUTPUT" || trim(head) == "output" ||
                  trim(head) == "Output") {
-        builder.mark_output(names[0]);
+        try {
+          builder.mark_output(names[0]);
+        } catch (const std::invalid_argument& e) {
+          throw BenchParseError(lineno, e.what());
+        }
       } else {
         throw BenchParseError(lineno,
                               "unknown directive '" + std::string(head) + "'");

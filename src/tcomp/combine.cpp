@@ -138,7 +138,9 @@ CombineResult combine_tests(FaultSimulator& fsim, const ScanTestSet& set,
     auto& tests = combiner.tests();
     for (std::size_t i = 0; i < tests.size(); ++i) {
       for (std::size_t j = 0; j < tests.size();) {
-        if (!combiner.budget_left()) return std::move(combiner).take();
+        if (!combiner.budget_left() || options.cancel.stop_requested()) {
+          return std::move(combiner).take();
+        }
         if (j == i) {
           ++j;
           continue;

@@ -39,6 +39,12 @@ struct CombineOptions {
   bool try_both_orders = true;
   /// Upper bound on accepted combinations (0 = unlimited).
   std::size_t max_combinations = 0;
+  /// Cooperative cancellation, checked before every pair attempt.  The
+  /// partially combined set returned on cancellation is a *valid* test
+  /// set: every accepted combination preserved coverage, and a
+  /// coverage check the token interrupts conservatively rejects its
+  /// combination.
+  util::CancelToken cancel;
   TransferOptions transfer;
 };
 

@@ -25,6 +25,10 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
           ? comb.size()
           : std::min(options.max_iterations, comb.size());
   for (std::size_t iter = 0; iter < limit; ++iter) {
+    if (options.cancel.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     trace("phase 1 (scan-in / scan-out selection)");
     const Phase1Result p1 =
         run_phase1(fsim, current, comb, selected, options.phase1);
@@ -33,7 +37,7 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
     ScanTest tau = p1.test;
     FaultSet detected = p1.f_so;
     std::size_t omitted = 0;
-    if (options.apply_omission) {
+    if (options.apply_omission && !options.cancel.stop_requested()) {
       trace("phase 2 (vector omission)");
       OmissionResult om =
           options.phase2_method == Phase2Method::Restoration
@@ -46,6 +50,13 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
       if (omitted > 0) {
         detected = fsim.detect_scan_test(tau.scan_in, tau.seq);
       }
+    }
+
+    // A round the token interrupted ran on partial fault-simulation
+    // results; discard it and keep the best complete round.
+    if (options.cancel.stop_requested()) {
+      result.stopped = true;
+      break;
     }
 
     result.iterations.push_back(IterationRecord{
@@ -68,6 +79,7 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
     selected[p1.chosen_candidate] = 1;
     current = tau.seq;
   }
+  result.tau_valid = have_result;
   return result;
 }
 

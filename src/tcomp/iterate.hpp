@@ -17,6 +17,7 @@
 #include "tcomp/omission.hpp"
 #include "tcomp/phase1.hpp"
 #include "tcomp/restoration.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::tcomp {
 
@@ -40,6 +41,11 @@ struct IterateOptions {
   /// Stop early when a round neither detects more faults nor shortens
   /// the sequence.
   bool stop_on_no_progress = true;
+  /// Cooperative cancellation: checked before each round and after each
+  /// phase step.  A round interrupted mid-flight is *discarded* (its
+  /// fault-simulation results are partial) and the best complete round
+  /// so far is returned, flagged via IterateResult::stopped.
+  util::CancelToken cancel;
   /// Optional progress callback (step names, for logging).
   std::function<void(const char*)> trace;
 };
@@ -57,6 +63,12 @@ struct IterateResult {
   fault::FaultSet f_seq;     ///< faults detected by tau_seq
   fault::FaultSet f0;        ///< faults detected by the original T0 alone
   std::vector<IterationRecord> iterations;
+  /// True when tau_seq/f_seq hold a complete round's result (false only
+  /// when cancellation struck before any round finished).
+  bool tau_valid = false;
+  /// True when cancellation cut the iteration short; tau_seq is then the
+  /// best *complete* round seen before the cut.
+  bool stopped = false;
 };
 
 [[nodiscard]] IterateResult iterate_phases(

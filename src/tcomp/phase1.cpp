@@ -111,8 +111,10 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
     valid &= ok;
   }
   // The full sequence is always a valid candidate (it detects F_SI by
-  // construction).
-  assert(valid.test(t0.length() - 1));
+  // construction) — unless cancellation cut detection_times short, in
+  // which case no prefix may be provably valid; the fallback below then
+  // keeps u_so in range (the caller discards the round anyway).
+  assert(fsim.cancel().stop_requested() || valid.test(t0.length() - 1));
 
   std::size_t u_so = t0.length() - 1;
   if (options.scan_out_rule == ScanOutRule::EarliestFull) {
@@ -135,6 +137,9 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
     }
     u_so = best_u;
   }
+  // find_first() == length() when no prefix is valid (partial records
+  // under cancellation); fall back to the full sequence.
+  if (u_so >= t0.length()) u_so = t0.length() - 1;
   result.scan_out_time = u_so;
 
   result.test.scan_in = si;

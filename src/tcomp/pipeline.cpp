@@ -5,6 +5,17 @@ namespace scanc::tcomp {
 using fault::FaultSet;
 using fault::FaultSimulator;
 
+const char* to_string(PipelinePhase phase) noexcept {
+  switch (phase) {
+    case PipelinePhase::Iterate: return "phase1+2";
+    case PipelinePhase::TopOff: return "phase3";
+    case PipelinePhase::Combine: return "phase4";
+    case PipelinePhase::Coverage: return "coverage";
+    case PipelinePhase::Done: return "done";
+  }
+  return "?";
+}
+
 PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
                             std::span<const atpg::CombTest> comb,
                             const PipelineOptions& options) {
@@ -13,16 +24,37 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     if (options.trace) options.trace(what);
   };
   if (options.num_threads != 0) fsim.set_num_threads(options.num_threads);
+  fsim.set_cancel(options.cancel);
 
   // Phases 1 and 2, iterated.
   trace("phases 1+2 (iterated)");
   IterateOptions iopt = options.iterate;
   if (!iopt.trace) iopt.trace = options.trace;
+  if (!iopt.cancel.valid()) iopt.cancel = options.cancel;
   IterateResult it = iterate_phases(fsim, t0, comb, iopt);
   result.tau_seq = std::move(it.tau_seq);
   result.f0 = std::move(it.f0);
   result.f_seq = it.f_seq;
   result.iterations = it.iterations.size();
+  // Cancellation before the first complete round leaves the detection
+  // sets default-constructed; normalise to empty sets over the classes.
+  if (result.f0.size() != fsim.num_classes()) {
+    result.f0 = FaultSet(fsim.num_classes());
+  }
+  if (result.f_seq.size() != fsim.num_classes()) {
+    result.f_seq = FaultSet(fsim.num_classes());
+  }
+
+  if (it.stopped || options.cancel.stop_requested()) {
+    // Graceful degradation: the best complete tau_seq (if any) becomes
+    // the whole test set; its coverage is known without re-simulation.
+    if (it.tau_valid) result.initial.tests.push_back(result.tau_seq);
+    result.compacted = result.initial;
+    result.final_coverage = result.f_seq;
+    result.completed = false;
+    result.stopped_at = PipelinePhase::Iterate;
+    return result;
+  }
 
   // Phase 3: cover F - F_seq from C.
   trace("phase 3 (top-off)");
@@ -38,17 +70,52 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.initial.tests.push_back(std::move(t));
   }
 
+  if (options.cancel.stop_requested()) {
+    // Phase 3 ran on partial simulation results: keep its tests (each
+    // is a real length-one test) but only claim the coverage proven by
+    // the complete Phase 1+2 rounds.
+    result.compacted = result.initial;
+    result.final_coverage = result.f_seq;
+    result.completed = false;
+    result.stopped_at = PipelinePhase::TopOff;
+    return result;
+  }
+
+  // Coverage of `initial`, exact by construction: tau_seq's faults plus
+  // everything Phase 3 covered (= undetected minus uncoverable).
+  FaultSet initial_coverage = undetected;
+  initial_coverage -= result.uncoverable;
+  initial_coverage |= result.f_seq;
+
   // Phase 4: static compaction by combining.
   trace("phase 4 (combining)");
   if (options.run_phase4) {
-    CombineResult comp =
-        combine_tests(fsim, result.initial, options.combine);
+    CombineOptions copt = options.combine;
+    if (!copt.cancel.valid()) copt.cancel = options.cancel;
+    CombineResult comp = combine_tests(fsim, result.initial, copt);
     result.compacted = std::move(comp.tests);
     result.combinations = comp.combinations;
   } else {
     result.compacted = result.initial;
   }
+
+  if (options.cancel.stop_requested()) {
+    // The partially combined set is valid and coverage-preserving;
+    // avoid a final simulation pass that would itself be cut short.
+    result.final_coverage = std::move(initial_coverage);
+    result.completed = false;
+    result.stopped_at = PipelinePhase::Combine;
+    return result;
+  }
+
   result.final_coverage = coverage(fsim, result.compacted);
+  if (options.cancel.stop_requested()) {
+    // The coverage simulation itself was interrupted; fall back to the
+    // provable value.
+    result.final_coverage = std::move(initial_coverage);
+    result.completed = false;
+    result.stopped_at = PipelinePhase::Coverage;
+  }
   return result;
 }
 

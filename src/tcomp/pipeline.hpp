@@ -22,6 +22,17 @@
 
 namespace scanc::tcomp {
 
+/// Where a cancelled pipeline stopped (docs/robustness.md).
+enum class PipelinePhase : std::uint8_t {
+  Iterate,   ///< phases 1+2 (iterated)
+  TopOff,    ///< phase 3
+  Combine,   ///< phase 4
+  Coverage,  ///< final coverage simulation
+  Done,      ///< ran to completion
+};
+
+[[nodiscard]] const char* to_string(PipelinePhase phase) noexcept;
+
 struct PipelineOptions {
   IterateOptions iterate;
   CombineOptions combine;
@@ -31,6 +42,11 @@ struct PipelineOptions {
   /// 1 = serial, otherwise that many threads.  Results are identical for
   /// every setting (see docs/execution.md).
   std::size_t num_threads = 0;
+  /// Cooperative cancellation for the whole pipeline: installed on
+  /// `fsim` at entry (frame-granular aborts) and checked between
+  /// phases.  On cancellation the pipeline returns its best-so-far
+  /// compacted set with completed == false instead of discarding work.
+  util::CancelToken cancel;
   /// Optional progress callback (phase names, for logging).
   std::function<void(const char*)> trace;
 };
@@ -51,6 +67,15 @@ struct PipelineResult {
   ScanTestSet compacted;         ///< after Phase 4 (== initial if skipped)
   fault::FaultSet final_coverage;  ///< detected by `compacted`
   std::size_t combinations = 0;  ///< Phase 4 accepted combinations
+
+  // Graceful degradation (cooperative cancellation).
+  /// False when the cancel token cut the run short; the test sets then
+  /// hold the best result completed before the cut (possibly empty when
+  /// cancellation struck before the first Phase 1+2 round finished).
+  bool completed = true;
+  /// First phase the cancellation prevented from completing (Done when
+  /// the pipeline ran to the end).
+  PipelinePhase stopped_at = PipelinePhase::Done;
 };
 
 [[nodiscard]] PipelineResult run_pipeline(fault::FaultSimulator& fsim,

@@ -1,0 +1,80 @@
+#include "util/cancel.hpp"
+
+#include <csignal>
+#include <limits>
+
+namespace scanc::util {
+
+double Deadline::remaining_seconds() const noexcept {
+  if (!when_.has_value()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double left =
+      std::chrono::duration<double>(*when_ - Clock::now()).count();
+  return left > 0.0 ? left : 0.0;
+}
+
+CancelToken CancelToken::make(Deadline deadline) {
+  auto s = std::make_shared<State>();
+  s->deadline = deadline;
+  return CancelToken(std::move(s));
+}
+
+void CancelToken::request_stop() const noexcept {
+  if (state_ != nullptr) {
+    state_->stop.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool CancelToken::stop_requested() const noexcept {
+  State* s = state_.get();
+  if (s == nullptr) return false;
+  if (s->stop.load(std::memory_order_relaxed)) return true;
+  if (s->deadline.expired()) {
+    // Latch expiry so later polls skip the clock read.
+    s->stop.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Deadline CancelToken::deadline() const noexcept {
+  return state_ != nullptr ? state_->deadline : Deadline{};
+}
+
+namespace {
+
+/// The flag the signal handler raises.  A raw pointer: the owning
+/// ScopedSignalCancel keeps the State alive for the handler's lifetime.
+std::atomic<std::atomic<bool>*> g_signal_flag{nullptr};
+
+void signal_cancel_handler(int /*signum*/) {
+  // Only async-signal-safe operations: one relaxed atomic store.
+  std::atomic<bool>* flag = g_signal_flag.load(std::memory_order_relaxed);
+  if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ScopedSignalCancel::ScopedSignalCancel(const CancelToken& token)
+    : state_(token.state_),
+      old_int_(new struct sigaction),
+      old_term_(new struct sigaction) {
+  g_signal_flag.store(&state_->stop, std::memory_order_relaxed);
+  struct sigaction sa = {};
+  sa.sa_handler = signal_cancel_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  sigaction(SIGINT, &sa, static_cast<struct sigaction*>(old_int_));
+  sigaction(SIGTERM, &sa, static_cast<struct sigaction*>(old_term_));
+}
+
+ScopedSignalCancel::~ScopedSignalCancel() {
+  sigaction(SIGINT, static_cast<struct sigaction*>(old_int_), nullptr);
+  sigaction(SIGTERM, static_cast<struct sigaction*>(old_term_), nullptr);
+  g_signal_flag.store(nullptr, std::memory_order_relaxed);
+  delete static_cast<struct sigaction*>(old_int_);
+  delete static_cast<struct sigaction*>(old_term_);
+}
+
+}  // namespace scanc::util

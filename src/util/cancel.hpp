@@ -1,0 +1,118 @@
+// Cooperative cancellation: deadlines, cancel tokens, signal hookup.
+//
+// A CancelToken is a copyable handle to shared cancellation state.  It
+// is raised explicitly (request_stop — thread- and async-signal-safe)
+// or implicitly by an attached Deadline; once raised it stays raised.
+// Long-running computations poll stop_requested() at natural
+// boundaries (simulation frames, fault groups, pipeline phases) and
+// return their best-so-far result instead of discarding work — see
+// docs/robustness.md for the full list of cancellation points.
+//
+// A default-constructed token is *inert*: stop_requested() is false
+// forever and request_stop() is a no-op, so APIs can take a CancelToken
+// by value with zero cost for callers that never cancel.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+namespace scanc::util {
+
+/// A point in time after which work should stop.  Default-constructed
+/// deadlines never expire.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< never expires
+
+  /// Expires `seconds` from now (values <= 0 are already expired).
+  [[nodiscard]] static Deadline after(double seconds) {
+    Deadline d;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  [[nodiscard]] static Deadline at(Clock::time_point when) {
+    Deadline d;
+    d.when_ = when;
+    return d;
+  }
+
+  /// True if this deadline can never expire.
+  [[nodiscard]] bool never() const noexcept { return !when_.has_value(); }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return when_.has_value() && Clock::now() >= *when_;
+  }
+
+  /// Seconds until expiry; +infinity for a never-expiring deadline,
+  /// clamped at 0 once expired.
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+ private:
+  std::optional<Clock::time_point> when_;
+};
+
+/// Copyable handle to shared cancellation state (flag + optional
+/// deadline).  All copies observe the same raise.  Raising is sticky:
+/// there is no reset.  Deadline expiry is latched into the flag on the
+/// first poll that observes it, so subsequent polls are a single
+/// relaxed atomic load.
+class CancelToken {
+ public:
+  /// Inert token: never cancels, request_stop is a no-op.
+  CancelToken() = default;
+
+  /// A fresh cancellable token, optionally bound to a deadline.
+  [[nodiscard]] static CancelToken make(Deadline deadline = {});
+
+  /// False for a default-constructed (inert) token.
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Raises the token.  Thread-safe and async-signal-safe (a single
+  /// relaxed atomic store).
+  void request_stop() const noexcept;
+
+  /// True once the token has been raised or its deadline has expired.
+  [[nodiscard]] bool stop_requested() const noexcept;
+
+  /// The deadline this token was created with (never-expiring if none).
+  [[nodiscard]] Deadline deadline() const noexcept;
+
+ private:
+  friend class ScopedSignalCancel;
+
+  struct State {
+    std::atomic<bool> stop{false};
+    Deadline deadline;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> s) : state_(std::move(s)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// RAII SIGINT/SIGTERM hookup: while alive, either signal raises the
+/// token (async-signal-safely) so a run can shut down gracefully and
+/// persist its checkpoints; the previous handlers are restored on
+/// destruction.  At most one instance may be alive at a time.  The
+/// token must be valid().
+class ScopedSignalCancel {
+ public:
+  explicit ScopedSignalCancel(const CancelToken& token);
+  ~ScopedSignalCancel();
+
+  ScopedSignalCancel(const ScopedSignalCancel&) = delete;
+  ScopedSignalCancel& operator=(const ScopedSignalCancel&) = delete;
+
+ private:
+  std::shared_ptr<CancelToken::State> state_;  // keeps the flag alive
+  void* old_int_;   // saved struct sigaction, opaque here
+  void* old_term_;
+};
+
+}  // namespace scanc::util

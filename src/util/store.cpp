@@ -1,0 +1,125 @@
+#include "util/store.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace scanc::util {
+namespace {
+
+constexpr std::string_view kMagic = "scanc-store";
+constexpr int kEnvelopeVersion = 1;
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+template <typename T>
+std::optional<T> parse_number(std::string_view s, int base = 10) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, base);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool store_write(const std::string& path, std::string_view payload) noexcept {
+  try {
+    char header[64];
+    std::snprintf(header, sizeof(header), "%s %d %08x %zu\n", kMagic.data(),
+                  kEnvelopeVersion, crc32(payload), payload.size());
+    // Unique-per-process temp name in the same directory, so rename(2)
+    // is atomic and concurrent writers never share a temp file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out << header;
+      out.write(payload.data(),
+                static_cast<std::streamsize>(payload.size()));
+      out.flush();
+      if (!out) {
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::optional<std::string> store_read(const std::string& path) noexcept {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) return std::nullopt;
+    const std::string file = buf.str();
+
+    const std::size_t eol = file.find('\n');
+    if (eol == std::string::npos) return std::nullopt;
+    const std::string_view header(file.data(), eol);
+
+    // "scanc-store <version> <crc-hex8> <size>"
+    std::array<std::string_view, 4> fields;
+    std::size_t n = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= header.size(); ++i) {
+      if (i == header.size() || header[i] == ' ') {
+        if (i > start) {
+          if (n == fields.size()) return std::nullopt;
+          fields[n++] = header.substr(start, i - start);
+        }
+        start = i + 1;
+      }
+    }
+    if (n != fields.size() || fields[0] != kMagic) return std::nullopt;
+    const auto version = parse_number<int>(fields[1]);
+    if (!version || *version != kEnvelopeVersion) return std::nullopt;
+    const auto crc = parse_number<std::uint32_t>(fields[2], 16);
+    const auto size = parse_number<std::size_t>(fields[3]);
+    if (!crc || !size) return std::nullopt;
+
+    const std::string_view payload(file.data() + eol + 1,
+                                   file.size() - eol - 1);
+    if (payload.size() != *size) return std::nullopt;  // truncated/padded
+    if (crc32(payload) != *crc) return std::nullopt;   // corrupt
+    return std::string(payload);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace scanc::util

@@ -1,0 +1,40 @@
+// Crash-safe on-disk blob store: atomic replacement + checksummed
+// envelope.
+//
+// Writes go to a temporary file in the same directory followed by
+// rename(2), so a reader (or a crash) never observes a half-written
+// file — it sees either the old content or the new content.  Payloads
+// are wrapped in a one-line envelope carrying a CRC32 and the payload
+// size:
+//
+//   scanc-store 1 <crc32-hex8> <size>\n<payload bytes>
+//
+// store_read verifies the magic, size, and checksum and returns nullopt
+// on any mismatch — a truncated write, a corrupt or foreign file, or an
+// envelope-version skew all degrade to "not present", never an
+// exception.  Callers layer their own content versioning inside the
+// payload (see expt/runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scanc::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Atomically replaces `path` with a checksummed envelope around
+/// `payload`.  Returns false on I/O failure (target directory missing,
+/// disk full, ...); never throws.
+bool store_write(const std::string& path, std::string_view payload) noexcept;
+
+/// Reads and verifies an envelope written by store_write.  Returns the
+/// payload, or nullopt if the file is missing, truncated, corrupt, or
+/// not a store file.  Never throws.
+[[nodiscard]] std::optional<std::string> store_read(
+    const std::string& path) noexcept;
+
+}  // namespace scanc::util

@@ -80,6 +80,25 @@ TEST(Options, ParsesFlags) {
   EXPECT_EQ(cfg.runner.cache_path, "/tmp/x");
 }
 
+TEST(Options, ParsesTimeBudget) {
+  const char* argv[] = {"bin", "--time-budget=3600"};
+  const BenchConfig cfg = parse_bench_args(2, argv);
+  ASSERT_TRUE(cfg.runner.cancel.valid());
+  EXPECT_FALSE(cfg.runner.cancel.stop_requested());
+  EXPECT_FALSE(cfg.runner.cancel.deadline().never());
+  const double remaining = cfg.runner.cancel.deadline().remaining_seconds();
+  EXPECT_GT(remaining, 3500.0);
+  EXPECT_LE(remaining, 3600.0);
+
+  const char* no_budget[] = {"bin"};
+  EXPECT_FALSE(parse_bench_args(1, no_budget).runner.cancel.valid());
+
+  const char* bad[] = {"bin", "--time-budget=soon"};
+  EXPECT_THROW((void)parse_bench_args(2, bad), std::invalid_argument);
+  const char* negative[] = {"bin", "--time-budget=-5"};
+  EXPECT_THROW((void)parse_bench_args(2, negative), std::invalid_argument);
+}
+
 TEST(Options, RejectsUnknownFlagAndCircuit) {
   const char* bad_flag[] = {"bin", "--bogus"};
   EXPECT_THROW((void)parse_bench_args(2, bad_flag), std::invalid_argument);
@@ -100,6 +119,25 @@ TEST(Tables, AllPrintersProduceRows) {
   std::ostringstream md;
   write_markdown_report(runs, md);
   EXPECT_NE(md.str().find("| s298 |"), std::string::npos);
+}
+
+TEST(Tables, MarksInterruptedRows) {
+  CircuitRun partial = sample_run();
+  partial.completed = false;
+  partial.stopped_at = "pipeline-atpg/phase3";
+  for (const auto printer : {print_table1, print_table2, print_table3,
+                             print_table4, print_table5}) {
+    std::ostringstream out;
+    printer({partial}, out);
+    EXPECT_NE(out.str().find("s298!"), std::string::npos);
+    EXPECT_NE(out.str().find("interrupted at pipeline-atpg/phase3"),
+              std::string::npos);
+  }
+  // Completed rows stay unmarked.
+  std::ostringstream clean;
+  print_table1({sample_run()}, clean);
+  EXPECT_EQ(clean.str().find("s298!"), std::string::npos);
+  EXPECT_EQ(clean.str().find("interrupted"), std::string::npos);
 }
 
 TEST(Tables, Table3TotalsExcludeLarge) {

@@ -189,6 +189,64 @@ TEST(BenchParser, RejectsMalformedLines) {
   EXPECT_THROW((void)parse_bench("x = AND(a, b%c)\n"), BenchParseError);
 }
 
+// Hostile-input hardening: every malformed netlist must surface as a
+// BenchParseError — never a bare std::invalid_argument, a crash, or a
+// hang (docs/robustness.md).
+
+TEST(BenchParser, RejectsTruncatedMidGate) {
+  // A file cut off mid-definition (e.g. a torn download).
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nx = AND(a"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nx = AND(a,"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nx = AND("), BenchParseError);
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nx ="), BenchParseError);
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nx"), BenchParseError);
+}
+
+TEST(BenchParser, RejectsDuplicateGateDefinition) {
+  try {
+    (void)parse_bench("INPUT(a)\nx = AND(a, a)\nx = OR(a, a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(BenchParser, RejectsDuplicateInput) {
+  try {
+    (void)parse_bench("INPUT(a)\nINPUT(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(BenchParser, RejectsGateRedefiningAnInput) {
+  EXPECT_THROW((void)parse_bench("INPUT(a)\na = AND(a, a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchParser, RejectsCombinationalSelfLoop) {
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(x, a)\n"),
+               BenchParseError);
+  // Longer combinational cycle.
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nOUTPUT(x)\n"
+                                 "x = AND(y, a)\ny = OR(x, a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchParser, RejectsAbsurdlyLongLine) {
+  // A single line past the 64 MiB bound (a binary or corrupt file) must
+  // be rejected promptly, not ground through character validation.
+  std::string text = "INPUT(a)\nx = AND(a, ";
+  text.append((64ull << 20) + 16, 'b');
+  try {
+    (void)parse_bench(text);
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
 TEST(BenchWriter, RoundTripsS27) {
   const Circuit c = gen::make_s27();
   const std::string text = to_bench_string(c);
