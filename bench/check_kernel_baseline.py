@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Gate on cone-kernel speedup regressions.
+
+Reads a google-benchmark JSON file containing the BM_KernelFull/N and
+BM_KernelCone/N timings (the BENCH_kernel.json CI artifact) and compares
+the full/cone speedup per block count against the checked-in baseline
+(bench/BENCH_kernel_baseline.json).  Fails when a measured speedup drops
+below half its baseline value — a >2x regression of the cone kernel
+relative to the full one, which absolute-time noise on shared CI runners
+cannot produce.
+
+Usage: check_kernel_baseline.py BENCH_kernel.json BENCH_kernel_baseline.json
+"""
+
+import json
+import sys
+
+
+def speedups(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_Kernel") or "/" not in name:
+            continue
+        kind, arg = name.split("/", 1)
+        times[(kind, arg)] = float(bench["real_time"])
+    out = {}
+    for (kind, arg), full_time in times.items():
+        if kind != "BM_KernelFull":
+            continue
+        cone_time = times.get(("BM_KernelCone", arg))
+        if cone_time:
+            out[arg] = full_time / cone_time
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    measured = speedups(sys.argv[1])
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)["speedup"]
+
+    ok = True
+    for arg, base in sorted(baseline.items(), key=lambda kv: int(kv[0])):
+        got = measured.get(arg)
+        if got is None:
+            print(f"tiles={arg}: MISSING measurement")
+            ok = False
+            continue
+        floor = base / 2.0
+        status = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"tiles={arg}: cone speedup {got:.2f}x "
+            f"(baseline {base:.2f}x, floor {floor:.2f}x) {status}"
+        )
+        ok = ok and got >= floor
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,14 @@
 // track performance regressions of the simulator/ATPG kernels.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "atpg/comb_tset.hpp"
+#include "netlist/circuit.hpp"
 #include "atpg/podem.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -121,6 +128,96 @@ void BM_DetectionTimesRecording(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectionTimesRecording);
+
+// Full vs cone kernel across circuit sizes (the BENCH_kernel.json
+// artifact; see bench/check_kernel_baseline.py).
+//
+// The circuit is a row of independent 500-gate blocks sharing only the
+// primary-input bus — the locality profile of a large scan design,
+// where a fault group's union cone is a small slice of the chip.  (The
+// plain random generator wires globally: any 63-fault union cone
+// closes over ~85% of the gates there, and the cone kernel rightly
+// degenerates to the full one; see the Auto threshold in
+// fault/fault_sim.hpp.)  Identical work per pass, only the kernel
+// differs; the cone advantage grows with the block count.
+netlist::Circuit tiled_circuit(std::size_t tiles) {
+  constexpr std::size_t kInputs = 16;
+  netlist::CircuitBuilder b("tiled");
+  std::vector<std::string> pis;
+  for (std::size_t i = 0; i < kInputs; ++i) {
+    pis.push_back("pi" + std::to_string(i));
+    b.add_input(pis.back());
+  }
+  for (std::size_t k = 0; k < tiles; ++k) {
+    gen::GenParams p;
+    p.name = "tile";
+    p.seed = 1000 + k;
+    p.num_inputs = kInputs;
+    p.num_outputs = 4;
+    p.num_flip_flops = 24;
+    p.num_gates = 500;
+    const netlist::Circuit sub = gen::generate_circuit(p);
+    const std::string prefix = "t" + std::to_string(k) + "_";
+    const auto local = [&](netlist::NodeId id) -> std::string {
+      const netlist::Node& n = sub.node(id);
+      if (n.type == netlist::GateType::Input) {
+        const std::span<const netlist::NodeId> sp = sub.primary_inputs();
+        const std::size_t j = static_cast<std::size_t>(
+            std::find(sp.begin(), sp.end(), id) - sp.begin());
+        return pis[j];
+      }
+      return prefix + n.name;
+    };
+    for (netlist::NodeId id = 0; id < sub.num_nodes(); ++id) {
+      const netlist::Node& n = sub.node(id);
+      if (n.type == netlist::GateType::Input) continue;
+      std::vector<std::string> fanins;
+      std::vector<std::string_view> views;
+      for (const netlist::NodeId f : n.fanins) fanins.push_back(local(f));
+      for (const std::string& s : fanins) views.push_back(s);
+      b.add_gate(n.type, prefix + n.name, views);
+    }
+    for (const netlist::NodeId po : sub.primary_outputs()) {
+      b.mark_output(prefix + sub.node(po).name);
+    }
+  }
+  return b.build();
+}
+
+void run_kernel_bench(benchmark::State& state, fault::KernelMode mode) {
+  const netlist::Circuit c = tiled_circuit(
+      static_cast<std::size_t>(state.range(0)));
+  const fault::FaultList fl = fault::FaultList::build(c);
+  fault::FaultSimulator fsim(c, fl);
+  fsim.set_kernel(mode);
+  const sim::Sequence seq = tgen::random_test_sequence(c, 32, 11);
+  util::Rng rng(3);
+  const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detect_scan_test(si, seq));
+  }
+  // Group-frames per second: every group steps through the whole test.
+  const double group_frames =
+      static_cast<double>(fault::num_groups(fl.num_classes())) *
+      static_cast<double>(seq.length());
+  state.counters["group_frames/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * group_frames,
+      benchmark::Counter::kIsRate);
+  state.counters["gates"] = benchmark::Counter(
+      static_cast<double>(c.num_gates()));
+}
+
+void BM_KernelFull(benchmark::State& state) {
+  run_kernel_bench(state, fault::KernelMode::Full);
+}
+BENCHMARK(BM_KernelFull)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelCone(benchmark::State& state) {
+  run_kernel_bench(state, fault::KernelMode::Cone);
+}
+BENCHMARK(BM_KernelCone)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PodemPerFault(benchmark::State& state) {
   const netlist::Circuit c = mid_circuit();

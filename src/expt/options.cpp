@@ -27,6 +27,17 @@ std::vector<std::string> split_names(const std::string& arg) {
   return out;
 }
 
+/// Parses a kernel-mode name; throws so a typo does not silently fall
+/// back to the default.
+fault::KernelMode parse_kernel(const std::string& flag, const char* value) {
+  const std::string v = value;
+  if (v == "auto") return fault::KernelMode::Auto;
+  if (v == "full") return fault::KernelMode::Full;
+  if (v == "cone") return fault::KernelMode::Cone;
+  throw std::invalid_argument("bad kernel for " + flag + ": " + v +
+                              " (expected auto|full|cone)");
+}
+
 /// Parses a time budget in (fractional) seconds; throws on garbage so a
 /// typo does not silently run without a deadline.
 double parse_seconds(const std::string& flag, const char* value) {
@@ -56,6 +67,9 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
   if (const char* v = std::getenv("SCANC_THREADS")) {
     cfg.runner.num_threads = std::strtoull(v, nullptr, 10);
   }
+  if (const char* v = std::getenv("SCANC_KERNEL")) {
+    cfg.runner.kernel = parse_kernel("SCANC_KERNEL", v);
+  }
   if (const char* v = std::getenv("SCANC_CACHE")) {
     cfg.runner.cache_path = v;
   }
@@ -76,6 +90,8 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
       cfg.runner.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       cfg.runner.num_threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      cfg.runner.kernel = parse_kernel("--kernel", arg.c_str() + 9);
     } else if (arg.rfind("--cache=", 0) == 0) {
       cfg.runner.cache_path = arg.substr(8);
     } else if (arg.rfind("--time-budget=", 0) == 0) {

@@ -8,6 +8,10 @@
 //   --threads=N        SCANC_THREADS    fault-sim worker threads
 //                                       (default 1; 0 = all hardware
 //                                       threads; results are identical)
+//   --kernel=M         SCANC_KERNEL     fault-sim kernel: auto (default,
+//                                       per-group cone/full selection),
+//                                       full, or cone; results are
+//                                       identical, only speed changes
 //   --cache=PATH       SCANC_CACHE      cache file prefix
 //   --no-dynamic                        skip the [2,3]-style baseline
 //   --verbose          SCANC_VERBOSE=1  progress notes on stderr

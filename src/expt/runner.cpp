@@ -366,6 +366,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   const fault::FaultList faults = fault::FaultList::build(circuit);
   fault::FaultSimulator fsim(circuit, faults);
   fsim.set_num_threads(options.num_threads);
+  fsim.set_kernel(options.kernel);
   fsim.set_cancel(options.cancel);
   const std::size_t nsv = circuit.num_flip_flops();
 

@@ -75,6 +75,10 @@ struct RunnerOptions {
   /// Measured numbers are identical for every setting; only wall-clock
   /// time changes, so cached results stay valid across thread counts.
   std::size_t num_threads = 1;
+  /// Fault-simulation kernel (full, cone, or per-group auto selection).
+  /// Like num_threads this only changes wall-clock time — every mode
+  /// produces bit-identical results — so cached entries stay valid.
+  fault::KernelMode kernel = fault::KernelMode::Auto;
   bool run_dynamic_baseline = true;
   /// Cache file path prefix; empty disables caching *and* the per-phase
   /// checkpoint journal (see docs/robustness.md for the on-disk format).

@@ -22,8 +22,25 @@ FaultSimulator::FaultSimulator(const Circuit& circuit,
     : circuit_(&circuit),
       faults_(&faults),
       scan_mask_(std::move(scan_mask)),
-      exec_(circuit, faults, scan_mask_) {
+      exec_(circuit, faults, scan_mask_),
+      trace_cache_(circuit) {
   assert(scan_mask_.size() == circuit.num_flip_flops());
+  // Cone-locality rank per class: the representative's position in the
+  // level-major CSR order (for source nodes, the earliest position among
+  // their fanouts).  Sorting targets by this rank clusters faults whose
+  // fanout cones overlap into the same simulation group.
+  const netlist::CsrSchedule& csr = circuit.csr();
+  pack_rank_.resize(faults.num_classes());
+  for (FaultClassId id = 0; id < pack_rank_.size(); ++id) {
+    const Fault& f = faults.representative(id);
+    std::uint32_t r = csr.rank[f.node];
+    if (r == netlist::kNoRank) {
+      for (const netlist::NodeId out : csr.fanouts(f.node)) {
+        r = std::min(r, csr.rank[out]);
+      }
+    }
+    pack_rank_[id] = r;
+  }
 }
 
 std::vector<FaultClassId> FaultSimulator::collect(
@@ -40,24 +57,49 @@ std::vector<FaultClassId> FaultSimulator::collect(
     targets->for_each(
         [&](std::size_t i) { out.push_back(static_cast<FaultClassId>(i)); });
   }
+  // Stable sort on an ascending-id list = total order (rank, class id):
+  // every subset of targets is enumerated in the same relative order, as
+  // the compaction procedures' record-merging walks require.
+  std::stable_sort(out.begin(), out.end(),
+                   [this](FaultClassId a, FaultClassId b) {
+                     return pack_rank_[a] < pack_rank_[b];
+                   });
   return out;
 }
 
 void FaultSimulator::reduce_masks(std::span<const FaultClassId> list,
                                   std::span<const std::uint64_t> group_masks,
-                                  FaultSet& out) const {
+                                  FaultSet& out, bool complement) const {
   for (std::size_t g = 0; g < group_masks.size(); ++g) {
     const std::size_t base = g * kGroupSize;
     const std::size_t n = std::min(kGroupSize, list.size() - base);
     for (std::size_t j = 0; j < n; ++j) {
-      if (group_masks[g] & (1ULL << (j + 1))) out.set(list[base + j]);
+      const bool bit = (group_masks[g] & (1ULL << (j + 1))) != 0;
+      if (bit != complement) out.set(list[base + j]);
     }
   }
+}
+
+std::shared_ptr<const sim::NodeTrace> FaultSimulator::acquire_trace(
+    const sim::Vector3* scan_in, const sim::Sequence& seq) {
+  if (kernel_ == KernelMode::Full) return nullptr;
+  if (scan_in == nullptr || scan_mask_.all()) {
+    return trace_cache_.get(scan_in, seq);
+  }
+  // Partial scan: the trace must start from the masked state the
+  // workers load (unscanned positions unknown).
+  sim::Vector3 masked = *scan_in;
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    if (!scan_mask_.test(i)) masked[i] = sim::V3::X;
+  }
+  return trace_cache_.get(&masked, seq);
 }
 
 FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
                                         const FaultSet* targets) {
   const std::vector<FaultClassId> list = collect(targets);
+  const auto trace = acquire_trace(nullptr, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   std::vector<std::uint64_t> det(num_groups(list.size()), 0);
   for_each_group(exec_, list, policy(),
                  [&](GroupWorker& w, std::size_t g,
@@ -66,7 +108,8 @@ FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
                    det[g] = w.run_detect(nullptr, seq, group,
                                          /*observe_scan_out=*/false,
                                          /*early_exit=*/true,
-                                         /*keep_going=*/nullptr, &cancel_);
+                                         /*keep_going=*/nullptr, &cancel_,
+                                         kc);
                  });
   FaultSet detected(num_classes());
   reduce_masks(list, det, detected);
@@ -77,6 +120,8 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
                                           const Sequence& seq,
                                           const FaultSet* targets) {
   const std::vector<FaultClassId> list = collect(targets);
+  const auto trace = acquire_trace(&scan_in, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   std::vector<std::uint64_t> det(num_groups(list.size()), 0);
   for_each_group(exec_, list, policy(),
                  [&](GroupWorker& w, std::size_t g,
@@ -85,7 +130,8 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
                    det[g] = w.run_detect(&scan_in, seq, group,
                                          /*observe_scan_out=*/true,
                                          /*early_exit=*/true,
-                                         /*keep_going=*/nullptr, &cancel_);
+                                         /*keep_going=*/nullptr, &cancel_,
+                                         kc);
                  });
   FaultSet detected(num_classes());
   reduce_masks(list, det, detected);
@@ -100,6 +146,8 @@ FaultSimulator::DetectionTimes FaultSimulator::detection_times(
   times.state_diff.assign(times.targets.size(), util::Bitset(seq.length()));
   const std::span<std::int64_t> first_po(times.first_po);
   const std::span<util::Bitset> state_diff(times.state_diff);
+  const auto trace = acquire_trace(&scan_in, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   for_each_group(exec_, times.targets, policy(),
                  [&](GroupWorker& w, std::size_t g,
                      std::span<const FaultClassId> group) {
@@ -108,7 +156,7 @@ FaultSimulator::DetectionTimes FaultSimulator::detection_times(
                    w.run_times(scan_in, seq, group,
                                first_po.subspan(base, group.size()),
                                state_diff.subspan(base, group.size()),
-                               &cancel_);
+                               &cancel_, kc);
                  });
   return times;
 }
@@ -120,6 +168,8 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
   out.first_po.assign(out.targets.size(), -1);
   out.detected = util::Bitset(num_classes());
   const std::span<std::int64_t> first_po(out.first_po);
+  const auto trace = acquire_trace(&scan_in, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   std::vector<std::uint64_t> det(num_groups(out.targets.size()), 0);
   for_each_group(exec_, out.targets, policy(),
                  [&](GroupWorker& w, std::size_t g,
@@ -129,7 +179,7 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
                    det[g] = w.run_prefix(scan_in, seq, group,
                                          first_po.subspan(base,
                                                           group.size()),
-                                         &cancel_);
+                                         &cancel_, kc);
                  });
   reduce_masks(out.targets, det, out.detected);
   return out;
@@ -138,6 +188,8 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
 bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
                                  const FaultSet& required) {
   const std::vector<FaultClassId> list = collect(&required);
+  const auto trace = acquire_trace(&scan_in, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   // Cooperative early exit: the first group that misses a fault flips
   // the flag; pending groups are skipped and in-flight groups abort at
   // their next frame boundary.  The answer never depends on the races —
@@ -157,7 +209,8 @@ bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
                    const std::uint64_t det =
                        w.run_detect(&scan_in, seq, group,
                                     /*observe_scan_out=*/true,
-                                    /*early_exit=*/true, &all_ok, &cancel_);
+                                    /*early_exit=*/true, &all_ok, &cancel_,
+                                    kc);
                    if (det != group_slot_mask(group.size())) {
                      all_ok.store(false, std::memory_order_relaxed);
                    }
@@ -172,21 +225,22 @@ FaultSet FaultSimulator::consistent_faults(
   assert(observed_pos.size() == seq.length());
   assert(observed_scan_out.size() == circuit_->num_flip_flops());
   const std::vector<FaultClassId> list = collect(&targets);
+  const auto trace = acquire_trace(&scan_in, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   std::vector<std::uint64_t> mismatch(num_groups(list.size()), 0);
   for_each_group(exec_, list, policy(),
                  [&](GroupWorker& w, std::size_t g,
                      std::span<const FaultClassId> group) {
-                   mismatch[g] = w.run_consistency(
-                       scan_in, seq, observed_pos, observed_scan_out, group);
+                   // Skipped groups keep mismatch == 0: their faults
+                   // remain (conservatively) consistent.
+                   if (cancel_.stop_requested()) return;
+                   mismatch[g] = w.run_consistency(scan_in, seq,
+                                                   observed_pos,
+                                                   observed_scan_out, group,
+                                                   &cancel_, kc);
                  });
   FaultSet consistent(num_classes());
-  for (std::size_t g = 0; g < mismatch.size(); ++g) {
-    const std::size_t base = g * kGroupSize;
-    const std::size_t n = std::min(kGroupSize, list.size() - base);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!(mismatch[g] & (1ULL << (j + 1)))) consistent.set(list[base + j]);
-    }
-  }
+  reduce_masks(list, mismatch, consistent, /*complement=*/true);
   return consistent;
 }
 
@@ -200,21 +254,22 @@ FaultSimulator::Session::Session(FaultSimulator& parent,
   const std::size_t nff = parent_->circuit_->num_flip_flops();
   ff_values_.resize(num_groups_ * nff);
   group_remaining_.resize(num_groups_);
+  // Build each group's injection map once; step() reuses them every
+  // frame instead of re-registering the group's faults per frame.
+  group_injections_.reserve(num_groups_);
   for (std::size_t g = 0; g < num_groups_; ++g) {
-    install_group(g);
-    worker_->sim().reset(&worker_->injections());
+    const std::size_t base = g * kGroupSize;
+    const std::size_t n = std::min(kGroupSize, targets_.size() - base);
+    group_injections_.emplace_back(parent_->circuit_->num_nodes());
+    build_group_injections(
+        *parent_->faults_,
+        std::span<const FaultClassId>(targets_.data() + base, n),
+        group_injections_.back());
+    worker_->sim().reset(&group_injections_[g]);
     worker_->sim().get_ff_values(
         std::span<sim::PackedV3>(ff_values_.data() + g * nff, nff));
-    group_remaining_[g] = static_cast<std::uint32_t>(
-        std::min(kGroupSize, targets_.size() - g * kGroupSize));
+    group_remaining_[g] = static_cast<std::uint32_t>(n);
   }
-}
-
-void FaultSimulator::Session::install_group(std::size_t g) {
-  const std::size_t base = g * kGroupSize;
-  const std::size_t n = std::min(kGroupSize, targets_.size() - base);
-  worker_->build_injections(
-      std::span<const FaultClassId>(targets_.data() + base, n));
 }
 
 std::size_t FaultSimulator::Session::step(const sim::Vector3& pi) {
@@ -222,12 +277,11 @@ std::size_t FaultSimulator::Session::step(const sim::Vector3& pi) {
   std::size_t newly = 0;
   for (std::size_t g = 0; g < num_groups_; ++g) {
     if (group_remaining_[g] == 0) continue;  // group fully detected
-    install_group(g);
     worker_->sim().set_ff_values(
         std::span<const sim::PackedV3>(ff_values_.data() + g * nff, nff));
-    worker_->sim().apply_frame(pi, &worker_->injections());
+    worker_->sim().apply_frame(pi, &group_injections_[g]);
     std::uint64_t det = worker_->po_detections();
-    worker_->sim().latch(&worker_->injections());
+    worker_->sim().latch(&group_injections_[g]);
     worker_->sim().get_ff_values(
         std::span<sim::PackedV3>(ff_values_.data() + g * nff, nff));
     while (det != 0) {

@@ -13,6 +13,13 @@
 // parallelises all of them while keeping results bit-identical to a
 // serial run (see group_exec.hpp for the determinism argument).
 //
+// Kernels: each group pass runs either the full CSR-levelized kernel
+// (whole circuit, 64 slots wide) or the cone-restricted kernel
+// (sim/cone_kernel.hpp), which evaluates only the group's union fanout
+// cone and seeds its boundary from a shared fault-free trace
+// (sim/node_trace.hpp, memoized across queries by sim/trace_cache.hpp).
+// set_kernel() selects the mode; results are bit-identical either way.
+//
 // Detection is conservative (standard for 3-valued simulation): a fault
 // is detected at an observation point only when both the fault-free and
 // the faulty values are binary and differ.  Observation points are the
@@ -37,6 +44,7 @@
 #include "fault/group_exec.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/seq_sim.hpp"
+#include "sim/trace_cache.hpp"
 #include "util/bitset.hpp"
 #include "util/cancel.hpp"
 
@@ -44,6 +52,16 @@ namespace scanc::fault {
 
 /// A set of collapsed fault classes.
 using FaultSet = util::Bitset;
+
+/// Which simulation kernel the queries run on.  All modes produce
+/// bit-identical results:
+///   Auto — per fault group, use the cone-restricted kernel when the
+///          group's union fanout cone is small enough to pay off, else
+///          the full kernel (the default);
+///   Full — always evaluate the whole circuit (no fault-free trace is
+///          computed);
+///   Cone — always use the cone-restricted kernel (testing/benchmarks).
+enum class KernelMode { Auto, Full, Cone };
 
 class FaultSimulator {
  public:
@@ -78,6 +96,16 @@ class FaultSimulator {
   }
   [[nodiscard]] const util::CancelToken& cancel() const noexcept {
     return cancel_;
+  }
+
+  /// Kernel selection for every query (see KernelMode).  Results are
+  /// bit-identical across modes; only the work per group changes.
+  void set_kernel(KernelMode m) noexcept { kernel_ = m; }
+  [[nodiscard]] KernelMode kernel() const noexcept { return kernel_; }
+
+  /// The shared fault-free trace cache (exposed for tests/diagnostics).
+  [[nodiscard]] const sim::TraceCache& trace_cache() const noexcept {
+    return trace_cache_;
   }
 
   /// The scan-chain membership mask (all-set for full scan).
@@ -197,6 +225,10 @@ class FaultSimulator {
   /// mismatch.  `observed_pos[t]` is the observed PO vector after time
   /// unit t; `observed_scan_out` the observed scan-out state.
   /// This is the kernel of effect-cause fault diagnosis (diag/).
+  /// Cancellation is conservative in the inclusive direction: groups
+  /// skipped or aborted by a raised cancel token report no mismatches,
+  /// so their faults stay in the consistent set (candidates are never
+  /// wrongly excluded by a partial result).
   [[nodiscard]] FaultSet consistent_faults(
       const sim::Vector3& scan_in, const sim::Sequence& seq,
       std::span<const sim::Vector3> observed_pos,
@@ -238,13 +270,15 @@ class FaultSimulator {
     void restore(const Snapshot& snap);
 
    private:
-    void install_group(std::size_t g);
-
     FaultSimulator* parent_;
     GroupWorker* worker_;  // the parent's serial engine
     std::vector<FaultClassId> targets_;
     std::size_t num_groups_ = 0;
     std::vector<sim::PackedV3> ff_values_;  // num_groups x num_ffs
+    /// Per-group injection maps, built once at construction — step()
+    /// re-installs simulation state per group every frame, but the
+    /// injections never change for a fixed target set.
+    std::vector<sim::InjectionMap> group_injections_;
     FaultSet detected_;
     /// Undetected faults left per group; fully-detected groups are
     /// skipped by step().
@@ -257,22 +291,41 @@ class FaultSimulator {
     return ExecPolicy{num_threads_};
   }
 
-  /// Targets to simulate: every class, or the members of `targets`.
+  /// Targets to simulate: every class, or the members of `targets`,
+  /// ordered by cone locality (pack_rank_) so that faults whose fanout
+  /// cones overlap land in the same group — the smaller the union cone,
+  /// the more the cone kernel saves.  The order is a fixed total order
+  /// (rank, then class id), identical for every query and every subset.
   [[nodiscard]] std::vector<FaultClassId> collect(
       const FaultSet* targets) const;
 
   /// Scatters per-group detection masks into a per-class FaultSet, in
-  /// group order.
+  /// group order.  With `complement`, classes whose bit is *clear* are
+  /// set instead (mismatch mask -> consistent set).
   void reduce_masks(std::span<const FaultClassId> list,
                     std::span<const std::uint64_t> group_masks,
-                    FaultSet& out) const;
+                    FaultSet& out, bool complement = false) const;
+
+  /// Fault-free trace for the kernel choice: nullptr in Full mode, else
+  /// the cached (masked scan_in, seq) trace shared across groups.
+  [[nodiscard]] std::shared_ptr<const sim::NodeTrace> acquire_trace(
+      const sim::Vector3* scan_in, const sim::Sequence& seq);
+
+  /// The per-group kernel choice handed to every worker pass.
+  [[nodiscard]] KernelChoice kernel_choice(
+      const sim::NodeTrace* trace) const noexcept {
+    return KernelChoice{trace, kernel_ == KernelMode::Cone};
+  }
 
   const netlist::Circuit* circuit_;
   const FaultList* faults_;
   util::Bitset scan_mask_;
   std::size_t num_threads_ = 1;
+  KernelMode kernel_ = KernelMode::Auto;
   util::CancelToken cancel_;
   GroupExecutor exec_;
+  sim::TraceCache trace_cache_;
+  std::vector<std::uint32_t> pack_rank_;  ///< per class: cone-locality rank
 };
 
 }  // namespace scanc::fault

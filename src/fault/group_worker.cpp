@@ -11,13 +11,24 @@ using sim::PackedV3;
 using sim::Sequence;
 using sim::Vector3;
 
+void build_group_injections(const FaultList& faults,
+                            std::span<const FaultClassId> group,
+                            sim::InjectionMap& out) {
+  out.clear();
+  for (std::size_t j = 0; j < group.size(); ++j) {
+    const Fault& f = faults.representative(group[j]);
+    out.add(f.node, f.pin, f.stuck_one, 1ULL << (j + 1));
+  }
+}
+
 GroupWorker::GroupWorker(const netlist::Circuit& circuit,
                          const FaultList& faults, util::Bitset scan_mask)
     : circuit_(&circuit),
       faults_(&faults),
       scan_mask_(std::move(scan_mask)),
       sim_(circuit),
-      injections_(circuit.num_nodes()) {
+      injections_(circuit.num_nodes()),
+      cone_(circuit) {
   assert(scan_mask_.size() == circuit.num_flip_flops());
 }
 
@@ -31,11 +42,7 @@ Vector3 GroupWorker::masked_state(const Vector3& scan_in) const {
 }
 
 void GroupWorker::build_injections(std::span<const FaultClassId> group) {
-  injections_.clear();
-  for (std::size_t j = 0; j < group.size(); ++j) {
-    const Fault& f = faults_->representative(group[j]);
-    injections_.add(f.node, f.pin, f.stuck_one, 1ULL << (j + 1));
-  }
+  build_group_injections(*faults_, group, injections_);
 }
 
 void GroupWorker::start_test(const Vector3* scan_in,
@@ -45,6 +52,23 @@ void GroupWorker::start_test(const Vector3* scan_in,
   if (scan_in != nullptr) {
     sim_.load_state(masked_state(*scan_in), &injections_);
   }
+}
+
+bool GroupWorker::cone_selected(std::span<const FaultClassId> group,
+                                const KernelChoice& kernel) {
+  if (kernel.trace == nullptr) return false;
+  sites_.clear();
+  sites_.reserve(group.size());
+  for (const FaultClassId id : group) {
+    const Fault& f = faults_->representative(id);
+    sites_.push_back(sim::ConeSite{f.node, f.pin, f.stuck_one});
+  }
+  plan_.build(*circuit_, sites_);
+  if (kernel.force_cone) return true;
+  // Auto: the cone pays only when the compacted schedule drops at least
+  // a quarter of the full evaluation work (boundary seeding and plan
+  // construction eat the rest of the margin).
+  return plan_.eval().size() * 4 <= circuit_->num_gates() * 3;
 }
 
 std::uint64_t GroupWorker::po_detections() const {
@@ -73,12 +97,45 @@ std::uint64_t GroupWorker::state_detections() const {
   return det & ~1ULL;
 }
 
+std::uint64_t GroupWorker::po_detections_cone() const {
+  std::uint64_t det = 0;
+  for (const NodeId po : plan_.cone_pos()) {
+    const PackedV3 w = cone_.value(po);
+    const bool ref0 = (w.is0 & 1) != 0;
+    const bool ref1 = (w.is1 & 1) != 0;
+    if (ref0 == ref1) continue;
+    det |= sim::differs_from_reference(w, ref1);
+  }
+  return det & ~1ULL;
+}
+
+std::uint64_t GroupWorker::state_detections_cone() const {
+  if (cone_.clean()) return 0;  // every latch holds the fault-free value
+  std::uint64_t det = 0;
+  const auto pos = plan_.cone_ff_pos();
+  for (const std::uint32_t i : pos) {
+    if (!scan_mask_.test(i)) continue;
+    const PackedV3 w = cone_.captured(i);
+    const bool ref0 = (w.is0 & 1) != 0;
+    const bool ref1 = (w.is1 & 1) != 0;
+    if (ref0 == ref1) continue;
+    det |= sim::differs_from_reference(w, ref1);
+  }
+  return det & ~1ULL;
+}
+
 std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
                                       const Sequence& seq,
                                       std::span<const FaultClassId> group,
                                       bool observe_scan_out, bool early_exit,
                                       const std::atomic<bool>* keep_going,
-                                      const util::CancelToken* cancel) {
+                                      const util::CancelToken* cancel,
+                                      const KernelChoice& kernel) {
+  if (cone_selected(group, kernel)) {
+    build_injections(group);
+    return run_detect_cone(*kernel.trace, seq, group, observe_scan_out,
+                           early_exit, keep_going, cancel);
+  }
   start_test(scan_in, group);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
@@ -99,13 +156,46 @@ std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
   return det;
 }
 
+std::uint64_t GroupWorker::run_detect_cone(
+    const sim::NodeTrace& trace, const Sequence& seq,
+    std::span<const FaultClassId> group, bool observe_scan_out,
+    bool early_exit, const std::atomic<bool>* keep_going,
+    const util::CancelToken* cancel) {
+  cone_.begin(plan_, injections_, trace);
+  const std::uint64_t full = group_slot_mask(group.size());
+  std::uint64_t det = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (keep_going != nullptr &&
+        !keep_going->load(std::memory_order_relaxed)) {
+      return det;
+    }
+    if (cancel != nullptr && cancel->stop_requested()) {
+      return det;
+    }
+    if (cone_.eval_frame(t)) {
+      det |= po_detections_cone();
+      cone_.latch();
+    }
+    // Skipped frames change nothing: all slots stay fault-free.
+    if (early_exit && det == full && t + 1 < seq.length()) return det;
+  }
+  if (observe_scan_out) det |= state_detections_cone();
+  return det;
+}
+
 void GroupWorker::run_times(const Vector3& scan_in, const Sequence& seq,
                             std::span<const FaultClassId> group,
                             std::span<std::int64_t> first_po,
                             std::span<util::Bitset> state_diff,
-                            const util::CancelToken* cancel) {
+                            const util::CancelToken* cancel,
+                            const KernelChoice& kernel) {
   assert(first_po.size() == group.size());
   assert(state_diff.size() == group.size());
+  if (cone_selected(group, kernel)) {
+    build_injections(group);
+    run_times_cone(*kernel.trace, seq, group, first_po, state_diff, cancel);
+    return;
+  }
   start_test(&scan_in, group);
   std::uint64_t det = 0;
   for (std::size_t t = 0; t < seq.length(); ++t) {
@@ -130,12 +220,47 @@ void GroupWorker::run_times(const Vector3& scan_in, const Sequence& seq,
   }
 }
 
+void GroupWorker::run_times_cone(const sim::NodeTrace& trace,
+                                 const Sequence& seq,
+                                 std::span<const FaultClassId> group,
+                                 std::span<std::int64_t> first_po,
+                                 std::span<util::Bitset> state_diff,
+                                 const util::CancelToken* cancel) {
+  (void)group;
+  cone_.begin(plan_, injections_, trace);
+  std::uint64_t det = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (cancel != nullptr && cancel->stop_requested()) return;
+    if (!cone_.eval_frame(t)) continue;  // no detections on a clean frame
+    std::uint64_t fresh = po_detections_cone() & ~det;
+    det |= fresh;
+    while (fresh != 0) {
+      const int bit = std::countr_zero(fresh);
+      fresh &= fresh - 1;
+      first_po[static_cast<std::size_t>(bit) - 1] =
+          static_cast<std::int64_t>(t);
+    }
+    cone_.latch();
+    std::uint64_t bits = state_detections_cone();
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      state_diff[static_cast<std::size_t>(bit) - 1].set(t);
+    }
+  }
+}
+
 std::uint64_t GroupWorker::run_prefix(const Vector3& scan_in,
                                       const Sequence& seq,
                                       std::span<const FaultClassId> group,
                                       std::span<std::int64_t> first_po,
-                                      const util::CancelToken* cancel) {
+                                      const util::CancelToken* cancel,
+                                      const KernelChoice& kernel) {
   assert(first_po.size() == group.size());
+  if (cone_selected(group, kernel)) {
+    build_injections(group);
+    return run_prefix_cone(*kernel.trace, seq, group, first_po, cancel);
+  }
   start_test(&scan_in, group);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
@@ -156,12 +281,43 @@ std::uint64_t GroupWorker::run_prefix(const Vector3& scan_in,
   return det | state_detections();  // final scan-out
 }
 
+std::uint64_t GroupWorker::run_prefix_cone(const sim::NodeTrace& trace,
+                                           const Sequence& seq,
+                                           std::span<const FaultClassId> group,
+                                           std::span<std::int64_t> first_po,
+                                           const util::CancelToken* cancel) {
+  cone_.begin(plan_, injections_, trace);
+  const std::uint64_t full = group_slot_mask(group.size());
+  std::uint64_t det = 0;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (cancel != nullptr && cancel->stop_requested()) return det;
+    if (!cone_.eval_frame(t)) continue;  // det < full here: no change
+    std::uint64_t fresh = po_detections_cone() & ~det;
+    det |= fresh;
+    while (fresh != 0) {
+      const int bit = std::countr_zero(fresh);
+      fresh &= fresh - 1;
+      first_po[static_cast<std::size_t>(bit) - 1] =
+          static_cast<std::int64_t>(t);
+    }
+    if (det == full) return det;
+    cone_.latch();
+  }
+  return det | state_detections_cone();  // final scan-out
+}
+
 std::uint64_t GroupWorker::run_consistency(
     const Vector3& scan_in, const Sequence& seq,
     std::span<const sim::Vector3> observed_pos,
-    const Vector3& observed_scan_out, std::span<const FaultClassId> group) {
+    const Vector3& observed_scan_out, std::span<const FaultClassId> group,
+    const util::CancelToken* cancel, const KernelChoice& kernel) {
   assert(observed_pos.size() == seq.length());
   assert(observed_scan_out.size() == circuit_->num_flip_flops());
+  if (cone_selected(group, kernel)) {
+    build_injections(group);
+    return run_consistency_cone(*kernel.trace, seq, observed_pos,
+                                observed_scan_out, group, cancel);
+  }
   start_test(&scan_in, group);
 
   // Mismatch bits for one observation point: predicted binary, observed
@@ -174,6 +330,7 @@ std::uint64_t GroupWorker::run_consistency(
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t mismatch = 0;
   for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (cancel != nullptr && cancel->stop_requested()) return mismatch;
     sim_.apply_frame(seq.frames[t], &injections_);
     const auto pos = circuit_->primary_outputs();
     for (std::size_t i = 0; i < pos.size(); ++i) {
@@ -185,6 +342,61 @@ std::uint64_t GroupWorker::run_consistency(
   for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
     if (!scan_mask_.test(i)) continue;
     mismatch |= mismatches(sim_.captured(i), observed_scan_out[i]);
+  }
+  return mismatch;
+}
+
+std::uint64_t GroupWorker::run_consistency_cone(
+    const sim::NodeTrace& trace, const Sequence& seq,
+    std::span<const sim::Vector3> observed_pos,
+    const Vector3& observed_scan_out, std::span<const FaultClassId> group,
+    const util::CancelToken* cancel) {
+  cone_.begin(plan_, injections_, trace);
+
+  // Out-of-cone (or clean) observation points are slot-uniform at the
+  // fault-free value, so a binary/binary difference against the
+  // observation mismatches *all* slots at once — exactly what the full
+  // kernel's differs_from_reference yields on a uniform word.
+  const auto uniform_mismatch = [](sim::V3 v, sim::V3 obs) -> std::uint64_t {
+    return (sim::is_binary(obs) && sim::is_binary(v) && v != obs) ? ~0ULL
+                                                                  : 0;
+  };
+  const auto mismatches = [](const PackedV3 w, sim::V3 obs) -> std::uint64_t {
+    if (!sim::is_binary(obs)) return 0;
+    return sim::differs_from_reference(w, obs == sim::V3::One);
+  };
+
+  const std::uint64_t full = group_slot_mask(group.size());
+  const auto pos = circuit_->primary_outputs();
+  std::uint64_t mismatch = 0;
+  bool broke = false;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    if (cancel != nullptr && cancel->stop_requested()) return mismatch;
+    const bool simulated = cone_.eval_frame(t);
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      if (simulated && plan_.in_cone(pos[i])) {
+        mismatch |= mismatches(cone_.value(pos[i]), observed_pos[t][i]);
+      } else {
+        mismatch |=
+            uniform_mismatch(trace.value(t, pos[i]), observed_pos[t][i]);
+      }
+    }
+    if (simulated) cone_.latch();
+    if ((mismatch & full) == full) {
+      broke = true;
+      break;
+    }
+  }
+  if (broke) return mismatch;  // every group slot already mismatches
+  const Vector3 ff_free = trace.state_at_start(seq.length());
+  const auto ffs = circuit_->flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (!scan_mask_.test(i)) continue;
+    if (!cone_.clean() && plan_.in_cone(ffs[i])) {
+      mismatch |= mismatches(cone_.captured(i), observed_scan_out[i]);
+    } else {
+      mismatch |= uniform_mismatch(ff_free[i], observed_scan_out[i]);
+    }
   }
   return mismatch;
 }

@@ -24,6 +24,8 @@
 
 #include "fault/fault_list.hpp"
 #include "netlist/circuit.hpp"
+#include "sim/cone_kernel.hpp"
+#include "sim/node_trace.hpp"
 #include "sim/seq_sim.hpp"
 #include "util/bitset.hpp"
 #include "util/cancel.hpp"
@@ -35,6 +37,24 @@ namespace scanc::fault {
 [[nodiscard]] constexpr std::uint64_t group_slot_mask(std::size_t n) noexcept {
   return n >= 63 ? ~1ULL : ((1ULL << (n + 1)) - 2);
 }
+
+/// Registers `group`'s stuck-line injections into `out` (slot j+1 =
+/// group[j]).  Shared by GroupWorker passes and the incremental Session,
+/// which caches one map per group.
+void build_group_injections(const FaultList& faults,
+                            std::span<const FaultClassId> group,
+                            sim::InjectionMap& out);
+
+/// Kernel selection for one pass, resolved by the FaultSimulator.
+/// With `trace == nullptr` the worker always runs the full kernel.
+/// Otherwise it may run the cone-restricted kernel (sim/cone_kernel.hpp)
+/// seeded from the shared fault-free trace — always when `force_cone`,
+/// else only when the group's union cone is small enough to pay off.
+/// Either choice produces bit-identical results.
+struct KernelChoice {
+  const sim::NodeTrace* trace = nullptr;
+  bool force_cone = false;
+};
 
 class GroupWorker {
  public:
@@ -58,7 +78,8 @@ class GroupWorker {
                            std::span<const FaultClassId> group,
                            bool observe_scan_out, bool early_exit,
                            const std::atomic<bool>* keep_going = nullptr,
-                           const util::CancelToken* cancel = nullptr);
+                           const util::CancelToken* cancel = nullptr,
+                           const KernelChoice& kernel = {});
 
   /// Full detection-time recording for one group.  `first_po[j]` (init
   /// to -1 by the caller) receives the earliest PO detection time of
@@ -70,7 +91,8 @@ class GroupWorker {
                  std::span<const FaultClassId> group,
                  std::span<std::int64_t> first_po,
                  std::span<util::Bitset> state_diff,
-                 const util::CancelToken* cancel = nullptr);
+                 const util::CancelToken* cancel = nullptr,
+                 const KernelChoice& kernel = {});
 
   /// Lighter prefix-coverage pass: records first PO detection times into
   /// `first_po` (group-local, init to -1) and returns the detection mask
@@ -81,16 +103,21 @@ class GroupWorker {
                            const sim::Sequence& seq,
                            std::span<const FaultClassId> group,
                            std::span<std::int64_t> first_po,
-                           const util::CancelToken* cancel = nullptr);
+                           const util::CancelToken* cancel = nullptr,
+                           const KernelChoice& kernel = {});
 
   /// Response-comparison pass for diagnosis: returns the mask of group
   /// faults whose predicted response *mismatches* the observation
-  /// (binary-vs-binary differences only).
+  /// (binary-vs-binary differences only).  A raised `cancel` aborts at
+  /// the next frame boundary; the partial mask under-reports mismatches,
+  /// which callers must treat as "conservatively consistent".
   std::uint64_t run_consistency(const sim::Vector3& scan_in,
                                 const sim::Sequence& seq,
                                 std::span<const sim::Vector3> observed_pos,
                                 const sim::Vector3& observed_scan_out,
-                                std::span<const FaultClassId> group);
+                                std::span<const FaultClassId> group,
+                                const util::CancelToken* cancel = nullptr,
+                                const KernelChoice& kernel = {});
 
   // --- incremental primitives (FaultSimulator::Session) ---------------
 
@@ -117,11 +144,49 @@ class GroupWorker {
   void start_test(const sim::Vector3* scan_in,
                   std::span<const FaultClassId> group);
 
+  /// Decides full vs cone kernel for `group` under `kernel`; when the
+  /// cone is taken, plan_ holds the group's cone on return.
+  [[nodiscard]] bool cone_selected(std::span<const FaultClassId> group,
+                                   const KernelChoice& kernel);
+
+  // Cone-kernel counterparts of the public passes (same contracts).
+  std::uint64_t run_detect_cone(const sim::NodeTrace& trace,
+                                const sim::Sequence& seq,
+                                std::span<const FaultClassId> group,
+                                bool observe_scan_out, bool early_exit,
+                                const std::atomic<bool>* keep_going,
+                                const util::CancelToken* cancel);
+  void run_times_cone(const sim::NodeTrace& trace, const sim::Sequence& seq,
+                      std::span<const FaultClassId> group,
+                      std::span<std::int64_t> first_po,
+                      std::span<util::Bitset> state_diff,
+                      const util::CancelToken* cancel);
+  std::uint64_t run_prefix_cone(const sim::NodeTrace& trace,
+                                const sim::Sequence& seq,
+                                std::span<const FaultClassId> group,
+                                std::span<std::int64_t> first_po,
+                                const util::CancelToken* cancel);
+  std::uint64_t run_consistency_cone(const sim::NodeTrace& trace,
+                                     const sim::Sequence& seq,
+                                     std::span<const sim::Vector3> observed_pos,
+                                     const sim::Vector3& observed_scan_out,
+                                     std::span<const FaultClassId> group,
+                                     const util::CancelToken* cancel);
+
+  /// PO / scan-out detection masks over the cone only (bit-identical to
+  /// the full-kernel masks: out-of-cone observation points are
+  /// slot-uniform and can never contribute).
+  [[nodiscard]] std::uint64_t po_detections_cone() const;
+  [[nodiscard]] std::uint64_t state_detections_cone() const;
+
   const netlist::Circuit* circuit_;
   const FaultList* faults_;
   util::Bitset scan_mask_;
   sim::PackedSeqSim sim_;
   sim::InjectionMap injections_;
+  sim::ConePlan plan_;
+  sim::ConeSim cone_;
+  std::vector<sim::ConeSite> sites_;
 };
 
 }  // namespace scanc::fault

@@ -204,6 +204,7 @@ Circuit CircuitBuilder::build() {
     c.depth_ = std::max(c.depth_, lvl);
   }
 
+  c.csr_ = CsrSchedule::build(c);
   return c;
 }
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netlist/csr.hpp"
 #include "netlist/gate.hpp"
 
 namespace scanc::netlist {
@@ -98,6 +99,11 @@ class Circuit {
   /// Maximum combinational level (depth).  0 for a circuit with no gates.
   [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
 
+  /// Flat CSR connectivity + levelized evaluation order (precomputed by
+  /// build()).  The simulation kernels run off this instead of the
+  /// per-Node vectors.
+  [[nodiscard]] const CsrSchedule& csr() const noexcept { return csr_; }
+
   /// Looks up a node by name; returns kNoNode if absent.
   [[nodiscard]] NodeId find(std::string_view name) const;
 
@@ -118,6 +124,7 @@ class Circuit {
   std::vector<char> is_output_;
   std::unordered_map<std::string, NodeId> by_name_;
   std::uint32_t depth_ = 0;
+  CsrSchedule csr_;
 };
 
 /// Incremental builder for Circuit.  Names may be referenced before they

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "netlist/circuit.hpp"
+#include "sim/packed.hpp"
 
 namespace scanc::sim {
 
@@ -24,6 +25,25 @@ struct Injection {
   bool stuck_one = false;       ///< stuck-at-1 if true, else stuck-at-0
   std::uint64_t mask = 0;       ///< simulation slots the fault occupies
 };
+
+/// Applies every stem injection in `injs` to a node's output value.
+[[nodiscard]] inline PackedV3 apply_stem(PackedV3 v,
+                                         std::span<const Injection> injs) {
+  for (const Injection& inj : injs) {
+    if (inj.pin == kStemPin) v = inject(v, inj.mask, inj.stuck_one);
+  }
+  return v;
+}
+
+/// Applies every branch injection on fanin `pin` to the value read
+/// through that pin.
+[[nodiscard]] inline PackedV3 apply_pin(PackedV3 v, int pin,
+                                        std::span<const Injection> injs) {
+  for (const Injection& inj : injs) {
+    if (inj.pin == pin) v = inject(v, inj.mask, inj.stuck_one);
+  }
+  return v;
+}
 
 /// Injections grouped by the node they attach to.  Cleared and refilled
 /// once per fault group; clear() touches only previously used nodes so a

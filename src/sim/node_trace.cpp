@@ -1,0 +1,80 @@
+#include "sim/node_trace.hpp"
+
+#include <cassert>
+
+#include "sim/packed.hpp"
+
+namespace scanc::sim {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+NodeTrace::NodeTrace(const netlist::Circuit& c, const Vector3* scan_in)
+    : circuit_(&c),
+      stride_(c.num_nodes()),
+      initial_state_(c.num_flip_flops(), V3::X) {
+  if (scan_in != nullptr) {
+    assert(scan_in->size() == initial_state_.size());
+    initial_state_ = *scan_in;
+  }
+}
+
+NodeTrace::NodeTrace(const NodeTrace& other, std::size_t prefix_len)
+    : circuit_(other.circuit_),
+      stride_(other.stride_),
+      length_(prefix_len),
+      vals_(other.vals_.begin(),
+            other.vals_.begin() +
+                static_cast<std::ptrdiff_t>(prefix_len * other.stride_)),
+      initial_state_(other.initial_state_) {
+  assert(prefix_len <= other.length_);
+}
+
+Vector3 NodeTrace::state_at_start(std::size_t k) const {
+  if (k == 0) return initial_state_;
+  const netlist::CsrSchedule& csr = circuit_->csr();
+  const auto ffs = circuit_->flip_flops();
+  Vector3 st(ffs.size(), V3::X);
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    st[i] = value(k - 1, csr.fanins(ffs[i])[0]);
+  }
+  return st;
+}
+
+void NodeTrace::extend(std::span<const Vector3> pi_frames) {
+  const netlist::CsrSchedule& csr = circuit_->csr();
+  const auto pis = circuit_->primary_inputs();
+  const auto ffs = circuit_->flip_flops();
+
+  // Working values: constants, then the state the prefix ends in.
+  std::vector<V3> work(stride_, V3::X);
+  for (NodeId id = 0; id < stride_; ++id) {
+    if (csr.types[id] == GateType::Const0) work[id] = V3::Zero;
+    if (csr.types[id] == GateType::Const1) work[id] = V3::One;
+  }
+  const Vector3 st = state_at_start(length_);
+  for (std::size_t i = 0; i < ffs.size(); ++i) work[ffs[i]] = st[i];
+
+  vals_.reserve(vals_.size() + pi_frames.size() * stride_);
+  std::vector<V3> scratch;
+  std::vector<V3> next_state(ffs.size());
+  for (const Vector3& pi : pi_frames) {
+    assert(pi.size() == pis.size());
+    for (std::size_t i = 0; i < pis.size(); ++i) work[pis[i]] = pi[i];
+    for (const NodeId id : csr.order) {
+      scratch.clear();
+      for (const NodeId f : csr.fanins(id)) scratch.push_back(work[f]);
+      work[id] = eval_gate_scalar(csr.types[id], scratch);
+    }
+    // Record the frame *before* latching so FF ids hold the state read
+    // during this frame.
+    vals_.insert(vals_.end(), work.begin(), work.end());
+    ++length_;
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      next_state[i] = work[csr.fanins(ffs[i])[0]];
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i) work[ffs[i]] = next_state[i];
+  }
+}
+
+}  // namespace scanc::sim

@@ -81,6 +81,15 @@ constexpr void set_slot(PackedV3& v, unsigned bit, V3 value) noexcept {
   return v.is0 ^ v.is1;
 }
 
+/// Slots whose three-valued code differs from slot 0's (slot 0 is the
+/// fault-free reference in the parallel-fault simulator).  Zero iff the
+/// word is slot-uniform.
+[[nodiscard]] constexpr std::uint64_t diverging_slots(PackedV3 v) noexcept {
+  const std::uint64_t r0 = (v.is0 & 1) ? ~0ULL : 0ULL;
+  const std::uint64_t r1 = (v.is1 & 1) ? ~0ULL : 0ULL;
+  return (v.is0 ^ r0) | (v.is1 ^ r1);
+}
+
 /// Slots where `v` holds a binary value that differs from the binary
 /// reference value `ref` (the conservative detection criterion: an X in a
 /// faulty machine never counts as a detection).
@@ -117,6 +126,45 @@ constexpr void set_slot(PackedV3& v, unsigned bit, V3 value) noexcept {
     case GateType::Xnor: {
       PackedV3 acc = in[0];
       for (std::size_t i = 1; i < in.size(); ++i) acc = p_xor(acc, in[i]);
+      return type == GateType::Xnor ? p_not(acc) : acc;
+    }
+    default:
+      // Sources are never evaluated from fanins.
+      return packed_x();
+  }
+}
+
+/// Evaluates an n-ary gate with fanin values produced by a callable
+/// (`at(i)` returns the PackedV3 read through fanin pin i).  This is the
+/// single gate-evaluation loop shared by the full and cone-restricted
+/// kernels: the callable absorbs the difference between plain array
+/// reads and reads with branch injections applied.
+template <class FaninAt>
+[[nodiscard]] inline PackedV3 eval_gate_at(netlist::GateType type,
+                                           std::size_t arity,
+                                           FaninAt&& at) noexcept {
+  using netlist::GateType;
+  switch (type) {
+    case GateType::Buf:
+      return at(0);
+    case GateType::Not:
+      return p_not(at(0));
+    case GateType::And:
+    case GateType::Nand: {
+      PackedV3 acc = at(0);
+      for (std::size_t i = 1; i < arity; ++i) acc = p_and(acc, at(i));
+      return type == GateType::Nand ? p_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      PackedV3 acc = at(0);
+      for (std::size_t i = 1; i < arity; ++i) acc = p_or(acc, at(i));
+      return type == GateType::Nor ? p_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      PackedV3 acc = at(0);
+      for (std::size_t i = 1; i < arity; ++i) acc = p_xor(acc, at(i));
       return type == GateType::Xnor ? p_not(acc) : acc;
     }
     default:

@@ -15,24 +15,6 @@ PackedSeqSim::PackedSeqSim(const Circuit& circuit)
       captured_(circuit.num_flip_flops(), packed_x()),
       next_state_(circuit.num_flip_flops()) {}
 
-namespace {
-
-PackedV3 apply_stem(PackedV3 v, std::span<const Injection> injs) {
-  for (const Injection& inj : injs) {
-    if (inj.pin == kStemPin) v = inject(v, inj.mask, inj.stuck_one);
-  }
-  return v;
-}
-
-PackedV3 apply_pin(PackedV3 v, int pin, std::span<const Injection> injs) {
-  for (const Injection& inj : injs) {
-    if (inj.pin == pin) v = inject(v, inj.mask, inj.stuck_one);
-  }
-  return v;
-}
-
-}  // namespace
-
 void PackedSeqSim::reset(const InjectionMap* inj) {
   for (NodeId id = 0; id < values_.size(); ++id) {
     const GateType t = circuit_->node(id).type;
@@ -58,11 +40,6 @@ void PackedSeqSim::load_state(const Vector3& state, const InjectionMap* inj) {
   }
 }
 
-PackedV3 PackedSeqSim::fanin_value(const Node& n, std::size_t i,
-                                   std::span<const Injection> injs) const {
-  return apply_pin(values_[n.fanins[i]], static_cast<int>(i), injs);
-}
-
 void PackedSeqSim::apply_frame(const Vector3& pi, const InjectionMap* inj) {
   const auto pis = circuit_->primary_inputs();
   assert(pi.size() == pis.size());
@@ -72,89 +49,24 @@ void PackedSeqSim::apply_frame(const Vector3& pi, const InjectionMap* inj) {
     values_[pis[i]] = v;
   }
 
-  for (const NodeId id : circuit_->topo_order()) {
-    const Node& n = circuit_->node(id);
+  // Level-major CSR schedule: flat offset/id arrays, no per-Node vector
+  // chasing on the inner loop.
+  const netlist::CsrSchedule& csr = circuit_->csr();
+  const PackedV3* vals = values_.data();
+  for (const NodeId id : csr.order) {
+    const std::span<const NodeId> fi = csr.fanins(id);
     PackedV3 out;
     if (inj == nullptr || !inj->any(id)) {
       // Fast path: no injections touch this gate.
-      switch (n.type) {
-        case GateType::Buf:
-          out = values_[n.fanins[0]];
-          break;
-        case GateType::Not:
-          out = p_not(values_[n.fanins[0]]);
-          break;
-        case GateType::And:
-        case GateType::Nand: {
-          PackedV3 acc = values_[n.fanins[0]];
-          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-            acc = p_and(acc, values_[n.fanins[i]]);
-          }
-          out = (n.type == GateType::Nand) ? p_not(acc) : acc;
-          break;
-        }
-        case GateType::Or:
-        case GateType::Nor: {
-          PackedV3 acc = values_[n.fanins[0]];
-          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-            acc = p_or(acc, values_[n.fanins[i]]);
-          }
-          out = (n.type == GateType::Nor) ? p_not(acc) : acc;
-          break;
-        }
-        case GateType::Xor:
-        case GateType::Xnor: {
-          PackedV3 acc = values_[n.fanins[0]];
-          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-            acc = p_xor(acc, values_[n.fanins[i]]);
-          }
-          out = (n.type == GateType::Xnor) ? p_not(acc) : acc;
-          break;
-        }
-        default:
-          continue;  // sources are not evaluated
-      }
+      out = eval_gate_at(csr.types[id], fi.size(),
+                         [&](std::size_t i) { return vals[fi[i]]; });
     } else {
       // Slow path: gather fanins with branch injections, then apply the
       // stem injections to the computed output.
       const std::span<const Injection> injs = inj->at(id);
-      switch (n.type) {
-        case GateType::Buf:
-          out = fanin_value(n, 0, injs);
-          break;
-        case GateType::Not:
-          out = p_not(fanin_value(n, 0, injs));
-          break;
-        case GateType::And:
-        case GateType::Nand: {
-          PackedV3 acc = fanin_value(n, 0, injs);
-          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-            acc = p_and(acc, fanin_value(n, i, injs));
-          }
-          out = (n.type == GateType::Nand) ? p_not(acc) : acc;
-          break;
-        }
-        case GateType::Or:
-        case GateType::Nor: {
-          PackedV3 acc = fanin_value(n, 0, injs);
-          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-            acc = p_or(acc, fanin_value(n, i, injs));
-          }
-          out = (n.type == GateType::Nor) ? p_not(acc) : acc;
-          break;
-        }
-        case GateType::Xor:
-        case GateType::Xnor: {
-          PackedV3 acc = fanin_value(n, 0, injs);
-          for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-            acc = p_xor(acc, fanin_value(n, i, injs));
-          }
-          out = (n.type == GateType::Xnor) ? p_not(acc) : acc;
-          break;
-        }
-        default:
-          continue;
-      }
+      out = eval_gate_at(csr.types[id], fi.size(), [&](std::size_t i) {
+        return apply_pin(vals[fi[i]], static_cast<int>(i), injs);
+      });
       out = apply_stem(out, injs);
     }
     values_[id] = out;
@@ -162,10 +74,10 @@ void PackedSeqSim::apply_frame(const Vector3& pi, const InjectionMap* inj) {
 }
 
 void PackedSeqSim::latch(const InjectionMap* inj) {
+  const netlist::CsrSchedule& csr = circuit_->csr();
   const auto ffs = circuit_->flip_flops();
   for (std::size_t i = 0; i < ffs.size(); ++i) {
-    const Node& n = circuit_->node(ffs[i]);
-    PackedV3 v = values_[n.fanins[0]];
+    PackedV3 v = values_[csr.fanins(ffs[i])[0]];
     if (inj && inj->any(ffs[i])) {
       // Branch fault on the D input corrupts the captured value itself.
       v = apply_pin(v, 0, inj->at(ffs[i]));

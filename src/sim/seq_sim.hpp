@@ -93,9 +93,6 @@ class PackedSeqSim {
   [[nodiscard]] Vector3 outputs_slot(unsigned slot_bit) const;
 
  private:
-  [[nodiscard]] PackedV3 fanin_value(const netlist::Node& n, std::size_t i,
-                                     std::span<const Injection> inj) const;
-
   const netlist::Circuit* circuit_;
   std::vector<PackedV3> values_;
   std::vector<PackedV3> captured_;    // clean latch contents (scan-out view)

@@ -1,0 +1,90 @@
+#include "sim/trace_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scanc::sim {
+
+TraceCache::TraceCache(const netlist::Circuit& c, std::size_t capacity)
+    : circuit_(&c), capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool TraceCache::key_matches(const Entry& e, const Vector3* scan_in) const {
+  if (e.has_scan_in != (scan_in != nullptr)) return false;
+  return scan_in == nullptr || e.scan_in == *scan_in;
+}
+
+namespace {
+
+/// Length of the common frame prefix of two sequences.
+std::size_t common_prefix(const Sequence& a, const Sequence& b) {
+  const std::size_t n = std::min(a.length(), b.length());
+  for (std::size_t t = 0; t < n; ++t) {
+    if (a.frames[t] != b.frames[t]) return t;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::shared_ptr<const NodeTrace> TraceCache::get(const Vector3* scan_in,
+                                                 const Sequence& seq) {
+  ++tick_;
+  std::size_t best = entries_.size();
+  std::size_t best_lcp = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (!key_matches(e, scan_in)) continue;
+    const std::size_t lcp = common_prefix(e.seq, seq);
+    if (lcp == seq.length() && e.seq.length() >= seq.length()) {
+      // The query is a prefix of (or equal to) the cached trace.
+      ++hits_;
+      e.stamp = tick_;
+      return e.trace;
+    }
+    if (lcp == e.seq.length()) {
+      // The cached trace is a proper prefix of the query: extend it.
+      ++extensions_;
+      if (e.trace.use_count() > 1) {
+        // Another caller still reads the shorter trace: copy-on-write.
+        e.trace = std::make_shared<NodeTrace>(*e.trace, e.trace->length());
+      }
+      e.trace->extend(std::span<const Vector3>(seq.frames).subspan(lcp));
+      e.seq = seq;
+      e.stamp = tick_;
+      return e.trace;
+    }
+    if (lcp > best_lcp) {
+      best = i;
+      best_lcp = lcp;
+    }
+  }
+
+  // Miss: build a trace, seeding from the longest common prefix found.
+  std::shared_ptr<NodeTrace> trace;
+  if (best < entries_.size() && best_lcp > 0) {
+    ++partial_reuses_;
+    trace = std::make_shared<NodeTrace>(*entries_[best].trace, best_lcp);
+  } else {
+    ++misses_;
+    trace = std::make_shared<NodeTrace>(*circuit_, scan_in);
+  }
+  trace->extend(
+      std::span<const Vector3>(seq.frames).subspan(trace->length()));
+
+  if (entries_.size() >= capacity_) {
+    auto lru = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    entries_.erase(lru);
+  }
+  Entry e;
+  e.has_scan_in = scan_in != nullptr;
+  if (scan_in != nullptr) e.scan_in = *scan_in;
+  e.seq = seq;
+  e.trace = trace;
+  e.stamp = tick_;
+  entries_.push_back(std::move(e));
+  return trace;
+}
+
+}  // namespace scanc::sim

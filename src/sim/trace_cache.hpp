@@ -1,0 +1,81 @@
+// Prefix-aware LRU cache of fault-free NodeTraces.
+//
+// The compaction procedures re-simulate heavily overlapping tests: vector
+// omission runs (SI, T with frame u dropped) for many u, restoration
+// re-extends previously truncated tests, and coverage checks repeat the
+// same (SI, T) for different target sets.  The fault-free trace depends
+// only on (scan_in, seq), so this cache shares one trace across all of
+// them:
+//   - exact or prefix hit: the query's sequence is a prefix of a cached
+//     trace -> return it unchanged (callers read only the frames they
+//     need);
+//   - extension: a cached trace's sequence is a prefix of the query ->
+//     extend it in place (copy-on-write when other callers still hold
+//     the trace) and return;
+//   - partial overlap: copy the longest common prefix from the best
+//     cached trace and simulate only the divergent tail.
+//
+// Not thread-safe: get() must be called from the thread that owns the
+// FaultSimulator (worker threads only ever read the returned trace
+// through a shared_ptr<const NodeTrace>).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/node_trace.hpp"
+#include "sim/sequence.hpp"
+
+namespace scanc::sim {
+
+class TraceCache {
+ public:
+  explicit TraceCache(const netlist::Circuit& c, std::size_t capacity = 8);
+
+  /// Returns the fault-free trace of (scan_in, seq), reusing or
+  /// extending cached work where possible.  `scan_in` must already be
+  /// masked for partial scan (nullptr = no scan-in, all-X start).  The
+  /// returned trace has length() >= seq.length(); frames beyond
+  /// seq.length() belong to a longer cached test and must be ignored.
+  [[nodiscard]] std::shared_ptr<const NodeTrace> get(const Vector3* scan_in,
+                                                     const Sequence& seq);
+
+  /// Drops every cached trace.
+  void clear() { entries_.clear(); }
+
+  // Observability for tests and tuning.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t extensions() const noexcept {
+    return extensions_;
+  }
+  [[nodiscard]] std::uint64_t partial_reuses() const noexcept {
+    return partial_reuses_;
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    bool has_scan_in = false;
+    Vector3 scan_in;  ///< masked scan-in state (empty when !has_scan_in)
+    Sequence seq;     ///< the sequence the trace covers
+    std::shared_ptr<NodeTrace> trace;
+    std::uint64_t stamp = 0;  ///< LRU clock
+  };
+
+  [[nodiscard]] bool key_matches(const Entry& e,
+                                 const Vector3* scan_in) const;
+
+  const netlist::Circuit* circuit_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t extensions_ = 0;
+  std::uint64_t partial_reuses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace scanc::sim

@@ -98,8 +98,10 @@ OmissionResult omit_vectors(FaultSimulator& fsim, const ScanTest& test,
         std::size_t t = 0;
         for (std::size_t k = 0; k < nf; ++k) {
           if (first_det[k] < static_cast<std::int64_t>(u)) continue;
-          // trial.targets enumerates `affected` in increasing class
-          // order, matching the relative order of times.targets.
+          // FaultSimulator::collect orders every target list by the
+          // same fixed (pack rank, class id) key, so trial.targets
+          // enumerates `affected` in the relative order of
+          // times.targets.
           assert(t < trial.targets.size());
           assert(trial.targets[t] == times.targets[k]);
           first_det[k] = trial.first_po[t] >= 0 ? trial.first_po[t]

@@ -1,15 +1,17 @@
 // Randomized equivalence suite for the parallel fault-group execution
-// layer: every FaultSimulator query must return bit-identical results
-// for num_threads = 1 (serial, no pool) and num_threads = N (worker
-// pool), across generated circuits under full- and partial-scan masks.
-// This is the determinism guarantee documented in docs/execution.md,
-// pinned.
+// layer and the simulation kernels: every FaultSimulator query must
+// return bit-identical results for num_threads = 1 (serial, no pool)
+// and num_threads = N (worker pool), and for every kernel mode (Auto,
+// forced Full, forced Cone), across generated circuits under full- and
+// partial-scan masks.  This is the determinism guarantee documented in
+// docs/execution.md, pinned.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -60,6 +62,15 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
     serial_->set_num_threads(1);
     parallel_.emplace(*circuit_, *faults_, scan_mask_);
     parallel_->set_num_threads(parallel_threads());
+    // Kernel-forced simulators: the cone-restricted kernel must be
+    // bit-identical to the full kernel on every query, serial and
+    // parallel alike.
+    full_.emplace(*circuit_, *faults_, scan_mask_);
+    full_->set_num_threads(1);
+    full_->set_kernel(KernelMode::Full);
+    cone_.emplace(*circuit_, *faults_, scan_mask_);
+    cone_->set_num_threads(parallel_threads());
+    cone_->set_kernel(KernelMode::Cone);
 
     util::Rng rng(c.seed * 977 + 13);
     seq_ = tgen::random_test_sequence(*circuit_, 48, c.seed * 3 + 1);
@@ -71,78 +82,101 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
     if (targets_.none()) targets_.set(faults_->num_classes() / 2);
   }
 
+  /// The simulators that must agree with `serial_` (Auto kernel) on
+  /// every query.
+  std::vector<FaultSimulator*> others() {
+    return {&*parallel_, &*full_, &*cone_};
+  }
+
   std::optional<netlist::Circuit> circuit_;
   std::optional<FaultList> faults_;
   util::Bitset scan_mask_;
   std::optional<FaultSimulator> serial_;
   std::optional<FaultSimulator> parallel_;
+  std::optional<FaultSimulator> full_;
+  std::optional<FaultSimulator> cone_;
   Sequence seq_;
   Vector3 scan_in_;
   FaultSet targets_;
 };
 
 TEST_P(ParallelEquivalence, DetectNoScan) {
-  EXPECT_EQ(serial_->detect_no_scan(seq_), parallel_->detect_no_scan(seq_));
-  EXPECT_EQ(serial_->detect_no_scan(seq_, &targets_),
-            parallel_->detect_no_scan(seq_, &targets_));
+  const FaultSet all = serial_->detect_no_scan(seq_);
+  const FaultSet sub = serial_->detect_no_scan(seq_, &targets_);
+  for (FaultSimulator* other : others()) {
+    EXPECT_EQ(all, other->detect_no_scan(seq_));
+    EXPECT_EQ(sub, other->detect_no_scan(seq_, &targets_));
+  }
 }
 
 TEST_P(ParallelEquivalence, DetectScanTest) {
-  EXPECT_EQ(serial_->detect_scan_test(scan_in_, seq_),
-            parallel_->detect_scan_test(scan_in_, seq_));
-  EXPECT_EQ(serial_->detect_scan_test(scan_in_, seq_, &targets_),
-            parallel_->detect_scan_test(scan_in_, seq_, &targets_));
+  const FaultSet all = serial_->detect_scan_test(scan_in_, seq_);
+  const FaultSet sub = serial_->detect_scan_test(scan_in_, seq_, &targets_);
+  for (FaultSimulator* other : others()) {
+    EXPECT_EQ(all, other->detect_scan_test(scan_in_, seq_));
+    EXPECT_EQ(sub, other->detect_scan_test(scan_in_, seq_, &targets_));
+  }
 }
 
 TEST_P(ParallelEquivalence, DetectionTimes) {
   const auto a = serial_->detection_times(scan_in_, seq_, targets_);
-  const auto b = parallel_->detection_times(scan_in_, seq_, targets_);
-  ASSERT_EQ(a.targets, b.targets);
-  EXPECT_EQ(a.first_po, b.first_po);
-  ASSERT_EQ(a.state_diff.size(), b.state_diff.size());
-  for (std::size_t i = 0; i < a.state_diff.size(); ++i) {
-    EXPECT_EQ(a.state_diff[i], b.state_diff[i]) << "target " << i;
+  for (FaultSimulator* other : others()) {
+    const auto b = other->detection_times(scan_in_, seq_, targets_);
+    ASSERT_EQ(a.targets, b.targets);
+    EXPECT_EQ(a.first_po, b.first_po);
+    ASSERT_EQ(a.state_diff.size(), b.state_diff.size());
+    for (std::size_t i = 0; i < a.state_diff.size(); ++i) {
+      EXPECT_EQ(a.state_diff[i], b.state_diff[i]) << "target " << i;
+    }
   }
 }
 
 TEST_P(ParallelEquivalence, PrefixDetection) {
   const auto a = serial_->prefix_detection(scan_in_, seq_, targets_);
-  const auto b = parallel_->prefix_detection(scan_in_, seq_, targets_);
-  ASSERT_EQ(a.targets, b.targets);
-  EXPECT_EQ(a.first_po, b.first_po);
-  EXPECT_EQ(a.detected, b.detected);
-  EXPECT_EQ(a.all_detected(), b.all_detected());
+  for (FaultSimulator* other : others()) {
+    const auto b = other->prefix_detection(scan_in_, seq_, targets_);
+    ASSERT_EQ(a.targets, b.targets);
+    EXPECT_EQ(a.first_po, b.first_po);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.all_detected(), b.all_detected());
+  }
 }
 
 TEST_P(ParallelEquivalence, DetectsAll) {
   // A set the test provably covers (true case, exercises the
   // cooperative-cancellation path trivially) ...
   const FaultSet covered = serial_->detect_scan_test(scan_in_, seq_);
-  if (!covered.none()) {
-    EXPECT_TRUE(serial_->detects_all(scan_in_, seq_, covered));
-    EXPECT_TRUE(parallel_->detects_all(scan_in_, seq_, covered));
-  }
   // ... and the full universe (false on any realistic circuit, so the
   // "all satisfied so far" flag actually flips under the pool).
   const FaultSet all = serial_->all_faults();
-  EXPECT_EQ(serial_->detects_all(scan_in_, seq_, all),
-            parallel_->detects_all(scan_in_, seq_, all));
+  const bool all_covered = serial_->detects_all(scan_in_, seq_, all);
+  for (FaultSimulator* other : others()) {
+    if (!covered.none()) {
+      EXPECT_TRUE(other->detects_all(scan_in_, seq_, covered));
+    }
+    EXPECT_EQ(all_covered, other->detects_all(scan_in_, seq_, all));
+  }
+  if (!covered.none()) {
+    EXPECT_TRUE(serial_->detects_all(scan_in_, seq_, covered));
+  }
 }
 
 TEST_P(ParallelEquivalence, ConsistentFaults) {
   // Observe the fault-free response: every undetected fault (and none of
   // the PO/scan-out-detected ones) must remain consistent, identically
-  // in both modes.
+  // in every mode.
   const sim::Trace good =
       sim::simulate_fault_free(*circuit_, &scan_in_, seq_);
   Vector3 observed_scan_out = good.states.back();
   for (std::size_t i = 0; i < observed_scan_out.size(); ++i) {
     if (!scan_mask_.test(i)) observed_scan_out[i] = sim::V3::X;
   }
-  EXPECT_EQ(serial_->consistent_faults(scan_in_, seq_, good.po_frames,
-                                       observed_scan_out, targets_),
-            parallel_->consistent_faults(scan_in_, seq_, good.po_frames,
-                                         observed_scan_out, targets_));
+  const FaultSet a = serial_->consistent_faults(
+      scan_in_, seq_, good.po_frames, observed_scan_out, targets_);
+  for (FaultSimulator* other : others()) {
+    EXPECT_EQ(a, other->consistent_faults(scan_in_, seq_, good.po_frames,
+                                          observed_scan_out, targets_));
+  }
 }
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {

@@ -29,6 +29,7 @@
 #include "fault/fault_sim.hpp"
 #include "gen/embedded.hpp"
 #include "gen/suite.hpp"
+#include "sim/seq_sim.hpp"
 #include "tcomp/iterate.hpp"
 #include "tcomp/pipeline.hpp"
 #include "tgen/random_seq.hpp"
@@ -216,6 +217,62 @@ TEST(CancelSim, MidQueryCancellationFromAnotherThreadIsClean) {
     fault::FaultSet extra = det;
     extra -= full;
     EXPECT_TRUE(extra.none()) << "round " << round;
+  }
+}
+
+TEST(CancelSim, RaisedTokenKeepsConsistentFaultsConservative) {
+  // consistent_faults under cancellation must err toward "consistent":
+  // a fault may stay in the candidate set spuriously, but must never be
+  // excluded without its mismatch being observed.
+  SimFixture fx;
+  const sim::Sequence seq =
+      tgen::random_test_sequence(fx.circuit, 64, /*seed=*/7);
+  const sim::Vector3 si(fx.circuit.num_flip_flops());
+  const sim::Trace good =
+      sim::simulate_fault_free(fx.circuit, &si, seq);
+  const fault::FaultSet targets = fx.fsim.all_faults();
+  const fault::FaultSet base = fx.fsim.consistent_faults(
+      si, seq, good.po_frames, good.states.back(), targets);
+  // Observing the fault-free response leaves some faults inconsistent
+  // (the detected ones), so the conservative direction is observable.
+  ASSERT_LT(base.count(), targets.count());
+
+  // A pre-raised token (same state as an expired deadline, see
+  // DeadlineExpiryRaisesToken) skips every group: all targets remain
+  // consistent — a strict superset of the uncancelled answer.
+  const auto token = util::CancelToken::make();
+  token.request_stop();
+  fx.fsim.set_cancel(token);
+  const fault::FaultSet cancelled = fx.fsim.consistent_faults(
+      si, seq, good.po_frames, good.states.back(), targets);
+  EXPECT_EQ(cancelled.count(), targets.count());
+}
+
+TEST(CancelSim, MidQueryConsistencyCancellationIsConservative) {
+  // Raise the token from a second thread mid-query: whatever frame the
+  // per-frame poll in run_consistency cuts at, the result only loses
+  // mismatches, so it is a superset of the uncancelled consistent set.
+  SimFixture fx;
+  fx.fsim.set_num_threads(2);
+  const sim::Sequence seq =
+      tgen::random_test_sequence(fx.circuit, 512, /*seed=*/11);
+  const sim::Vector3 si(fx.circuit.num_flip_flops());
+  const sim::Trace good =
+      sim::simulate_fault_free(fx.circuit, &si, seq);
+  const fault::FaultSet targets = fx.fsim.all_faults();
+  const fault::FaultSet base = fx.fsim.consistent_faults(
+      si, seq, good.po_frames, good.states.back(), targets);
+
+  for (int round = 0; round < 8; ++round) {
+    const auto token = util::CancelToken::make();
+    fx.fsim.set_cancel(token);
+    std::thread raiser([&token] { token.request_stop(); });
+    const fault::FaultSet cut = fx.fsim.consistent_faults(
+        si, seq, good.po_frames, good.states.back(), targets);
+    raiser.join();
+    fault::FaultSet lost = base;
+    lost -= cut;
+    EXPECT_TRUE(lost.none()) << "round " << round;
   }
 }
 
