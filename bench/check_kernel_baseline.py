@@ -1,48 +1,85 @@
 #!/usr/bin/env python3
-"""Gate on cone-kernel speedup regressions.
+"""Gate on cone-kernel speedup (and efficiency) regressions.
 
 Reads a google-benchmark JSON file containing the BM_KernelFull/N and
 BM_KernelCone/N timings (the BENCH_kernel.json CI artifact) and compares
 the full/cone speedup per block count against the checked-in baseline
-(bench/BENCH_kernel_baseline.json).  Fails when a measured speedup drops
-below half its baseline value — a >2x regression of the cone kernel
-relative to the full one, which absolute-time noise on shared CI runners
-cannot produce.
+(bench/BENCH_kernel_baseline.json).  A measured speedup below
+``tolerance * baseline`` fails; the default tolerance of 0.5 only trips
+on a >2x relative regression, which absolute-time noise on shared CI
+runners cannot produce.
 
-Usage: check_kernel_baseline.py BENCH_kernel.json BENCH_kernel_baseline.json
+When the baseline has an ``efficiency`` section, the same tolerance is
+applied to the kernel efficiency counters (frames_skipped_ratio,
+cache_hit_ratio) that perf_microbench attaches to each benchmark — so a
+change that keeps wall time but destroys frame skipping or cache reuse
+still fails.
+
+Every missing benchmark, field, or baseline key is reported by name
+instead of surfacing as a traceback.
 """
 
+import argparse
 import json
 import sys
 
 
-def speedups(path):
-    with open(path) as f:
-        data = json.load(f)
-    times = {}
-    for bench in data.get("benchmarks", []):
-        name = bench.get("name", "")
-        if not name.startswith("BM_Kernel") or "/" not in name:
-            continue
-        kind, arg = name.split("/", 1)
-        times[(kind, arg)] = float(bench["real_time"])
+def fail(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def kernel_benchmarks(path):
+    """Returns {name: benchmark-entry} for the BM_Kernel* benchmarks."""
+    data = load_json(path)
+    if "benchmarks" not in data:
+        fail(f"{path} has no 'benchmarks' array - not google-benchmark "
+             "JSON output?")
     out = {}
-    for (kind, arg), full_time in times.items():
-        if kind != "BM_KernelFull":
-            continue
-        cone_time = times.get(("BM_KernelCone", arg))
-        if cone_time:
-            out[arg] = full_time / cone_time
+    for bench in data["benchmarks"]:
+        name = bench.get("name", "")
+        if name.startswith("BM_Kernel") and "/" in name:
+            out[name] = bench
+    if not out:
+        fail(f"{path} contains no BM_Kernel*/N benchmarks")
     return out
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    measured = speedups(sys.argv[1])
-    with open(sys.argv[2]) as f:
-        baseline = json.load(f)["speedup"]
+def real_time(benchmarks, name, path):
+    if name not in benchmarks:
+        fail(f"benchmark '{name}' missing from {path}")
+    bench = benchmarks[name]
+    if "real_time" not in bench:
+        fail(f"benchmark '{name}' in {path} has no 'real_time' field")
+    return float(bench["real_time"])
 
+
+def speedups(benchmarks, path):
+    out = {}
+    for name in benchmarks:
+        kind, arg = name.split("/", 1)
+        if kind != "BM_KernelFull":
+            continue
+        full = real_time(benchmarks, name, path)
+        cone = real_time(benchmarks, f"BM_KernelCone/{arg}", path)
+        if cone <= 0.0:
+            fail(f"benchmark 'BM_KernelCone/{arg}' in {path} has "
+                 "non-positive real_time")
+        out[arg] = full / cone
+    return out
+
+
+def check_speedups(measured, baseline, tolerance):
     ok = True
     for arg, base in sorted(baseline.items(), key=lambda kv: int(kv[0])):
         got = measured.get(arg)
@@ -50,13 +87,70 @@ def main():
             print(f"tiles={arg}: MISSING measurement")
             ok = False
             continue
-        floor = base / 2.0
+        floor = base * tolerance
         status = "ok" if got >= floor else "REGRESSION"
         print(
             f"tiles={arg}: cone speedup {got:.2f}x "
             f"(baseline {base:.2f}x, floor {floor:.2f}x) {status}"
         )
         ok = ok and got >= floor
+    return ok
+
+
+def check_efficiency(benchmarks, baseline, tolerance, path):
+    """baseline: {benchmark name: {counter: baseline value}}."""
+    ok = True
+    for name, counters in sorted(baseline.items()):
+        if name not in benchmarks:
+            print(f"{name}: MISSING benchmark for efficiency check")
+            ok = False
+            continue
+        for counter, base in sorted(counters.items()):
+            if counter not in benchmarks[name]:
+                print(f"{name}: counter '{counter}' missing from {path}")
+                ok = False
+                continue
+            got = float(benchmarks[name][counter])
+            floor = base * tolerance
+            status = "ok" if got >= floor else "REGRESSION"
+            print(
+                f"{name}: {counter} {got:.3f} "
+                f"(baseline {base:.3f}, floor {floor:.3f}) {status}"
+            )
+            ok = ok and got >= floor
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("measured", help="BENCH_kernel.json from CI")
+    parser.add_argument("baseline", help="BENCH_kernel_baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="fraction of the baseline a measurement may drop to before "
+        "failing (default 0.5 = fail below half the baseline)",
+    )
+    args = parser.parse_args()
+    if not 0.0 < args.tolerance <= 1.0:
+        fail(f"--tolerance must be in (0, 1], got {args.tolerance}")
+
+    benchmarks = kernel_benchmarks(args.measured)
+    baseline = load_json(args.baseline)
+    if "speedup" not in baseline:
+        fail(f"{args.baseline} has no 'speedup' section")
+
+    ok = check_speedups(
+        speedups(benchmarks, args.measured), baseline["speedup"],
+        args.tolerance)
+    if "efficiency" in baseline:
+        ok = check_efficiency(
+            benchmarks, baseline["efficiency"], args.tolerance,
+            args.measured) and ok
     sys.exit(0 if ok else 1)
 
 

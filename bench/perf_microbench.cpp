@@ -20,6 +20,7 @@
 #include "sim/seq_sim.hpp"
 #include "tgen/random_seq.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -193,9 +194,15 @@ void run_kernel_bench(benchmark::State& state, fault::KernelMode mode) {
   const sim::Sequence seq = tgen::random_test_sequence(c, 32, 11);
   util::Rng rng(3);
   const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
+  const obs::CounterSnapshot before = obs::snapshot_counters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(fsim.detect_scan_test(si, seq));
   }
+  const obs::CounterSnapshot delta =
+      obs::counter_delta(obs::snapshot_counters(), before);
+  const auto at = [&delta](obs::Counter x) {
+    return static_cast<double>(delta[static_cast<std::size_t>(x)]);
+  };
   // Group-frames per second: every group steps through the whole test.
   const double group_frames =
       static_cast<double>(fault::num_groups(fl.num_classes())) *
@@ -205,6 +212,19 @@ void run_kernel_bench(benchmark::State& state, fault::KernelMode mode) {
       benchmark::Counter::kIsRate);
   state.counters["gates"] = benchmark::Counter(
       static_cast<double>(c.num_gates()));
+  // Kernel efficiency (checked against BENCH_kernel_baseline.json's
+  // "efficiency" section): how much work the kernel avoided, not just
+  // how fast it ran.
+  const double frames = at(obs::Counter::FramesSimulated) +
+                        at(obs::Counter::FramesSkipped);
+  state.counters["frames_skipped_ratio"] = benchmark::Counter(
+      frames > 0.0 ? at(obs::Counter::FramesSkipped) / frames : 0.0);
+  const double reuse = at(obs::Counter::TraceCacheHits) +
+                       at(obs::Counter::TraceCacheExtensions) +
+                       at(obs::Counter::TraceCachePartialReuses);
+  const double lookups = reuse + at(obs::Counter::TraceCacheMisses);
+  state.counters["cache_hit_ratio"] = benchmark::Counter(
+      lookups > 0.0 ? reuse / lookups : 0.0);
 }
 
 void BM_KernelFull(benchmark::State& state) {

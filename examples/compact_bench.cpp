@@ -9,11 +9,17 @@
 //   --seed=N               experiment seed (default 1)
 //   --out=FILE             write the compacted test set to FILE
 //   --baseline             also run and report the [4] baseline
+//   --trace-out=FILE       write a Chrome trace of phase/query spans
+//   --metrics-out=FILE     write the run metrics snapshot (JSON)
+//   --verbose-metrics      print the metrics summary table on stderr
+//   --heartbeat=S          progress line every S seconds on stderr
 //
 // Without a file argument the embedded s27 netlist is used.
+// Telemetry details: docs/observability.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "atpg/comb_tset.hpp"
@@ -25,6 +31,7 @@
 #include "tcomp/pipeline.hpp"
 #include "tgen/greedy_tgen.hpp"
 #include "tgen/random_seq.hpp"
+#include "util/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace scanc;
@@ -32,9 +39,13 @@ int main(int argc, char** argv) {
   std::string file;
   std::string t0_source = "greedy";
   std::string out_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::size_t t0_length = 1024;
   std::uint64_t seed = 1;
   bool baseline = false;
+  bool verbose_metrics = false;
+  double heartbeat_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--t0=", 0) == 0) {
@@ -47,6 +58,14 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg == "--baseline") {
       baseline = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(14);
+    } else if (arg == "--verbose-metrics") {
+      verbose_metrics = true;
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      heartbeat_seconds = std::strtod(arg.c_str() + 12, nullptr);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 1;
@@ -54,6 +73,24 @@ int main(int argc, char** argv) {
       file = arg;
     }
   }
+
+  if (!trace_path.empty() && !obs::open_trace(trace_path)) {
+    std::fprintf(stderr, "warning: cannot open trace file %s\n",
+                 trace_path.c_str());
+  }
+  obs::Heartbeat heartbeat;
+  if (heartbeat_seconds > 0.0) heartbeat.start(heartbeat_seconds);
+  // Flush telemetry on every exit path (including errors), so partial
+  // runs still leave a loadable trace and snapshot.
+  const auto flush_obs = [&] {
+    heartbeat.stop();
+    obs::close_trace();
+    if (!metrics_path.empty() && !obs::write_metrics_file(metrics_path)) {
+      std::fprintf(stderr, "warning: cannot write metrics file %s\n",
+                   metrics_path.c_str());
+    }
+    if (verbose_metrics) obs::print_summary(std::cerr);
+  };
 
   try {
     const netlist::Circuit circuit =
@@ -123,9 +160,11 @@ int main(int argc, char** argv) {
       std::printf("wrote %zu tests to %s\n", r.compacted.size(),
                   out_path.c_str());
     }
+    flush_obs();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    flush_obs();
     return 1;
   }
 }

@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include <iostream>
+
 #include "gen/suite.hpp"
 #include "util/cancel.hpp"
+#include "util/telemetry.hpp"
 
 namespace scanc::expt {
 namespace {
@@ -77,6 +80,12 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
     cfg.runner.cancel = util::CancelToken::make(
         util::Deadline::after(parse_seconds("SCANC_TIME_BUDGET", v)));
   }
+  if (const char* v = std::getenv("SCANC_TRACE")) cfg.trace_path = v;
+  if (const char* v = std::getenv("SCANC_METRICS")) cfg.metrics_path = v;
+  cfg.verbose_metrics = env_flag("SCANC_VERBOSE_METRICS");
+  if (const char* v = std::getenv("SCANC_HEARTBEAT")) {
+    cfg.heartbeat_seconds = parse_seconds("SCANC_HEARTBEAT", v);
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,6 +112,15 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
       cfg.runner.run_dynamic_baseline = false;
     } else if (arg == "--verbose") {
       cfg.runner.verbose = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      cfg.trace_path = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      cfg.metrics_path = arg.substr(14);
+    } else if (arg == "--verbose-metrics") {
+      cfg.verbose_metrics = true;
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      cfg.heartbeat_seconds =
+          parse_seconds("--heartbeat", arg.c_str() + 12);
     } else {
       throw std::invalid_argument("unknown flag: " + arg);
     }
@@ -117,15 +135,37 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
 }
 
 std::vector<CircuitRun> run_configured(const BenchConfig& config) {
-  if (config.circuits.empty()) {
-    return run_suite(config.include_large, config.runner);
+  // Telemetry sinks wrap the whole run: the trace is finished and the
+  // metrics snapshot written even when a circuit cancels mid-phase.
+  if (!config.trace_path.empty() && !obs::open_trace(config.trace_path)) {
+    std::cerr << "warning: cannot open trace file " << config.trace_path
+              << "\n";
   }
+  obs::Heartbeat heartbeat;
+  if (config.heartbeat_seconds > 0.0) {
+    heartbeat.start(config.heartbeat_seconds);
+  }
+
   std::vector<CircuitRun> runs;
-  for (const std::string& name : config.circuits) {
-    if (config.runner.cancel.stop_requested()) break;
-    runs.push_back(run_circuit(*gen::find_suite_entry(name), config.runner));
-    if (!runs.back().completed) break;
+  if (config.circuits.empty()) {
+    runs = run_suite(config.include_large, config.runner);
+  } else {
+    for (const std::string& name : config.circuits) {
+      if (config.runner.cancel.stop_requested()) break;
+      runs.push_back(
+          run_circuit(*gen::find_suite_entry(name), config.runner));
+      if (!runs.back().completed) break;
+    }
   }
+
+  heartbeat.stop();
+  obs::close_trace();
+  if (!config.metrics_path.empty() &&
+      !obs::write_metrics_file(config.metrics_path)) {
+    std::cerr << "warning: cannot write metrics file "
+              << config.metrics_path << "\n";
+  }
+  if (config.verbose_metrics) obs::print_summary(std::cerr);
   return runs;
 }
 

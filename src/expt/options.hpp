@@ -24,6 +24,18 @@
 //                                       run (docs/robustness.md).  The
 //                                       deadline is anchored when the
 //                                       flags are parsed.
+//   --trace-out=FILE   SCANC_TRACE      write a Chrome trace-event JSON
+//                                       of phase/query spans to FILE
+//   --metrics-out=FILE SCANC_METRICS    write the end-of-run metrics
+//                                       snapshot (JSON) to FILE;
+//                                       cumulative across kill/resume
+//   --verbose-metrics  SCANC_VERBOSE_METRICS=1
+//                                       print the metrics summary table
+//                                       on stderr at exit
+//   --heartbeat=S      SCANC_HEARTBEAT  print one progress line (phase,
+//                                       faults, frames/s) every S
+//                                       seconds on stderr
+// Telemetry details: docs/observability.md.
 #pragma once
 
 #include <string>
@@ -37,6 +49,10 @@ struct BenchConfig {
   std::vector<std::string> circuits;  ///< empty = whole suite
   bool include_large = false;
   RunnerOptions runner;
+  std::string trace_path;      ///< --trace-out (empty = no trace)
+  std::string metrics_path;    ///< --metrics-out (empty = no snapshot)
+  bool verbose_metrics = false;   ///< --verbose-metrics
+  double heartbeat_seconds = 0.0; ///< --heartbeat (0 = off)
 };
 
 /// Parses argv and the environment.  Throws std::invalid_argument on an

@@ -1,5 +1,7 @@
 #include "expt/runner.hpp"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <charconv>
 #include <chrono>
@@ -18,6 +20,7 @@
 #include "tgen/greedy_tgen.hpp"
 #include "tgen/random_seq.hpp"
 #include "util/store.hpp"
+#include "util/telemetry.hpp"
 
 namespace scanc::expt {
 namespace {
@@ -161,6 +164,15 @@ struct PhaseJournal {
   std::size_t atspeed_max_4 = 0;
   std::uint64_t cyc_dyn = 0;
   double seconds = 0.0;  ///< wall-clock spent in prior attempts
+  /// Cumulative telemetry counters across all attempts, captured at the
+  /// last checkpoint, and the pid of the process that wrote them.  On
+  /// load, a differing pid means the writer died: its totals are
+  /// credited into the live registry so a resumed run's metrics
+  /// snapshot reports cumulative work.  A matching pid means the
+  /// counters are already in this process's registry (in-process
+  /// resume) and must not be double-counted.
+  obs::CounterSnapshot obs{};
+  std::uint64_t obs_pid = 0;
 };
 
 std::string serialize_journal(const PhaseJournal& j) {
@@ -177,6 +189,13 @@ std::string serialize_journal(const PhaseJournal& j) {
     put(out, "atspeed_max_4", j.atspeed_max_4);
   }
   if (j.has_dynamic) put(out, "cyc_dyn", j.cyc_dyn);
+  put(out, "obs_pid", j.obs_pid);
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    put(out,
+        std::string("obs.") +
+            obs::counter_name(static_cast<obs::Counter>(i)),
+        j.obs[i]);
+  }
   return out.str();
 }
 
@@ -211,6 +230,23 @@ PhaseJournal parse_journal(const std::string& text) {
     bool vok = true;
     j.cyc_dyn = get_u(m, "cyc_dyn", vok);
     j.has_dynamic = vok;
+  }
+  // Telemetry counters are best-effort: a missing or malformed value
+  // reads as 0 without invalidating the journal (metrics degrade, the
+  // measured numbers do not).
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    bool cok = true;
+    const std::uint64_t v = get_u(
+        m,
+        std::string("obs.") +
+            obs::counter_name(static_cast<obs::Counter>(i)),
+        cok);
+    j.obs[i] = cok ? v : 0;
+  }
+  {
+    bool cok = true;
+    const std::uint64_t pid = get_u(m, "obs_pid", cok);
+    j.obs_pid = cok ? pid : 0;
   }
   return j;
 }
@@ -338,6 +374,16 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   }
   if (options.force_fresh && use_disk) std::remove(journal_path.c_str());
 
+  // Counter totals journaled by a *dead* process are merged into the
+  // live registry; an in-process retry already holds them.
+  if (journal.obs_pid != 0 &&
+      journal.obs_pid != static_cast<std::uint64_t>(::getpid())) {
+    obs::credit(journal.obs);
+  }
+  // This attempt's contribution is measured against the registry state
+  // at entry (which now includes any credited carry-over).
+  const obs::CounterSnapshot attempt_start = obs::snapshot_counters();
+
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -358,6 +404,15 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
     if (!use_disk) return;
     PhaseJournal j = journal;
     j.seconds += elapsed();
+    // Cumulative counters = the loaded carry-over plus the delta this
+    // attempt produced (delta-based so a fork'd child snapshotting the
+    // parent's registry stays correct).
+    const obs::CounterSnapshot delta =
+        obs::counter_delta(obs::snapshot_counters(), attempt_start);
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+      j.obs[i] = journal.obs[i] + delta[i];
+    }
+    j.obs_pid = static_cast<std::uint64_t>(::getpid());
     util::store_write(journal_path, serialize_journal(j));
   };
 

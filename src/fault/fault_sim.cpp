@@ -5,7 +5,23 @@
 #include <bit>
 #include <cassert>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::fault {
+
+namespace {
+
+/// One per FaultSimulator query: a trace span plus the query counter and
+/// latency histogram.
+struct QueryScope {
+  explicit QueryScope(const char* name) noexcept : span(name, "query") {
+    obs::add(obs::Counter::QueriesRun);
+  }
+  obs::Span span;
+  obs::ScopedTimer timer{obs::Counter::kCount, obs::Histogram::QueryNanos};
+};
+
+}  // namespace
 
 using netlist::Circuit;
 using sim::Sequence;
@@ -97,6 +113,7 @@ std::shared_ptr<const sim::NodeTrace> FaultSimulator::acquire_trace(
 
 FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
                                         const FaultSet* targets) {
+  const QueryScope scope("detect_no_scan");
   const std::vector<FaultClassId> list = collect(targets);
   const auto trace = acquire_trace(nullptr, seq);
   const KernelChoice kc = kernel_choice(trace.get());
@@ -119,6 +136,7 @@ FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
 FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
                                           const Sequence& seq,
                                           const FaultSet* targets) {
+  const QueryScope scope("detect_scan_test");
   const std::vector<FaultClassId> list = collect(targets);
   const auto trace = acquire_trace(&scan_in, seq);
   const KernelChoice kc = kernel_choice(trace.get());
@@ -140,6 +158,7 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
 
 FaultSimulator::DetectionTimes FaultSimulator::detection_times(
     const Vector3& scan_in, const Sequence& seq, const FaultSet& targets) {
+  const QueryScope scope("detection_times");
   DetectionTimes times;
   times.targets = collect(&targets);
   times.first_po.assign(times.targets.size(), -1);
@@ -163,6 +182,7 @@ FaultSimulator::DetectionTimes FaultSimulator::detection_times(
 
 FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
     const Vector3& scan_in, const Sequence& seq, const FaultSet& targets) {
+  const QueryScope scope("prefix_detection");
   PrefixDetection out;
   out.targets = collect(&targets);
   out.first_po.assign(out.targets.size(), -1);
@@ -187,6 +207,7 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
 
 bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
                                  const FaultSet& required) {
+  const QueryScope scope("detects_all");
   const std::vector<FaultClassId> list = collect(&required);
   const auto trace = acquire_trace(&scan_in, seq);
   const KernelChoice kc = kernel_choice(trace.get());
@@ -224,6 +245,7 @@ FaultSet FaultSimulator::consistent_faults(
     const Vector3& observed_scan_out, const FaultSet& targets) {
   assert(observed_pos.size() == seq.length());
   assert(observed_scan_out.size() == circuit_->num_flip_flops());
+  const QueryScope scope("consistent_faults");
   const std::vector<FaultClassId> list = collect(&targets);
   const auto trace = acquire_trace(&scan_in, seq);
   const KernelChoice kc = kernel_choice(trace.get());

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::fault {
 
 GroupExecutor::GroupExecutor(const netlist::Circuit& circuit,
@@ -23,6 +25,7 @@ void GroupExecutor::for_each_group(std::span<const FaultClassId> targets,
                                    const GroupFn& fn) {
   const std::size_t ng = num_groups(targets.size());
   if (ng == 0) return;
+  obs::add(obs::Counter::GroupsExecuted, ng);
   const auto group_at = [targets](std::size_t g) {
     const std::size_t base = g * kGroupSize;
     return targets.subspan(base,

@@ -4,12 +4,31 @@
 #include <cassert>
 #include <utility>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::fault {
 
 using netlist::NodeId;
 using sim::PackedV3;
 using sim::Sequence;
 using sim::Vector3;
+
+namespace {
+
+/// Batches per-frame kernel counters into locals and publishes once per
+/// group pass, keeping the frame loops free of telemetry calls.
+struct FrameTally {
+  std::uint64_t simulated = 0;
+  std::uint64_t skipped = 0;
+  ~FrameTally() {
+    if (simulated != 0) {
+      obs::add(obs::Counter::FramesSimulated, simulated);
+    }
+    if (skipped != 0) obs::add(obs::Counter::FramesSkipped, skipped);
+  }
+};
+
+}  // namespace
 
 void build_group_injections(const FaultList& faults,
                             std::span<const FaultClassId> group,
@@ -56,19 +75,34 @@ void GroupWorker::start_test(const Vector3* scan_in,
 
 bool GroupWorker::cone_selected(std::span<const FaultClassId> group,
                                 const KernelChoice& kernel) {
-  if (kernel.trace == nullptr) return false;
-  sites_.clear();
-  sites_.reserve(group.size());
-  for (const FaultClassId id : group) {
-    const Fault& f = faults_->representative(id);
-    sites_.push_back(sim::ConeSite{f.node, f.pin, f.stuck_one});
+  bool use_cone = false;
+  if (kernel.trace != nullptr) {
+    sites_.clear();
+    sites_.reserve(group.size());
+    for (const FaultClassId id : group) {
+      const Fault& f = faults_->representative(id);
+      sites_.push_back(sim::ConeSite{f.node, f.pin, f.stuck_one});
+    }
+    plan_.build(*circuit_, sites_);
+    // Auto: the cone pays only when the compacted schedule drops at
+    // least a quarter of the full evaluation work (boundary seeding and
+    // plan construction eat the rest of the margin).
+    use_cone = kernel.force_cone ||
+               plan_.eval().size() * 4 <= circuit_->num_gates() * 3;
   }
-  plan_.build(*circuit_, sites_);
-  if (kernel.force_cone) return true;
-  // Auto: the cone pays only when the compacted schedule drops at least
-  // a quarter of the full evaluation work (boundary seeding and plan
-  // construction eat the rest of the margin).
-  return plan_.eval().size() * 4 <= circuit_->num_gates() * 3;
+  // cone_selected runs exactly once per group pass, so the kernel-choice
+  // counters live here rather than in every query method.
+  if (use_cone) {
+    const std::uint64_t eval = plan_.eval().size();
+    const std::uint64_t gates = circuit_->num_gates();
+    obs::add(obs::Counter::ConePasses);
+    obs::add(obs::Counter::ConeGatesScheduled, eval);
+    obs::add(obs::Counter::ConeGatesDropped,
+             gates >= eval ? gates - eval : 0);
+  } else {
+    obs::add(obs::Counter::FullPasses);
+  }
+  return use_cone;
 }
 
 std::uint64_t GroupWorker::po_detections() const {
@@ -139,6 +173,7 @@ std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
   start_test(scan_in, group);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (keep_going != nullptr &&
         !keep_going->load(std::memory_order_relaxed)) {
@@ -147,6 +182,7 @@ std::uint64_t GroupWorker::run_detect(const Vector3* scan_in,
     if (cancel != nullptr && cancel->stop_requested()) {
       return det;  // cooperative cancellation: partial mask
     }
+    ++tally.simulated;
     sim_.apply_frame(seq.frames[t], &injections_);
     det |= po_detections();
     sim_.latch(&injections_);
@@ -164,6 +200,7 @@ std::uint64_t GroupWorker::run_detect_cone(
   cone_.begin(plan_, injections_, trace);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (keep_going != nullptr &&
         !keep_going->load(std::memory_order_relaxed)) {
@@ -173,8 +210,11 @@ std::uint64_t GroupWorker::run_detect_cone(
       return det;
     }
     if (cone_.eval_frame(t)) {
+      ++tally.simulated;
       det |= po_detections_cone();
       cone_.latch();
+    } else {
+      ++tally.skipped;
     }
     // Skipped frames change nothing: all slots stay fault-free.
     if (early_exit && det == full && t + 1 < seq.length()) return det;
@@ -198,8 +238,10 @@ void GroupWorker::run_times(const Vector3& scan_in, const Sequence& seq,
   }
   start_test(&scan_in, group);
   std::uint64_t det = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (cancel != nullptr && cancel->stop_requested()) return;
+    ++tally.simulated;
     sim_.apply_frame(seq.frames[t], &injections_);
     std::uint64_t fresh = po_detections() & ~det;
     det |= fresh;
@@ -229,9 +271,14 @@ void GroupWorker::run_times_cone(const sim::NodeTrace& trace,
   (void)group;
   cone_.begin(plan_, injections_, trace);
   std::uint64_t det = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (cancel != nullptr && cancel->stop_requested()) return;
-    if (!cone_.eval_frame(t)) continue;  // no detections on a clean frame
+    if (!cone_.eval_frame(t)) {
+      ++tally.skipped;
+      continue;  // no detections on a clean frame
+    }
+    ++tally.simulated;
     std::uint64_t fresh = po_detections_cone() & ~det;
     det |= fresh;
     while (fresh != 0) {
@@ -264,8 +311,10 @@ std::uint64_t GroupWorker::run_prefix(const Vector3& scan_in,
   start_test(&scan_in, group);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (cancel != nullptr && cancel->stop_requested()) return det;
+    ++tally.simulated;
     sim_.apply_frame(seq.frames[t], &injections_);
     std::uint64_t fresh = po_detections() & ~det;
     det |= fresh;
@@ -289,9 +338,14 @@ std::uint64_t GroupWorker::run_prefix_cone(const sim::NodeTrace& trace,
   cone_.begin(plan_, injections_, trace);
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t det = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (cancel != nullptr && cancel->stop_requested()) return det;
-    if (!cone_.eval_frame(t)) continue;  // det < full here: no change
+    if (!cone_.eval_frame(t)) {
+      ++tally.skipped;
+      continue;  // det < full here: no change
+    }
+    ++tally.simulated;
     std::uint64_t fresh = po_detections_cone() & ~det;
     det |= fresh;
     while (fresh != 0) {
@@ -329,8 +383,10 @@ std::uint64_t GroupWorker::run_consistency(
 
   const std::uint64_t full = group_slot_mask(group.size());
   std::uint64_t mismatch = 0;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (cancel != nullptr && cancel->stop_requested()) return mismatch;
+    ++tally.simulated;
     sim_.apply_frame(seq.frames[t], &injections_);
     const auto pos = circuit_->primary_outputs();
     for (std::size_t i = 0; i < pos.size(); ++i) {
@@ -370,9 +426,15 @@ std::uint64_t GroupWorker::run_consistency_cone(
   const auto pos = circuit_->primary_outputs();
   std::uint64_t mismatch = 0;
   bool broke = false;
+  FrameTally tally;
   for (std::size_t t = 0; t < seq.length(); ++t) {
     if (cancel != nullptr && cancel->stop_requested()) return mismatch;
     const bool simulated = cone_.eval_frame(t);
+    if (simulated) {
+      ++tally.simulated;
+    } else {
+      ++tally.skipped;
+    }
     for (std::size_t i = 0; i < pos.size(); ++i) {
       if (simulated && plan_.in_cone(pos[i])) {
         mismatch |= mismatches(cone_.value(pos[i]), observed_pos[t][i]);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::sim {
 
 TraceCache::TraceCache(const netlist::Circuit& c, std::size_t capacity)
@@ -38,12 +40,14 @@ std::shared_ptr<const NodeTrace> TraceCache::get(const Vector3* scan_in,
     if (lcp == seq.length() && e.seq.length() >= seq.length()) {
       // The query is a prefix of (or equal to) the cached trace.
       ++hits_;
+      obs::add(obs::Counter::TraceCacheHits);
       e.stamp = tick_;
       return e.trace;
     }
     if (lcp == e.seq.length()) {
       // The cached trace is a proper prefix of the query: extend it.
       ++extensions_;
+      obs::add(obs::Counter::TraceCacheExtensions);
       if (e.trace.use_count() > 1) {
         // Another caller still reads the shorter trace: copy-on-write.
         e.trace = std::make_shared<NodeTrace>(*e.trace, e.trace->length());
@@ -63,9 +67,11 @@ std::shared_ptr<const NodeTrace> TraceCache::get(const Vector3* scan_in,
   std::shared_ptr<NodeTrace> trace;
   if (best < entries_.size() && best_lcp > 0) {
     ++partial_reuses_;
+    obs::add(obs::Counter::TraceCachePartialReuses);
     trace = std::make_shared<NodeTrace>(*entries_[best].trace, best_lcp);
   } else {
     ++misses_;
+    obs::add(obs::Counter::TraceCacheMisses);
     trace = std::make_shared<NodeTrace>(*circuit_, scan_in);
   }
   trace->extend(
@@ -76,6 +82,8 @@ std::shared_ptr<const NodeTrace> TraceCache::get(const Vector3* scan_in,
         entries_.begin(), entries_.end(),
         [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
     entries_.erase(lru);
+    ++evictions_;
+    obs::add(obs::Counter::TraceCacheEvictions);
   }
   Entry e;
   e.has_scan_in = scan_in != nullptr;
@@ -84,6 +92,7 @@ std::shared_ptr<const NodeTrace> TraceCache::get(const Vector3* scan_in,
   e.trace = trace;
   e.stamp = tick_;
   entries_.push_back(std::move(e));
+  obs::set_gauge(obs::Gauge::TraceCacheSize, entries_.size());
   return trace;
 }
 

@@ -55,6 +55,9 @@ class TraceCache {
     return partial_reuses_;
   }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
 
  private:
   struct Entry {
@@ -76,6 +79,7 @@ class TraceCache {
   std::uint64_t extensions_ = 0;
   std::uint64_t partial_reuses_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace scanc::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::tcomp {
 
 using fault::FaultSet;
@@ -29,9 +31,13 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
       result.stopped = true;
       break;
     }
+    const obs::Span round_span("iterate round", "phase");
     trace("phase 1 (scan-in / scan-out selection)");
-    const Phase1Result p1 =
-        run_phase1(fsim, current, comb, selected, options.phase1);
+    Phase1Result p1;
+    {
+      const obs::Span span("phase1", "phase");
+      p1 = run_phase1(fsim, current, comb, selected, options.phase1);
+    }
     if (iter == 0) result.f0 = p1.f0;
 
     ScanTest tau = p1.test;
@@ -39,6 +45,7 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
     std::size_t omitted = 0;
     if (options.apply_omission && !options.cancel.stop_requested()) {
       trace("phase 2 (vector omission)");
+      const obs::Span span("phase2 omission", "phase");
       OmissionResult om =
           options.phase2_method == Phase2Method::Restoration
               ? restore_vectors(fsim, tau, p1.f_so, options.restoration)
@@ -59,6 +66,7 @@ IterateResult iterate_phases(FaultSimulator& fsim, const Sequence& t0,
       break;
     }
 
+    obs::add(obs::Counter::IterateRounds);
     result.iterations.push_back(IterationRecord{
         p1.chosen_candidate, detected.count(), tau.seq.length(), omitted});
 

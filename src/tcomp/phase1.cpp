@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::tcomp {
 
 using fault::FaultClassId;
@@ -26,73 +28,82 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
   Phase1Result result;
 
   // Step 1: faults detected by T0 alone (all-X state, PO observation).
-  result.f0 = fsim.detect_no_scan(t0);
+  {
+    const obs::Span span("phase1 step1 T0-detect", "step");
+    result.f0 = fsim.detect_no_scan(t0);
+  }
 
   // Step 2: candidate scan-in states are the state parts of C.  Simulate
   // only F - F0: faults in F0 are detected for any scan-in choice.
-  FaultSet remaining = fsim.all_faults();
-  remaining -= result.f0;
+  {
+    const obs::Span span("phase1 step2 scan-in", "step");
+    FaultSet remaining = fsim.all_faults();
+    remaining -= result.f0;
 
-  // Optional screening pass: rank everyone on a prefix of T0, keep the
-  // best few for exact evaluation.
-  std::vector<std::size_t> pool;
-  const bool screen = options.screen_prefix > 0 &&
-                      t0.length() > 2 * options.screen_prefix &&
-                      comb.size() > 2 * options.screen_keep;
-  if (screen) {
-    const Sequence prefix = t0.subsequence(0, options.screen_prefix - 1);
-    std::vector<std::pair<std::size_t, std::size_t>> scored;  // (count, j)
-    scored.reserve(comb.size());
-    for (std::size_t j = 0; j < comb.size(); ++j) {
-      scored.emplace_back(
-          fsim.detect_scan_test(comb[j].state, prefix, &remaining).count(),
-          j);
-    }
-    std::sort(scored.begin(), scored.end(), [&](const auto& a, const auto& b) {
-      if (a.first != b.first) return a.first > b.first;
-      // Prefer unselected candidates into the kept pool on score ties.
-      if (selected[a.second] != selected[b.second]) {
-        return selected[a.second] < selected[b.second];
+    // Optional screening pass: rank everyone on a prefix of T0, keep the
+    // best few for exact evaluation.
+    std::vector<std::size_t> pool;
+    const bool screen = options.screen_prefix > 0 &&
+                        t0.length() > 2 * options.screen_prefix &&
+                        comb.size() > 2 * options.screen_keep;
+    if (screen) {
+      const Sequence prefix = t0.subsequence(0, options.screen_prefix - 1);
+      std::vector<std::pair<std::size_t, std::size_t>> scored;  // (count, j)
+      scored.reserve(comb.size());
+      for (std::size_t j = 0; j < comb.size(); ++j) {
+        scored.emplace_back(
+            fsim.detect_scan_test(comb[j].state, prefix, &remaining).count(),
+            j);
       }
-      return a.second < b.second;
-    });
-    for (std::size_t k = 0; k < options.screen_keep && k < scored.size();
-         ++k) {
-      pool.push_back(scored[k].second);
+      std::sort(scored.begin(), scored.end(),
+                [&](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  // Prefer unselected candidates into the kept pool on
+                  // score ties.
+                  if (selected[a.second] != selected[b.second]) {
+                    return selected[a.second] < selected[b.second];
+                  }
+                  return a.second < b.second;
+                });
+      for (std::size_t k = 0; k < options.screen_keep && k < scored.size();
+           ++k) {
+        pool.push_back(scored[k].second);
+      }
+    } else {
+      pool.resize(comb.size());
+      for (std::size_t j = 0; j < comb.size(); ++j) pool[j] = j;
     }
-  } else {
-    pool.resize(comb.size());
-    for (std::size_t j = 0; j < comb.size(); ++j) pool[j] = j;
+
+    std::size_t best = comb.size();          // overall winner
+    std::size_t best_count = 0;
+    bool best_selected = false;
+    FaultSet best_det(fsim.num_classes());
+    for (const std::size_t j : pool) {
+      FaultSet det = fsim.detect_scan_test(comb[j].state, t0, &remaining);
+      const std::size_t count = det.count();
+      // Unselected candidates win ties; a selected candidate needs
+      // strictly higher coverage to displace an unselected incumbent.
+      const bool wins =
+          best == comb.size() || count > best_count ||
+          (count == best_count && best_selected && !selected[j]);
+      if (wins) {
+        best = j;
+        best_count = count;
+        best_selected = selected[j] != 0;
+        best_det = std::move(det);
+      }
+    }
+    result.chosen_candidate = best;
+    result.chose_selected = best_selected;
+    result.f_si = result.f0 | best_det;
   }
 
-  std::size_t best = comb.size();          // overall winner
-  std::size_t best_count = 0;
-  bool best_selected = false;
-  FaultSet best_det(fsim.num_classes());
-  for (const std::size_t j : pool) {
-    FaultSet det = fsim.detect_scan_test(comb[j].state, t0, &remaining);
-    const std::size_t count = det.count();
-    // Unselected candidates win ties; a selected candidate needs strictly
-    // higher coverage to displace an unselected incumbent.
-    const bool wins =
-        best == comb.size() || count > best_count ||
-        (count == best_count && best_selected && !selected[j]);
-    if (wins) {
-      best = j;
-      best_count = count;
-      best_selected = selected[j] != 0;
-      best_det = std::move(det);
-    }
-  }
-  result.chosen_candidate = best;
-  result.chose_selected = best_selected;
-
-  const sim::Vector3& si = comb[best].state;
-  result.f_si = result.f0 | best_det;
+  const sim::Vector3& si = comb[result.chosen_candidate].state;
 
   // Step 3: scan-out time selection from one detection-time recording of
   // (SI, T0) over all faults.  tau_SO,u detects f iff f is PO-detected at
   // some time <= u or the faulty state differs observably after time u.
+  const obs::Span step3_span("phase1 step3 scan-out", "step");
   const FaultSet all = fsim.all_faults();
   const auto times = fsim.detection_times(si, t0, all);
 

@@ -1,9 +1,23 @@
 #include "tcomp/pipeline.hpp"
 
+#include <chrono>
+
+#include "util/telemetry.hpp"
+
 namespace scanc::tcomp {
 
 using fault::FaultSet;
 using fault::FaultSimulator;
+
+namespace {
+
+using PhaseClock = std::chrono::steady_clock;
+
+double seconds_since(PhaseClock::time_point start) {
+  return std::chrono::duration<double>(PhaseClock::now() - start).count();
+}
+
+}  // namespace
 
 const char* to_string(PipelinePhase phase) noexcept {
   switch (phase) {
@@ -28,10 +42,17 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
 
   // Phases 1 and 2, iterated.
   trace("phases 1+2 (iterated)");
-  IterateOptions iopt = options.iterate;
-  if (!iopt.trace) iopt.trace = options.trace;
-  if (!iopt.cancel.valid()) iopt.cancel = options.cancel;
-  IterateResult it = iterate_phases(fsim, t0, comb, iopt);
+  IterateResult it;
+  {
+    const obs::PhaseSpan span("phase1+2");
+    const auto started = PhaseClock::now();
+    IterateOptions iopt = options.iterate;
+    if (!iopt.trace) iopt.trace = options.trace;
+    if (!iopt.cancel.valid()) iopt.cancel = options.cancel;
+    it = iterate_phases(fsim, t0, comb, iopt);
+    obs::record_phase("phase1+2", seconds_since(started),
+                      it.f_seq.count());
+  }
   result.tau_seq = std::move(it.tau_seq);
   result.f0 = std::move(it.f0);
   result.f_seq = it.f_seq;
@@ -60,7 +81,15 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   trace("phase 3 (top-off)");
   FaultSet undetected = fsim.all_faults();
   undetected -= result.f_seq;
-  TopOffResult topoff = top_off(fsim, comb, undetected);
+  TopOffResult topoff;
+  {
+    const obs::PhaseSpan span("phase3");
+    const auto started = PhaseClock::now();
+    topoff = top_off(fsim, comb, undetected);
+    obs::record_phase(
+        "phase3", seconds_since(started),
+        undetected.count() - topoff.uncoverable.count());
+  }
   result.added_tests = topoff.tests.size();
   result.uncoverable = std::move(topoff.uncoverable);
 
@@ -90,11 +119,14 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   // Phase 4: static compaction by combining.
   trace("phase 4 (combining)");
   if (options.run_phase4) {
+    const obs::PhaseSpan span("phase4");
+    const auto started = PhaseClock::now();
     CombineOptions copt = options.combine;
     if (!copt.cancel.valid()) copt.cancel = options.cancel;
     CombineResult comp = combine_tests(fsim, result.initial, copt);
     result.compacted = std::move(comp.tests);
     result.combinations = comp.combinations;
+    obs::record_phase("phase4", seconds_since(started), 0);
   } else {
     result.compacted = result.initial;
   }
@@ -108,7 +140,12 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     return result;
   }
 
-  result.final_coverage = coverage(fsim, result.compacted);
+  {
+    const obs::PhaseSpan span("coverage");
+    const auto started = PhaseClock::now();
+    result.final_coverage = coverage(fsim, result.compacted);
+    obs::record_phase("coverage", seconds_since(started), 0);
+  }
   if (options.cancel.stop_requested()) {
     // The coverage simulation itself was interrupted; fall back to the
     // provable value.

@@ -1,0 +1,254 @@
+// scanc::obs — low-overhead, thread-safe run telemetry.
+//
+// Three primitives (docs/observability.md has the full catalog):
+//
+//   Counters   monotonic uint64s from a fixed enum catalog.  Increments
+//              land in per-thread sharded slots (a plain relaxed store
+//              to a thread-local block — no RMW, no contention); reads
+//              aggregate the live blocks plus the totals drained from
+//              exited threads.  Hot simulation loops batch into a local
+//              and add() once per pass, so the per-frame cost is zero.
+//
+//   Gauges     last-writer-wins values (cache size, thread count).
+//
+//   Histograms log2-bucketed nanosecond timers (count/sum/min/max +
+//              buckets) for queue wait, task run, and query latency.
+//
+// On top of those:
+//
+//   Span       RAII trace span: emits one Chrome trace-event when a
+//              trace file is installed (util/trace_writer.hpp), else
+//              costs one relaxed load and allocates nothing.
+//   PhaseSpan  Span + the current-phase gauge the heartbeat reports,
+//              restored on scope exit (nesting-safe).
+//   Heartbeat  optional background thread printing one progress line
+//              (phase, faults detected, frames/s) per interval.
+//
+// Snapshots:  snapshot_counters() for deltas, credit() to merge counter
+// totals carried across a kill/resume boundary (the expt runner journals
+// counter snapshots at each checkpoint — docs/observability.md),
+// write_metrics_json() for the --metrics-out machine snapshot and
+// print_summary() for the --verbose-metrics human table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/trace_writer.hpp"
+
+namespace scanc::obs {
+
+// ---------------------------------------------------------------------
+// Counters.
+
+enum class Counter : std::uint16_t {
+  // Simulation kernels (fault/group_worker.cpp).
+  FramesSimulated,      ///< frames evaluated by either kernel
+  FramesSkipped,        ///< frames the cone kernel proved no-ops
+  ConePasses,           ///< group passes run on the cone kernel
+  FullPasses,           ///< group passes run on the full kernel
+  ConeGatesScheduled,   ///< gates in compacted cone schedules
+  ConeGatesDropped,     ///< gates cone passes did not schedule
+  // Fault-free trace cache (sim/trace_cache.cpp).
+  TraceCacheHits,
+  TraceCacheMisses,
+  TraceCacheExtensions,
+  TraceCachePartialReuses,
+  TraceCacheEvictions,
+  // Thread pool / group execution (util/thread_pool.cpp,
+  // fault/group_exec.cpp).
+  PoolTasksRun,
+  PoolQueueWaitNanos,   ///< summed submit -> dequeue latency
+  PoolBusyNanos,        ///< summed task execution time
+  GroupsExecuted,       ///< fault groups dispatched by for_each_group
+  QueriesRun,           ///< FaultSimulator queries issued
+  // Compaction pipeline (tcomp/pipeline.cpp, tcomp/iterate.cpp).
+  FaultsDetected,       ///< cumulative per-phase detection deltas
+  IterateRounds,        ///< completed Phase 1+2 rounds
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case name (JSON key / journal key) of a counter.
+[[nodiscard]] const char* counter_name(Counter c) noexcept;
+
+/// Point-in-time aggregate of every counter.
+using CounterSnapshot = std::array<std::uint64_t, kNumCounters>;
+
+/// Element-wise saturating difference `after - before`.
+[[nodiscard]] CounterSnapshot counter_delta(const CounterSnapshot& after,
+                                            const CounterSnapshot& before);
+
+/// Adds `v` to counter `c`.  Safe from any thread; a relaxed store to a
+/// thread-local slot (no allocation after the thread's first call).
+void add(Counter c, std::uint64_t v = 1) noexcept;
+
+/// Aggregated value of one counter (live threads + retired + credited).
+[[nodiscard]] std::uint64_t value(Counter c);
+
+/// Aggregated values of all counters.
+[[nodiscard]] CounterSnapshot snapshot_counters();
+
+/// Merges counter totals recorded by an earlier (dead) process into this
+/// one — the resume path for --metrics-out cumulative reporting.
+void credit(const CounterSnapshot& carried);
+
+/// Zeroes every counter, gauge, histogram, and phase record.  Test-only:
+/// callers must be quiescent (no concurrent writers).
+void reset();
+
+// ---------------------------------------------------------------------
+// Gauges.
+
+enum class Gauge : std::uint16_t {
+  TraceCacheSize,     ///< live entries in the fault-free trace cache
+  ThreadsConfigured,  ///< last worker-thread count installed
+  kCount
+};
+
+inline constexpr std::size_t kNumGauges =
+    static_cast<std::size_t>(Gauge::kCount);
+
+[[nodiscard]] const char* gauge_name(Gauge g) noexcept;
+void set_gauge(Gauge g, std::uint64_t v) noexcept;
+[[nodiscard]] std::uint64_t gauge(Gauge g) noexcept;
+
+// ---------------------------------------------------------------------
+// Histograms (log2 nanosecond buckets: bucket i counts samples in
+// [2^i, 2^(i+1)) ns; bucket 0 includes 0).
+
+enum class Histogram : std::uint16_t {
+  QueueWaitNanos,  ///< thread-pool submit -> dequeue latency
+  TaskRunNanos,    ///< thread-pool task execution time
+  QueryNanos,      ///< FaultSimulator query wall time
+  kCount
+};
+
+inline constexpr std::size_t kNumHistograms =
+    static_cast<std::size_t>(Histogram::kCount);
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+[[nodiscard]] const char* histogram_name(Histogram h) noexcept;
+void record(Histogram h, std::uint64_t nanos) noexcept;
+[[nodiscard]] HistogramData histogram(Histogram h);
+
+/// RAII timer: on destruction adds the elapsed nanoseconds to `counter`
+/// (pass Counter::kCount for none) and records them in `hist` (pass
+/// Histogram::kCount for none).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter counter,
+                       Histogram hist = Histogram::kCount) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter counter_;
+  Histogram hist_;
+  std::uint64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------
+// Phase accounting (the paper's per-phase cost tables).
+
+struct PhaseRecord {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t faults_delta = 0;  ///< newly detected faults this phase
+};
+
+/// Appends one phase record (thread-safe) and bumps
+/// Counter::FaultsDetected by `faults_delta`.
+void record_phase(const char* name, double seconds,
+                  std::uint64_t faults_delta);
+
+[[nodiscard]] std::vector<PhaseRecord> phase_records();
+
+/// Current pipeline phase, for the heartbeat.  `literal` must be a
+/// string literal (or otherwise outlive all readers).
+void set_current_phase(const char* literal) noexcept;
+[[nodiscard]] const char* current_phase() noexcept;
+
+// ---------------------------------------------------------------------
+// Spans.
+
+/// RAII trace span: one complete Chrome trace event on destruction when
+/// a trace file is installed; with tracing off, construction is a single
+/// relaxed load and nothing is allocated either way.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "query") noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_;
+  bool active_;
+};
+
+/// Span that also publishes `name` as the current phase for the
+/// heartbeat, restoring the enclosing phase on scope exit.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name) noexcept;
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  Span span_;
+  const char* previous_;
+};
+
+// ---------------------------------------------------------------------
+// Run-level reporting.
+
+/// Machine-readable snapshot: counters, gauges, histograms, derived
+/// ratios (frame skip rate, cache hit ratio, cone pass share), and phase
+/// records.  Schema "scanc-metrics-v1" (bench/check_metrics_schema.py).
+void write_metrics_json(std::ostream& out);
+
+/// write_metrics_json to `path` (atomically enough for CI consumption:
+/// plain create/truncate).  Returns false on IO failure.
+bool write_metrics_file(const std::string& path);
+
+/// Human-readable end-of-run table (the --verbose-metrics output).
+void print_summary(std::ostream& out);
+
+/// Background progress line printer:
+///   [obs] phase=<phase> faults=<n> frames=<n> frames/s=<rate> ...
+/// start() spawns the thread; stop() (or destruction) joins it.  Output
+/// defaults to stderr.
+class Heartbeat {
+ public:
+  Heartbeat() = default;
+  ~Heartbeat();
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  void start(double interval_seconds, std::ostream* out = nullptr);
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace scanc::obs

@@ -2,14 +2,29 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <utility>
 
+#include "util/telemetry.hpp"
+
 namespace scanc::util {
+
+namespace {
+
+std::uint64_t clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
+  obs::set_gauge(obs::Gauge::ThreadsConfigured, n);
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -27,7 +42,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -35,14 +50,23 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const std::uint64_t start_ns = clock_ns();
+    const std::uint64_t wait_ns =
+        start_ns >= task.enqueue_ns ? start_ns - task.enqueue_ns : 0;
+    task.fn();
+    const std::uint64_t busy_ns = clock_ns() - start_ns;
+    obs::add(obs::Counter::PoolTasksRun);
+    obs::add(obs::Counter::PoolQueueWaitNanos, wait_ns);
+    obs::add(obs::Counter::PoolBusyNanos, busy_ns);
+    obs::record(obs::Histogram::QueueWaitNanos, wait_ns);
+    obs::record(obs::Histogram::TaskRunNanos, busy_ns);
   }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), clock_ns()});
   }
   cv_.notify_one();
 }

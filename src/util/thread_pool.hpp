@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -49,8 +50,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns;  // for queue-wait telemetry
+  };
+
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  std::deque<QueuedTask> queue_;  // guarded by mutex_
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -17,11 +17,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "atpg/comb_tset.hpp"
 #include "expt/runner.hpp"
@@ -35,6 +37,7 @@
 #include "tgen/random_seq.hpp"
 #include "util/cancel.hpp"
 #include "util/store.hpp"
+#include "util/telemetry.hpp"
 
 namespace scanc {
 namespace {
@@ -520,6 +523,95 @@ TEST(RunnerResilience, SigkillAtRandomPointsThenResumeIsBitIdentical) {
   // Completion retires the journal.
   EXPECT_FALSE(
       fs::exists(expt::cache_entry_path(opt, "b02") + ".journal"));
+}
+
+TEST(RunnerResilience, KillResumeMetricsAreCumulativeAcrossAttempts) {
+  // The journal carries cumulative obs counter snapshots (obs.* lines)
+  // so a resumed run's --metrics-out reports the whole job, not just the
+  // final attempt.  Kill children at scattered points, then resume in
+  // this process: the credited totals must cover at least the work an
+  // uninterrupted run performs (every phase is either journaled complete
+  // — its counters credited — or redone live; partial attempts only add).
+  const auto entry = gen::find_suite_entry("b02");
+  ASSERT_TRUE(entry.has_value());
+  ScratchDir dir("kill_metrics");
+
+  constexpr std::size_t kFrames =
+      static_cast<std::size_t>(obs::Counter::FramesSimulated);
+  constexpr std::size_t kQueries =
+      static_cast<std::size_t>(obs::Counter::QueriesRun);
+
+  // Uninterrupted baseline cost, as counter deltas (the suite shares the
+  // process-global registry, so absolute values mean nothing here).
+  const expt::RunnerOptions base_opt = tiny_runner(dir.path + "/base");
+  const obs::CounterSnapshot s0 = obs::snapshot_counters();
+  const expt::CircuitRun baseline = expt::run_circuit(*entry, base_opt);
+  ASSERT_TRUE(baseline.completed);
+  const obs::CounterSnapshot uninterrupted =
+      obs::counter_delta(obs::snapshot_counters(), s0);
+  ASSERT_GT(uninterrupted[kFrames], 0u);
+  ASSERT_GT(uninterrupted[kQueries], 0u);
+
+  const expt::RunnerOptions opt = tiny_runner(dir.path + "/kill");
+  const std::string journal =
+      expt::cache_entry_path(opt, "b02") + ".journal";
+  std::vector<std::uint64_t> journaled_frames;
+  const useconds_t delays[] = {300,  800,  1500, 2500, 4000,
+                               6000, 9000, 13000, 20000, 30000};
+  for (const useconds_t delay : delays) {
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      try {
+        // Deadline backstop: even when the SIGKILL misses, the child is
+        // cut and the journal survives for the in-process resume below.
+        expt::RunnerOptions copt = opt;
+        copt.cancel =
+            util::CancelToken::make(util::Deadline::after(0.05));
+        const expt::CircuitRun run = expt::run_circuit(*entry, copt);
+        _exit(run.completed ? 0 : 3);
+      } catch (...) {
+        _exit(2);
+      }
+    }
+    usleep(delay);
+    kill(child, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    if (WIFEXITED(status)) {
+      EXPECT_NE(WEXITSTATUS(status), 2);
+    }
+    if (const auto payload = util::store_read(journal)) {
+      const std::size_t at = payload->find("obs.frames_simulated=");
+      if (at != std::string::npos &&
+          payload->find("obs_pid=") != std::string::npos) {
+        journaled_frames.push_back(
+            std::strtoull(payload->c_str() + at + 21, nullptr, 10));
+      }
+    }
+  }
+  // At least one checkpoint must have journaled counter snapshots, and
+  // the carried totals are cumulative: each attempt credits the last
+  // journal, so the journaled value never decreases.
+  ASSERT_FALSE(journaled_frames.empty());
+  for (std::size_t i = 1; i < journaled_frames.size(); ++i) {
+    EXPECT_GE(journaled_frames[i], journaled_frames[i - 1]) << "attempt "
+                                                            << i;
+  }
+
+  // Resume in this (different-pid) process from a clean registry: the
+  // journal's totals are credited exactly once, the remaining phases run
+  // live, and the cumulative numbers cover the uninterrupted cost.  A
+  // child that outran the killer may have completed the run; drop the
+  // result cache so the resume actually executes (the ≥ bound holds on
+  // both the credited-journal and full-recompute paths).
+  fs::remove(expt::cache_entry_path(opt, "b02"));
+  obs::reset();
+  const expt::CircuitRun resumed = expt::run_circuit(*entry, opt);
+  ASSERT_TRUE(resumed.completed);
+  const obs::CounterSnapshot cumulative = obs::snapshot_counters();
+  EXPECT_GE(cumulative[kFrames], uninterrupted[kFrames]);
+  EXPECT_GE(cumulative[kQueries], uninterrupted[kQueries]);
 }
 
 }  // namespace
