@@ -23,7 +23,8 @@ EXPECTED_COUNTERS = [
     "trace_cache_misses", "trace_cache_extensions",
     "trace_cache_partial_reuses", "trace_cache_evictions", "pool_tasks_run",
     "pool_queue_wait_ns", "pool_busy_ns", "groups_executed", "queries_run",
-    "faults_detected", "iterate_rounds",
+    "faults_detected", "iterate_rounds", "check_cases_run",
+    "check_queries_compared", "check_divergences", "check_shrink_steps",
 ]
 EXPECTED_GAUGES = ["trace_cache_size", "threads_configured"]
 EXPECTED_DERIVED = [

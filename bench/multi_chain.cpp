@@ -12,18 +12,7 @@
 #include <exception>
 
 #include "expt/options.hpp"
-
-namespace {
-
-// N_cyc derived from a cached (k, sum L) pair.
-std::uint64_t cycles(std::size_t tests, std::size_t vectors,
-                     std::size_t nsv, std::size_t chains) {
-  if (tests == 0) return 0;
-  const std::uint64_t shift = (nsv + chains - 1) / chains;
-  return (tests + 1) * shift + vectors;
-}
-
-}  // namespace
+#include "tcomp/scan_test.hpp"
 
 int main(int argc, char** argv) {
   using namespace scanc;
@@ -45,8 +34,9 @@ int main(int argc, char** argv) {
       std::printf("%-8s %6zu |", r.name.c_str(), r.flip_flops);
       for (const std::size_t chains : {1u, 2u, 4u, 8u}) {
         std::printf(" %9" PRIu64,
-                    cycles(r.atpg.tests_final, r.atpg.vectors_final,
-                           r.flip_flops, chains));
+                    tcomp::clock_cycles_from_counts(r.atpg.tests_final,
+                                                    r.atpg.vectors_final,
+                                                    r.flip_flops, chains));
       }
       std::printf("\n");
     }

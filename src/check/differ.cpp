@@ -1,0 +1,404 @@
+#include "check/differ.hpp"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "check/oracle_sim.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/seq_sim.hpp"
+#include "tcomp/omission.hpp"
+#include "util/telemetry.hpp"
+
+namespace scanc::check {
+
+using fault::FaultClassId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using fault::KernelMode;
+using sim::Sequence;
+using sim::V3;
+using sim::Vector3;
+
+namespace {
+
+struct Config {
+  const char* name;
+  KernelMode kernel;
+  std::size_t threads;
+  bool fresh_per_query;  ///< new simulator per query: every trace misses
+};
+
+/// First few elements of the symmetric difference, for messages.
+std::string describe_diff(const FaultSet& a, const FaultSet& b) {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < a.size() && shown < 8; ++i) {
+    if (a.test(i) == b.test(i)) continue;
+    os << (shown == 0 ? "" : " ") << (a.test(i) ? "-" : "+") << i;
+    ++shown;
+  }
+  return os.str();
+}
+
+class CaseChecker {
+ public:
+  CaseChecker(const Workload& w, const CheckConfig& cfg)
+      : w_(&w),
+        cfg_(&cfg),
+        targets_(w.target_set()),
+        ref_(w.circuit, w.faults, w.scan_mask) {
+    ref_.set_kernel(KernelMode::Full);
+    configs_ = {
+        Config{"full/N", KernelMode::Full, cfg.threads, false},
+        Config{"cone/cold", KernelMode::Cone, 1, true},
+        Config{"cone/warm", KernelMode::Cone, 1, false},
+        Config{"cone/N", KernelMode::Cone, cfg.threads, false},
+        Config{"auto/warm", KernelMode::Auto, 1, false},
+    };
+    for (const Config& c : configs_) {
+      shared_.push_back(c.fresh_per_query ? nullptr : make_sim(c));
+    }
+  }
+
+  CaseReport run() {
+    for (std::size_t i = 0; i < w_->tests.size(); ++i) {
+      check_scan_test(i);
+    }
+    check_no_scan();
+    if (cfg_->run_metamorphic) {
+      check_session_resume();
+      check_cycles();
+    }
+    obs::add(obs::Counter::CheckCasesRun);
+    obs::add(obs::Counter::CheckQueriesCompared, report_.comparisons);
+    if (report_.failed()) {
+      obs::add(obs::Counter::CheckDivergences, report_.divergences.size());
+    }
+    return std::move(report_);
+  }
+
+ private:
+  std::unique_ptr<FaultSimulator> make_sim(const Config& c) const {
+    auto s = std::make_unique<FaultSimulator>(w_->circuit, w_->faults,
+                                              w_->scan_mask);
+    s->set_kernel(c.kernel);
+    s->set_num_threads(c.threads);
+    return s;
+  }
+
+  /// Runs `fn` on every non-reference configuration's simulator.
+  template <typename Fn>
+  void for_each_config(Fn&& fn) {
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      if (configs_[i].fresh_per_query) {
+        auto s = make_sim(configs_[i]);
+        fn(configs_[i].name, *s);
+      } else {
+        fn(configs_[i].name, *shared_[i]);
+      }
+    }
+  }
+
+  void fail(const std::string& where, const std::string& what) {
+    std::ostringstream os;
+    os << "seed=" << w_->seed << " " << where << ": " << what;
+    report_.divergences.push_back(os.str());
+  }
+
+  bool expect_sets_equal(const std::string& where, const FaultSet& want,
+                         const FaultSet& got) {
+    ++report_.comparisons;
+    if (want == got) return true;
+    fail(where, "fault sets differ [" + describe_diff(want, got) + "]");
+    return false;
+  }
+
+  void expect_true(const std::string& where, bool ok,
+                   const char* what) {
+    ++report_.comparisons;
+    if (!ok) fail(where, what);
+  }
+
+  void check_scan_test(std::size_t ti) {
+    const tcomp::ScanTest& test = w_->tests[ti];
+    const Sequence& seq = test.seq;
+    const std::size_t len = seq.length();
+    const std::string tag = "test=" + std::to_string(ti);
+
+    const FaultSet base = ref_.detect_scan_test(test.scan_in, seq, &targets_);
+    const auto times = ref_.detection_times(test.scan_in, seq, targets_);
+    const auto prefix = ref_.prefix_detection(test.scan_in, seq, targets_);
+
+    for_each_config([&](const char* name, FaultSimulator& s) {
+      const std::string where = tag + " cfg=" + name;
+      expect_sets_equal(where + " detect_scan_test",
+                        base, s.detect_scan_test(test.scan_in, seq,
+                                                 &targets_));
+      const auto t2 = s.detection_times(test.scan_in, seq, targets_);
+      expect_true(where + " detection_times", t2.targets == times.targets,
+                  "target order differs");
+      expect_true(where + " detection_times",
+                  t2.first_po == times.first_po, "first_po differs");
+      expect_true(where + " detection_times",
+                  t2.state_diff == times.state_diff, "state_diff differs");
+      const auto p2 = s.prefix_detection(test.scan_in, seq, targets_);
+      expect_true(where + " prefix_detection",
+                  p2.targets == prefix.targets &&
+                      p2.first_po == prefix.first_po &&
+                      p2.detected == prefix.detected,
+                  "prefix_detection differs");
+    });
+
+    // Coherence between the three views of the same test.
+    for (std::size_t j = 0; j < times.targets.size(); ++j) {
+      const FaultClassId f = times.targets[j];
+      const bool full_detects =
+          len > 0 ? times.detected_by_prefix(j, len - 1) : false;
+      expect_true(tag + " detect-vs-times",
+                  base.test(f) == full_detects,
+                  "detect_scan_test disagrees with detection_times");
+      expect_true(tag + " prefix-vs-times",
+                  prefix.first_po[j] == times.first_po[j],
+                  "prefix_detection first_po disagrees");
+      expect_true(tag + " prefix-vs-detect",
+                  prefix.detected.test(f) == base.test(f),
+                  "prefix_detection detected disagrees");
+    }
+
+    check_detects_all(tag, test, base);
+    check_consistency(tag, test, base);
+    if (cfg_->run_oracle) check_oracle(tag, test, base, times);
+    if (cfg_->run_metamorphic && len >= 1) {
+      check_prefix_property(tag, test, times);
+    }
+    if (cfg_->run_metamorphic && len >= 2 && base.count() > 0) {
+      check_omission(tag, test, base);
+    }
+  }
+
+  void check_detects_all(const std::string& tag,
+                         const tcomp::ScanTest& test, const FaultSet& base) {
+    expect_true(tag + " detects_all(detected)",
+                ref_.detects_all(test.scan_in, test.seq, base),
+                "claimed detected set not fully detected");
+    // Adding any undetected target must flip the answer.
+    FaultClassId miss = 0;
+    bool have_miss = false;
+    targets_.for_each([&](std::size_t i) {
+      if (!have_miss && !base.test(i)) {
+        miss = static_cast<FaultClassId>(i);
+        have_miss = true;
+      }
+    });
+    if (have_miss) {
+      FaultSet plus = base;
+      plus.set(miss);
+      expect_true(tag + " detects_all(+undetected)",
+                  !ref_.detects_all(test.scan_in, test.seq, plus),
+                  "undetected fault reported detected");
+      for_each_config([&](const char* name, FaultSimulator& s) {
+        expect_true(tag + " cfg=" + name + " detects_all",
+                    s.detects_all(test.scan_in, test.seq, base) &&
+                        !s.detects_all(test.scan_in, test.seq, plus),
+                    "detects_all disagrees with reference");
+      });
+    }
+  }
+
+  void check_consistency(const std::string& tag, const tcomp::ScanTest& test,
+                         const FaultSet& base) {
+    // Observe the fault-free machine: every undetected fault is
+    // consistent with it, every detected fault is not — the conservative
+    // mismatch rule is exactly the conservative detection rule.
+    Vector3 masked = test.scan_in;
+    for (std::size_t i = 0; i < masked.size(); ++i) {
+      if (!w_->scan_mask.test(i)) masked[i] = V3::X;
+    }
+    const sim::Trace trace =
+        sim::simulate_fault_free(w_->circuit, &masked, test.seq);
+    const Vector3& scan_out =
+        trace.states.empty() ? masked : trace.states.back();
+    FaultSet want = targets_;
+    want -= base;
+    const FaultSet got = ref_.consistent_faults(
+        test.scan_in, test.seq, trace.po_frames, scan_out, targets_);
+    expect_sets_equal(tag + " consistent_faults(fault-free)", want, got);
+    for_each_config([&](const char* name, FaultSimulator& s) {
+      expect_sets_equal(
+          tag + " cfg=" + std::string(name) + " consistent_faults", got,
+          s.consistent_faults(test.scan_in, test.seq, trace.po_frames,
+                              scan_out, targets_));
+    });
+  }
+
+  void check_oracle(const std::string& tag, const tcomp::ScanTest& test,
+                    const FaultSet& base,
+                    const FaultSimulator::DetectionTimes& times) {
+    const std::size_t len = test.seq.length();
+    std::size_t checked = 0;
+    for (std::size_t j = 0; j < times.targets.size(); ++j) {
+      if (checked >= cfg_->oracle_fault_cap) break;
+      ++checked;
+      const FaultClassId f = times.targets[j];
+      const fault::Fault& rep = w_->faults.representative(f);
+      const OracleResult o =
+          oracle_run(w_->circuit, w_->scan_mask, rep, &test.scan_in,
+                     test.seq, /*observe_scan_out=*/true);
+      const std::string where =
+          tag + " oracle class=" + std::to_string(f);
+      expect_true(where, o.detected == base.test(f),
+                  "oracle disagrees on detection");
+      expect_true(where, o.first_po == times.first_po[j],
+                  "oracle disagrees on first_po");
+      bool sd_ok = true;
+      for (std::size_t u = 0; u < len; ++u) {
+        if ((o.state_diff[u] != 0) != times.state_diff[j].test(u)) {
+          sd_ok = false;
+        }
+      }
+      expect_true(where, sd_ok, "oracle disagrees on state_diff");
+      // Feed the oracle's faulty response back as an "observed defective
+      // chip": the injected fault itself must stay consistent.
+      if (checked <= 8) {
+        const OracleResponse resp = oracle_response(
+            w_->circuit, w_->scan_mask, rep, test.scan_in, test.seq);
+        const FaultSet cons = ref_.consistent_faults(
+            test.scan_in, test.seq, resp.po_frames, resp.scan_out,
+            targets_);
+        expect_true(where + " response", cons.test(f),
+                    "true culprit excluded from consistent set");
+      }
+    }
+  }
+
+  void check_prefix_property(const std::string& tag,
+                             const tcomp::ScanTest& test,
+                             const FaultSimulator::DetectionTimes& times) {
+    const std::size_t len = test.seq.length();
+    std::uint64_t mix = w_->seed ^ (0x9e3779b97f4a7c15ULL * (len + 1));
+    const std::size_t u = util::splitmix64(mix) % len;
+    const Sequence pref = test.seq.subsequence(0, u);
+    const FaultSet got =
+        ref_.detect_scan_test(test.scan_in, pref, &targets_);
+    FaultSet want(w_->faults.num_classes());
+    for (std::size_t j = 0; j < times.targets.size(); ++j) {
+      if (times.detected_by_prefix(j, u)) want.set(times.targets[j]);
+    }
+    expect_sets_equal(tag + " prefix(u=" + std::to_string(u) + ")", want,
+                      got);
+  }
+
+  void check_omission(const std::string& tag, const tcomp::ScanTest& test,
+                      const FaultSet& base) {
+    const tcomp::OmissionResult r = tcomp::omit_vectors(ref_, test, base);
+    expect_true(tag + " omission length",
+                r.test.seq.length() + r.omitted == test.seq.length(),
+                "omission length accounting broken");
+    expect_true(tag + " omission coverage(ref)",
+                ref_.detects_all(r.test.scan_in, r.test.seq, base),
+                "omission lost a required fault (full kernel)");
+    // Cross-kernel: the omission was accepted by the reference; the cone
+    // kernel must agree the compacted test still covers F_SO.
+    for_each_config([&](const char* name, FaultSimulator& s) {
+      expect_true(tag + " cfg=" + std::string(name) + " omission coverage",
+                  s.detects_all(r.test.scan_in, r.test.seq, base),
+                  "omitted test coverage disagrees across kernels");
+    });
+  }
+
+  void check_no_scan() {
+    const FaultSet base = ref_.detect_no_scan(w_->no_scan_seq, &targets_);
+    for_each_config([&](const char* name, FaultSimulator& s) {
+      expect_sets_equal(std::string("no_scan cfg=") + name, base,
+                        s.detect_no_scan(w_->no_scan_seq, &targets_));
+    });
+    if (cfg_->run_oracle) {
+      std::size_t checked = 0;
+      targets_.for_each([&](std::size_t i) {
+        if (checked >= cfg_->oracle_fault_cap) return;
+        ++checked;
+        const auto f = static_cast<FaultClassId>(i);
+        const OracleResult o = oracle_run(
+            w_->circuit, w_->scan_mask, w_->faults.representative(f),
+            nullptr, w_->no_scan_seq, /*observe_scan_out=*/false);
+        expect_true("no_scan oracle class=" + std::to_string(i),
+                    o.detected == base.test(f),
+                    "oracle disagrees on no-scan detection");
+      });
+    }
+    no_scan_base_ = base;
+  }
+
+  void check_session_resume() {
+    // An interrupted-and-restored session must re-derive exactly what
+    // the uninterrupted run derives (resume == uninterrupted), and both
+    // must equal the one-shot detect_no_scan answer.
+    const Sequence& seq = w_->no_scan_seq;
+    FaultSimulator::Session straight(ref_, targets_);
+    for (const Vector3& pi : seq.frames) straight.step(pi);
+    expect_sets_equal("session straight", no_scan_base_,
+                      straight.detected());
+
+    if (seq.length() < 2) return;
+    const std::size_t cut = seq.length() / 2;
+    FaultSimulator::Session s(ref_, targets_);
+    for (std::size_t t = 0; t < cut; ++t) s.step(seq.frames[t]);
+    const auto snap = s.snapshot();
+    for (std::size_t t = cut; t < seq.length(); ++t) s.step(seq.frames[t]);
+    const FaultSet first = s.detected();
+    s.restore(snap);
+    for (std::size_t t = cut; t < seq.length(); ++t) s.step(seq.frames[t]);
+    expect_sets_equal("session resume", first, s.detected());
+    expect_sets_equal("session resume vs no_scan", no_scan_base_, first);
+  }
+
+  void check_cycles() {
+    tcomp::ScanTestSet set;
+    set.tests = w_->tests;
+    const std::size_t nsv[] = {ref_.num_scanned(),
+                               w_->circuit.num_flip_flops()};
+    for (const std::size_t n : nsv) {
+      for (const std::size_t chains : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{2}, std::size_t{3},
+                                       std::size_t{7}}) {
+        // First-principles recomputation of the paper's formula:
+        // (k+1) scan operations of ceil(N_SV/chains) cycles each plus
+        // one functional cycle per applied vector; an empty set is free.
+        std::uint64_t want = 0;
+        if (!set.empty()) {
+          const std::size_t shift =
+              chains <= 1 ? n : (n + chains - 1) / chains;
+          want = (static_cast<std::uint64_t>(set.size()) + 1) * shift;
+          for (const tcomp::ScanTest& t : set.tests) {
+            want += t.seq.length();
+          }
+        }
+        const std::uint64_t got =
+            chains == 1 ? tcomp::clock_cycles(set, n)
+                        : tcomp::clock_cycles(set, n, chains);
+        expect_true("n_cyc nsv=" + std::to_string(n) +
+                        " chains=" + std::to_string(chains),
+                    got == want, "clock_cycles mismatch");
+      }
+    }
+  }
+
+  const Workload* w_;
+  const CheckConfig* cfg_;
+  FaultSet targets_;
+  FaultSimulator ref_;
+  std::vector<Config> configs_;
+  std::vector<std::unique_ptr<FaultSimulator>> shared_;
+  FaultSet no_scan_base_;
+  CaseReport report_;
+};
+
+}  // namespace
+
+CaseReport check_case(const Workload& w, const CheckConfig& cfg) {
+  CaseChecker checker(w, cfg);
+  return checker.run();
+}
+
+}  // namespace scanc::check

@@ -1,0 +1,68 @@
+// Differential + metamorphic checking of one fuzz workload.
+//
+// Every FaultSimulator query is executed under a matrix of
+// configurations that must be bit-identical by contract:
+//
+//   reference   KernelMode::Full, 1 thread, fresh simulator
+//   full/N      KernelMode::Full, N threads, shared simulator
+//   cone/cold   KernelMode::Cone, 1 thread, fresh simulator per query
+//               (every trace is a cache miss)
+//   cone/warm   KernelMode::Cone, 1 thread, one simulator for the whole
+//               case (exercises cache hits, in-place extension,
+//               copy-on-write, partial prefix reuse)
+//   cone/N      KernelMode::Cone, N threads, shared simulator
+//   auto/warm   KernelMode::Auto, 1 thread, shared simulator
+//
+// plus the scalar single-fault oracle (check/oracle_sim.hpp), and the
+// metamorphic properties the paper's accounting guarantees:
+//
+//   - consistent_faults against the fault-free response is exactly the
+//     complement of the detected set over the targets;
+//   - prefix_detection and detection_times agree, and the prefix test
+//     (SI, T[0,u]) detects exactly { f : first_po <= u or u in
+//     state_diff[f] };
+//   - PO detections of a prefix are a subset of the full test's
+//     detections;
+//   - detects_all is true on the detected set and false once any
+//     undetected fault is added;
+//   - omit_vectors preserves every required fault (checked on a
+//     different kernel than the one that accepted the omission);
+//   - N_cyc = (k+1)*ceil(N_SV/chains) + sum L(T_j), recomputed here
+//     from first principles, matches tcomp::clock_cycles;
+//   - a snapshot/restore'd Session re-detects exactly what the
+//     uninterrupted run detects (resume == uninterrupted).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/workload.hpp"
+
+namespace scanc::check {
+
+struct CheckConfig {
+  /// Worker threads for the parallel configurations (the N in 1-vs-N).
+  std::size_t threads = 8;
+  /// Maximum fault classes cross-checked against the oracle per test
+  /// (the oracle is O(nodes * frames) per fault; cases are small, so
+  /// the default covers every class on typical workloads).
+  std::size_t oracle_fault_cap = 128;
+  bool run_oracle = true;
+  bool run_metamorphic = true;
+};
+
+/// Outcome of checking one workload.
+struct CaseReport {
+  std::vector<std::string> divergences;  ///< empty = case passed
+  std::size_t comparisons = 0;           ///< individual equalities checked
+
+  [[nodiscard]] bool failed() const noexcept { return !divergences.empty(); }
+};
+
+/// Runs the full comparison matrix on `w`.  Updates the obs.check.*
+/// telemetry counters.
+[[nodiscard]] CaseReport check_case(const Workload& w,
+                                    const CheckConfig& cfg = {});
+
+}  // namespace scanc::check

@@ -1,0 +1,132 @@
+// fuzz_check — differential fuzzing driver.
+//
+//   fuzz_check [--seed=N] [--iters=N] [--time-budget=SECS] [--threads=N]
+//              [--no-oracle] [--repro-out=PATH] [--quiet]
+//
+// Expands case seeds derived from --seed into workloads and runs each
+// through the full comparison matrix (check/differ.hpp).  On the first
+// failing case the workload is shrunk and a standalone repro is printed
+// (and written to --repro-out if given); exit status 1.  A clean run
+// prints one summary line and exits 0.  --time-budget stops cleanly
+// after the given wall time even if --iters has not been reached (the
+// CI smoke job runs a fixed seed set under a ~60 s budget).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/differ.hpp"
+#include "check/shrink.hpp"
+#include "check/workload.hpp"
+#include "util/rng.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 1000;
+  double time_budget = 0.0;  // seconds; 0 = unlimited
+  std::size_t threads = 8;
+  bool oracle = true;
+  bool quiet = false;
+  std::string repro_out;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return a.c_str() + std::strlen(prefix);
+    };
+    std::uint64_t v = 0;
+    if (a.rfind("--seed=", 0) == 0 && parse_u64(value("--seed="), v)) {
+      opt.seed = v;
+    } else if (a.rfind("--iters=", 0) == 0 &&
+               parse_u64(value("--iters="), v)) {
+      opt.iters = v;
+    } else if (a.rfind("--time-budget=", 0) == 0) {
+      opt.time_budget = std::strtod(value("--time-budget="), nullptr);
+    } else if (a.rfind("--threads=", 0) == 0 &&
+               parse_u64(value("--threads="), v)) {
+      opt.threads = static_cast<std::size_t>(v);
+    } else if (a == "--no-oracle") {
+      opt.oracle = false;
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (a.rfind("--repro-out=", 0) == 0) {
+      opt.repro_out = value("--repro-out=");
+    } else {
+      std::cerr << "fuzz_check: unknown argument: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  scanc::check::CheckConfig cfg;
+  cfg.threads = opt.threads;
+  cfg.run_oracle = opt.oracle;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::uint64_t state = opt.seed;
+  std::uint64_t cases = 0;
+  std::size_t comparisons = 0;
+  for (std::uint64_t i = 0; i < opt.iters; ++i) {
+    if (opt.time_budget > 0.0 && elapsed() >= opt.time_budget) break;
+    const std::uint64_t case_seed = scanc::util::splitmix64(state);
+    const scanc::check::Workload w = scanc::check::make_workload(case_seed);
+    const scanc::check::CaseReport report = scanc::check::check_case(w, cfg);
+    ++cases;
+    comparisons += report.comparisons;
+    if (!opt.quiet && cases % 500 == 0) {
+      std::cerr << "[fuzz_check] " << cases << " cases, " << comparisons
+                << " comparisons, " << elapsed() << " s\n";
+    }
+    if (!report.failed()) continue;
+
+    std::cerr << "[fuzz_check] case seed=" << case_seed << " (iteration "
+              << i << " of --seed=" << opt.seed << ") FAILED with "
+              << report.divergences.size() << " divergence(s); shrinking\n";
+    const scanc::check::ShrinkResult shrunk =
+        scanc::check::shrink_case(w, cfg);
+    scanc::check::write_repro(std::cout, shrunk.workload, shrunk.report);
+    if (!opt.repro_out.empty()) {
+      std::ofstream f(opt.repro_out);
+      if (f) {
+        scanc::check::write_repro(f, shrunk.workload, shrunk.report);
+        std::cerr << "[fuzz_check] repro written to " << opt.repro_out
+                  << "\n";
+      } else {
+        std::cerr << "[fuzz_check] cannot write " << opt.repro_out << "\n";
+      }
+    }
+    return 1;
+  }
+
+  std::cout << "fuzz_check: " << cases << " cases, " << comparisons
+            << " comparisons, 0 divergences ("
+        <<  elapsed() << " s, seed=" << opt.seed << ")\n";
+  return 0;
+}

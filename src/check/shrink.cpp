@@ -1,0 +1,234 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "netlist/bench_writer.hpp"
+#include "util/telemetry.hpp"
+
+namespace scanc::check {
+
+using sim::V3;
+using sim::Vector3;
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const Workload& w, const CheckConfig& cfg,
+           std::size_t max_attempts)
+      : cur_(w), cfg_(&cfg), max_attempts_(max_attempts) {}
+
+  ShrinkResult run() {
+    // Fixpoint over all reduction passes: each pass may re-enable
+    // another (a shorter sequence can make a target droppable).
+    bool progress = true;
+    while (progress && attempts_ < max_attempts_) {
+      progress = false;
+      progress |= drop_tests();
+      progress |= clear_no_scan();
+      progress |= shrink_sequences();
+      progress |= shrink_targets();
+      progress |= weaken_values();
+    }
+    CaseReport final_report = check_case(cur_, *cfg_);
+    return ShrinkResult{std::move(cur_), std::move(final_report), attempts_};
+  }
+
+ private:
+  /// True if `candidate` still fails; if so it becomes the current case.
+  bool accept(Workload&& candidate) {
+    if (attempts_ >= max_attempts_) return false;
+    ++attempts_;
+    obs::add(obs::Counter::CheckShrinkSteps);
+    if (!check_case(candidate, *cfg_).failed()) return false;
+    cur_ = std::move(candidate);
+    return true;
+  }
+
+  bool drop_tests() {
+    bool progress = false;
+    for (std::size_t i = 0; i < cur_.tests.size();) {
+      Workload cand = cur_;
+      cand.tests.erase(cand.tests.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+      if (accept(std::move(cand))) {
+        progress = true;  // same index now names the next test
+      } else {
+        ++i;
+      }
+    }
+    return progress;
+  }
+
+  bool clear_no_scan() {
+    if (cur_.no_scan_seq.empty()) return false;
+    Workload cand = cur_;
+    cand.no_scan_seq.frames.clear();
+    return accept(std::move(cand));
+  }
+
+  bool shrink_one_sequence(sim::Sequence Workload::*member) {
+    bool progress = false;
+    for (std::size_t block = std::max<std::size_t>(
+             1, (cur_.*member).length() / 2);
+         block >= 1; block /= 2) {
+      for (std::size_t at = 0; at + block <= (cur_.*member).length();) {
+        Workload cand = cur_;
+        auto& frames = (cand.*member).frames;
+        frames.erase(frames.begin() + static_cast<std::ptrdiff_t>(at),
+                     frames.begin() + static_cast<std::ptrdiff_t>(at + block));
+        if (accept(std::move(cand))) {
+          progress = true;
+        } else {
+          ++at;
+        }
+      }
+      if (block == 1) break;
+    }
+    return progress;
+  }
+
+  bool shrink_sequences() {
+    bool progress = shrink_one_sequence(&Workload::no_scan_seq);
+    for (std::size_t ti = 0; ti < cur_.tests.size(); ++ti) {
+      for (std::size_t block =
+               std::max<std::size_t>(1, cur_.tests[ti].seq.length() / 2);
+           block >= 1; block /= 2) {
+        for (std::size_t at = 0;
+             at + block <= cur_.tests[ti].seq.length();) {
+          Workload cand = cur_;
+          auto& frames = cand.tests[ti].seq.frames;
+          frames.erase(
+              frames.begin() + static_cast<std::ptrdiff_t>(at),
+              frames.begin() + static_cast<std::ptrdiff_t>(at + block));
+          if (accept(std::move(cand))) {
+            progress = true;
+          } else {
+            ++at;
+          }
+        }
+        if (block == 1) break;
+      }
+    }
+    return progress;
+  }
+
+  bool shrink_targets() {
+    // Materialize the implicit "all classes" list so it can be cut.
+    if (cur_.targets.empty()) {
+      Workload cand = cur_;
+      for (std::size_t id = 0; id < cur_.faults.num_classes(); ++id) {
+        cand.targets.push_back(static_cast<fault::FaultClassId>(id));
+      }
+      // Equivalent by construction; adopt without spending an attempt.
+      cur_ = std::move(cand);
+    }
+    bool progress = false;
+    for (std::size_t block = std::max<std::size_t>(
+             1, cur_.targets.size() / 2);
+         block >= 1; block /= 2) {
+      for (std::size_t at = 0; at + block <= cur_.targets.size() &&
+                               cur_.targets.size() > 1;) {
+        Workload cand = cur_;
+        cand.targets.erase(
+            cand.targets.begin() + static_cast<std::ptrdiff_t>(at),
+            cand.targets.begin() + static_cast<std::ptrdiff_t>(at + block));
+        if (accept(std::move(cand))) {
+          progress = true;
+        } else {
+          ++at;
+        }
+      }
+      if (block == 1) break;
+    }
+    return progress;
+  }
+
+  bool weaken_values() {
+    bool progress = false;
+    for (std::size_t ti = 0; ti < cur_.tests.size(); ++ti) {
+      progress |= weaken_vector([&](Workload& w) -> Vector3& {
+        return w.tests[ti].scan_in;
+      });
+      for (std::size_t t = 0; t < cur_.tests[ti].seq.length(); ++t) {
+        progress |= weaken_vector([&](Workload& w) -> Vector3& {
+          return w.tests[ti].seq.frames[t];
+        });
+      }
+    }
+    for (std::size_t t = 0; t < cur_.no_scan_seq.length(); ++t) {
+      progress |= weaken_vector([&](Workload& w) -> Vector3& {
+        return w.no_scan_seq.frames[t];
+      });
+    }
+    return progress;
+  }
+
+  template <typename Access>
+  bool weaken_vector(Access access) {
+    bool progress = false;
+    const std::size_t n = access(cur_).size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (access(cur_)[i] == V3::X) continue;
+      Workload cand = cur_;
+      access(cand)[i] = V3::X;
+      progress |= accept(std::move(cand));
+    }
+    return progress;
+  }
+
+  Workload cur_;
+  const CheckConfig* cfg_;
+  std::size_t max_attempts_;
+  std::size_t attempts_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(const Workload& w, const CheckConfig& cfg,
+                         std::size_t max_attempts) {
+  Shrinker s(w, cfg, max_attempts);
+  return s.run();
+}
+
+void write_repro(std::ostream& out, const Workload& w,
+                 const CaseReport& report) {
+  out << "# fuzz_check repro  seed=" << w.seed << "\n";
+  out << "# divergences:\n";
+  for (const std::string& d : report.divergences) {
+    out << "#   " << d << "\n";
+  }
+  out << "# scan_mask (flip_flops order, 1 = scanned): ";
+  for (std::size_t i = 0; i < w.scan_mask.size(); ++i) {
+    out << (w.scan_mask.test(i) ? '1' : '0');
+  }
+  out << "\n# targets:";
+  if (w.targets.empty()) {
+    out << " all";
+  } else {
+    for (const fault::FaultClassId id : w.targets) {
+      out << " " << id << "="
+          << fault::fault_name(w.faults.representative(id), w.circuit);
+    }
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < w.tests.size(); ++i) {
+    out << "# test " << i << "\n";
+    out << "#   scanin " << sim::to_string(w.tests[i].scan_in) << "\n";
+    for (const Vector3& v : w.tests[i].seq.frames) {
+      out << "#   vector " << sim::to_string(v) << "\n";
+    }
+  }
+  if (!w.no_scan_seq.empty()) {
+    out << "# no-scan sequence\n";
+    for (const Vector3& v : w.no_scan_seq.frames) {
+      out << "#   vector " << sim::to_string(v) << "\n";
+    }
+  }
+  out << "# netlist:\n";
+  netlist::write_bench(w.circuit, out);
+}
+
+}  // namespace scanc::check

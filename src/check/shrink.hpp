@@ -1,0 +1,40 @@
+// Test-case minimization for failing fuzz workloads.
+//
+// Greedy delta-debugging over the workload structure with the circuit
+// held fixed: drop whole tests, clear the no-scan sequence, remove
+// frame blocks (halving block sizes down to single frames), bisect the
+// fault-target list down to (usually) one class, and finally weaken
+// scan-in / PI values to X one position at a time.  Every candidate is
+// re-checked with the same configuration that failed; a reduction is
+// kept only if the case still fails.  The result plus a standalone
+// textual repro (netlist in .bench syntax, scan configuration, test
+// vectors, fault names, divergence messages) is what lands in the CI
+// artifact and in committed regression tests.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "check/differ.hpp"
+#include "check/workload.hpp"
+
+namespace scanc::check {
+
+struct ShrinkResult {
+  Workload workload;     ///< minimized case (still failing)
+  CaseReport report;     ///< report of the minimized case
+  std::size_t attempts = 0;  ///< candidate evaluations performed
+};
+
+/// Minimizes `w` (which must fail under `cfg`).  `max_attempts` bounds
+/// the number of candidate re-checks.
+[[nodiscard]] ShrinkResult shrink_case(const Workload& w,
+                                       const CheckConfig& cfg,
+                                       std::size_t max_attempts = 2000);
+
+/// Writes a standalone repro document for a (usually shrunk) failing
+/// workload.
+void write_repro(std::ostream& out, const Workload& w,
+                 const CaseReport& report);
+
+}  // namespace scanc::check

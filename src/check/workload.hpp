@@ -1,0 +1,53 @@
+// Random workload generation for the differential fuzzer.
+//
+// Each case seed deterministically expands into a Workload: a circuit
+// (usually gen::generate_circuit with small randomized parameters,
+// sometimes a hand-built adversarial shape), a scan configuration, a
+// fault-target subset, scan tests, and a no-scan sequence.  The
+// distributions deliberately over-weight the shapes where kernel
+// disagreement hides: all-X and partially-specified scan-in vectors,
+// length-0 and length-1 sequences, circuits with zero or one flip-flop,
+// single-FF shift chains, one stem fanning out across the whole cone,
+// and partial (including empty) scan chains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "netlist/circuit.hpp"
+#include "tcomp/scan_test.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace scanc::check {
+
+/// One generated fuzz case.
+struct Workload {
+  netlist::Circuit circuit;
+  fault::FaultList faults;
+  util::Bitset scan_mask;  ///< over flip_flops() order
+  /// Fault classes to simulate; empty = every class.
+  std::vector<fault::FaultClassId> targets;
+  /// Scan tests (scan_in may contain X; seq may be empty).
+  std::vector<tcomp::ScanTest> tests;
+  /// Sequence for the no-scan query (may be empty).
+  sim::Sequence no_scan_seq;
+  /// The seed this case was expanded from (for reporting).
+  std::uint64_t seed = 0;
+
+  /// `targets` as a FaultSet, or all faults when `targets` is empty.
+  [[nodiscard]] fault::FaultSet target_set() const;
+};
+
+/// Expands `case_seed` into a workload.  Deterministic: equal seeds give
+/// equal workloads.
+[[nodiscard]] Workload make_workload(std::uint64_t case_seed);
+
+/// A scan-in vector with the given X density (0 = fully specified,
+/// 256 = all X, out of 256).
+[[nodiscard]] sim::Vector3 random_scan_in(std::size_t width,
+                                          std::uint32_t x_density,
+                                          util::Rng& rng);
+
+}  // namespace scanc::check

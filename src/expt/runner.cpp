@@ -260,7 +260,6 @@ struct VariantMeasurement {
 VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
                                    const sim::Sequence& t0,
                                    std::span<const atpg::CombTest> comb,
-                                   std::size_t nsv,
                                    const RunnerOptions& options) {
   tcomp::PipelineOptions popt;
   popt.cancel = options.cancel;
@@ -285,8 +284,8 @@ VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
   v.len_t0 = t0.length();
   v.len_scan = r.tau_seq.seq.length();
   v.added = r.added_tests;
-  v.cyc_init = tcomp::clock_cycles(r.initial, nsv);
-  v.cyc_comp = tcomp::clock_cycles(r.compacted, nsv);
+  v.cyc_init = r.initial_cycles;
+  v.cyc_comp = r.compacted_cycles;
   const tcomp::AtSpeedStats s = tcomp::at_speed_stats(r.compacted);
   v.atspeed_ave = s.average;
   v.atspeed_min = s.min_length;
@@ -464,7 +463,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
 
     note("pipeline (greedy T0)");
     const VariantMeasurement m =
-        measure_variant(fsim, t0_atpg.sequence, comb.tests, nsv, options);
+        measure_variant(fsim, t0_atpg.sequence, comb.tests, options);
     run.atpg = m.result;
     // Journal only a phase the token never interrupted: the token is
     // sticky, so stop_requested() here proves every simulation inside
@@ -487,7 +486,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
     const sim::Sequence t0_rand = tgen::random_test_sequence(
         circuit, options.random_t0_length, options.seed);
     const VariantMeasurement m =
-        measure_variant(fsim, t0_rand, comb.tests, nsv, options);
+        measure_variant(fsim, t0_rand, comb.tests, options);
     run.random = m.result;
     if (!m.completed || options.cancel.stop_requested()) {
       return partial(std::string("pipeline-random/") +

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "util/telemetry.hpp"
 
@@ -56,6 +58,15 @@ FaultSimulator::FaultSimulator(const Circuit& circuit,
       }
     }
     pack_rank_[id] = r;
+  }
+}
+
+void FaultSimulator::check_scan_in(const Vector3& scan_in) const {
+  if (scan_in.size() != circuit_->num_flip_flops()) {
+    throw std::invalid_argument(
+        "scan_in width " + std::to_string(scan_in.size()) +
+        " != flip-flop count " +
+        std::to_string(circuit_->num_flip_flops()));
   }
 }
 
@@ -136,6 +147,7 @@ FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
 FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
                                           const Sequence& seq,
                                           const FaultSet* targets) {
+  check_scan_in(scan_in);
   const QueryScope scope("detect_scan_test");
   const std::vector<FaultClassId> list = collect(targets);
   const auto trace = acquire_trace(&scan_in, seq);
@@ -158,6 +170,7 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
 
 FaultSimulator::DetectionTimes FaultSimulator::detection_times(
     const Vector3& scan_in, const Sequence& seq, const FaultSet& targets) {
+  check_scan_in(scan_in);
   const QueryScope scope("detection_times");
   DetectionTimes times;
   times.targets = collect(&targets);
@@ -182,6 +195,7 @@ FaultSimulator::DetectionTimes FaultSimulator::detection_times(
 
 FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
     const Vector3& scan_in, const Sequence& seq, const FaultSet& targets) {
+  check_scan_in(scan_in);
   const QueryScope scope("prefix_detection");
   PrefixDetection out;
   out.targets = collect(&targets);
@@ -207,6 +221,7 @@ FaultSimulator::PrefixDetection FaultSimulator::prefix_detection(
 
 bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
                                  const FaultSet& required) {
+  check_scan_in(scan_in);
   const QueryScope scope("detects_all");
   const std::vector<FaultClassId> list = collect(&required);
   const auto trace = acquire_trace(&scan_in, seq);
@@ -243,6 +258,7 @@ FaultSet FaultSimulator::consistent_faults(
     const Vector3& scan_in, const Sequence& seq,
     std::span<const sim::Vector3> observed_pos,
     const Vector3& observed_scan_out, const FaultSet& targets) {
+  check_scan_in(scan_in);
   assert(observed_pos.size() == seq.length());
   assert(observed_scan_out.size() == circuit_->num_flip_flops());
   const QueryScope scope("consistent_faults");

@@ -291,6 +291,13 @@ class FaultSimulator {
     return ExecPolicy{num_threads_};
   }
 
+  /// Rejects a scan-in vector whose width is not flip_flops().size().
+  /// Scan-in states are indexed in flip_flops() order by every kernel;
+  /// a short vector would read out of bounds (and the two kernels would
+  /// read *different* garbage), so the width is validated once at the
+  /// query boundary.
+  void check_scan_in(const sim::Vector3& scan_in) const;
+
   /// Targets to simulate: every class, or the members of `targets`,
   /// ordered by cone locality (pack_rank_) so that faults whose fanout
   /// cones overlap land in the same group — the smaller the union cone,

@@ -37,6 +37,14 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   const auto trace = [&](const char* what) {
     if (options.trace) options.trace(what);
   };
+  // Every exit (including cancellation) reports N_cyc for whatever test
+  // sets it is returning, all via the one shared cost-model helper.
+  const auto finish = [&]() -> PipelineResult& {
+    const std::size_t nsv = fsim.num_scanned();
+    result.initial_cycles = clock_cycles(result.initial, nsv);
+    result.compacted_cycles = clock_cycles(result.compacted, nsv);
+    return result;
+  };
   if (options.num_threads != 0) fsim.set_num_threads(options.num_threads);
   fsim.set_cancel(options.cancel);
 
@@ -74,7 +82,7 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.final_coverage = result.f_seq;
     result.completed = false;
     result.stopped_at = PipelinePhase::Iterate;
-    return result;
+    return finish();
   }
 
   // Phase 3: cover F - F_seq from C.
@@ -107,7 +115,7 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.final_coverage = result.f_seq;
     result.completed = false;
     result.stopped_at = PipelinePhase::TopOff;
-    return result;
+    return finish();
   }
 
   // Coverage of `initial`, exact by construction: tau_seq's faults plus
@@ -137,7 +145,7 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.final_coverage = std::move(initial_coverage);
     result.completed = false;
     result.stopped_at = PipelinePhase::Combine;
-    return result;
+    return finish();
   }
 
   {
@@ -153,7 +161,7 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.completed = false;
     result.stopped_at = PipelinePhase::Coverage;
   }
-  return result;
+  return finish();
 }
 
 }  // namespace scanc::tcomp

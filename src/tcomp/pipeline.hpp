@@ -68,6 +68,11 @@ struct PipelineResult {
   fault::FaultSet final_coverage;  ///< detected by `compacted`
   std::size_t combinations = 0;  ///< Phase 4 accepted combinations
 
+  // Cost accounting (single-chain N_cyc via clock_cycles_from_counts,
+  // with N_SV = the simulator's scanned-cell count).
+  std::uint64_t initial_cycles = 0;    ///< N_cyc of `initial`
+  std::uint64_t compacted_cycles = 0;  ///< N_cyc of `compacted`
+
   // Graceful degradation (cooperative cancellation).
   /// False when the cancel token cut the run short; the test sets then
   /// hold the best result completed before the cut (possibly empty when

@@ -4,18 +4,28 @@
 
 namespace scanc::tcomp {
 
+std::uint64_t clock_cycles_from_counts(std::size_t num_tests,
+                                       std::size_t total_vectors,
+                                       std::size_t num_state_vars,
+                                       std::size_t chains) {
+  if (num_tests == 0) return 0;
+  const std::uint64_t shift =
+      chains <= 1 ? num_state_vars
+                  : (num_state_vars + chains - 1) / chains;
+  return (static_cast<std::uint64_t>(num_tests) + 1) * shift +
+         total_vectors;
+}
+
 std::uint64_t clock_cycles(const ScanTestSet& set,
                            std::size_t num_state_vars) {
-  return clock_cycles(set, num_state_vars, 1);
+  return clock_cycles_from_counts(set.size(), set.total_vectors(),
+                                  num_state_vars);
 }
 
 std::uint64_t clock_cycles(const ScanTestSet& set,
                            std::size_t num_state_vars, std::size_t chains) {
-  if (set.empty()) return 0;
-  const std::uint64_t shift =
-      chains == 0 ? num_state_vars
-                  : (num_state_vars + chains - 1) / chains;
-  return (set.size() + 1) * shift + set.total_vectors();
+  return clock_cycles_from_counts(set.size(), set.total_vectors(),
+                                  num_state_vars, chains);
 }
 
 AtSpeedStats at_speed_stats(const ScanTestSet& set) {

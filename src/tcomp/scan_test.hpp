@@ -47,6 +47,23 @@ struct ScanTestSet {
   }
 };
 
+/// First-principles N_cyc from raw counts: `num_tests` scan tests with
+/// `total_vectors` applied PI vectors in total, a scan chain of
+/// `num_state_vars` cells split into `chains` balanced chains (0 and 1
+/// both mean a single chain):
+///
+///     N_cyc = (k+1) * ceil(N_SV / chains) + sum_j L(T_j)
+///
+/// An empty set (k == 0) costs 0.  This is the single authoritative
+/// implementation of the paper's cost model; every caller — the
+/// ScanTestSet overloads below, tcomp/pipeline, expt/tables, and the
+/// bench binaries — derives its numbers from here so an off-by-one can
+/// only exist in one place (and check/differ re-derives the formula
+/// independently to catch exactly that).
+[[nodiscard]] std::uint64_t clock_cycles_from_counts(
+    std::size_t num_tests, std::size_t total_vectors,
+    std::size_t num_state_vars, std::size_t chains = 1);
+
 /// Clock cycles to apply the set: (k+1)*N_SV + sum L(T_j).
 /// An empty set costs 0.
 [[nodiscard]] std::uint64_t clock_cycles(const ScanTestSet& set,

@@ -165,6 +165,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::QueriesRun: return "queries_run";
     case Counter::FaultsDetected: return "faults_detected";
     case Counter::IterateRounds: return "iterate_rounds";
+    case Counter::CheckCasesRun: return "check_cases_run";
+    case Counter::CheckQueriesCompared: return "check_queries_compared";
+    case Counter::CheckDivergences: return "check_divergences";
+    case Counter::CheckShrinkSteps: return "check_shrink_steps";
     case Counter::kCount: break;
   }
   return "?";

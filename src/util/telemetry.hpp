@@ -68,6 +68,11 @@ enum class Counter : std::uint16_t {
   // Compaction pipeline (tcomp/pipeline.cpp, tcomp/iterate.cpp).
   FaultsDetected,       ///< cumulative per-phase detection deltas
   IterateRounds,        ///< completed Phase 1+2 rounds
+  // Differential fuzzing subsystem (check/).
+  CheckCasesRun,        ///< fuzz cases generated and checked
+  CheckQueriesCompared, ///< cross-kernel / oracle comparisons performed
+  CheckDivergences,     ///< divergences detected (should stay 0)
+  CheckShrinkSteps,     ///< shrinker reduction attempts
   kCount
 };
 

@@ -1,0 +1,303 @@
+// Tests for the differential fuzzing subsystem (src/check/): workload
+// determinism, oracle agreement on hand-built circuits, the seeded
+// regression corpus, the targeted cone-kernel audit cases, and the
+// TraceCache copy-on-write contract the fuzzer's warm configurations
+// lean on.  The open-ended hunt lives in the fuzz_check binary; these
+// tests pin fixed seeds so a regression fails deterministically in CI.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/differ.hpp"
+#include "check/oracle_sim.hpp"
+#include "check/shrink.hpp"
+#include "check/workload.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/trace_cache.hpp"
+#include "util/rng.hpp"
+
+namespace scanc {
+namespace {
+
+using check::CheckConfig;
+using check::Workload;
+using fault::FaultList;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using netlist::Circuit;
+using netlist::GateType;
+using sim::Sequence;
+using sim::Vector3;
+
+// Names the classes present in exactly one of the two sets.
+std::string set_delta(const FaultSet& full, const FaultSet& cone,
+                      const FaultList& fl, const Circuit& c) {
+  std::string out;
+  for (fault::FaultClassId id = 0; id < full.size(); ++id) {
+    if (full.test(id) == cone.test(id)) continue;
+    out += full.test(id) ? " full-only:" : " cone-only:";
+    out += fault::fault_name(fl.representative(id), c);
+  }
+  return out;
+}
+
+// --- Workload generation ----------------------------------------------
+
+TEST(CheckWorkload, DeterministicExpansion) {
+  const Workload a = check::make_workload(12345);
+  const Workload b = check::make_workload(12345);
+  EXPECT_EQ(a.circuit.num_nodes(), b.circuit.num_nodes());
+  EXPECT_EQ(a.scan_mask, b.scan_mask);
+  EXPECT_EQ(a.targets, b.targets);
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    EXPECT_EQ(a.tests[i].scan_in, b.tests[i].scan_in);
+    EXPECT_EQ(a.tests[i].seq.frames, b.tests[i].seq.frames);
+  }
+  EXPECT_EQ(a.no_scan_seq.frames, b.no_scan_seq.frames);
+}
+
+TEST(CheckWorkload, CoversAdversarialShapes) {
+  // Over 256 seeds the generator must produce every shape the fuzzer
+  // promises to stress: flip-flop-free circuits, empty scan masks,
+  // length-0 sequences, and all-X scan-in vectors.
+  bool saw_no_ff = false, saw_empty_mask = false;
+  bool saw_len0 = false, saw_all_x = false;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    const Workload w = check::make_workload(s * 7919 + 1);
+    if (w.circuit.num_flip_flops() == 0) saw_no_ff = true;
+    if (w.circuit.num_flip_flops() > 0 && w.scan_mask.count() == 0) {
+      saw_empty_mask = true;
+    }
+    for (const tcomp::ScanTest& t : w.tests) {
+      if (t.seq.length() == 0) saw_len0 = true;
+      bool all_x = t.scan_in.size() > 0;
+      for (std::size_t i = 0; i < t.scan_in.size(); ++i) {
+        if (t.scan_in[i] != sim::V3::X) all_x = false;
+      }
+      if (all_x) saw_all_x = true;
+    }
+  }
+  EXPECT_TRUE(saw_no_ff);
+  EXPECT_TRUE(saw_empty_mask);
+  EXPECT_TRUE(saw_len0);
+  EXPECT_TRUE(saw_all_x);
+}
+
+// --- Oracle vs production kernels on a hand-built circuit -------------
+
+// One FF fed straight from a PI (the scan path is pi -> d -> ff), with
+// the FF read both by a PO gate and by its own next-state logic.
+Circuit scan_path_circuit() {
+  netlist::CircuitBuilder b("spath");
+  b.add_input("pi");
+  b.add_input("en");
+  b.add_gate(GateType::Buf, "d", {"pi"});
+  b.add_gate(GateType::Dff, "q", {"d"});
+  b.add_gate(GateType::And, "po", {"q", "en"});
+  b.mark_output("po");
+  return b.build();
+}
+
+TEST(CheckOracle, AgreesWithFullKernelOnEveryFault) {
+  const Circuit c = scan_path_circuit();
+  const FaultList fl = FaultList::build(c);
+  FaultSimulator fsim(c, fl);
+  Sequence seq;
+  seq.frames.push_back(sim::vector3_from_string("10"));
+  seq.frames.push_back(sim::vector3_from_string("01"));
+  seq.frames.push_back(sim::vector3_from_string("11"));
+  const Vector3 si = sim::vector3_from_string("0");
+  const FaultSet det = fsim.detect_scan_test(si, seq);
+  for (std::size_t i = 0; i < fl.num_faults(); ++i) {
+    const fault::Fault& f = fl.faults()[i];
+    const check::OracleResult o =
+        check::oracle_run(c, fsim.scan_mask(), f, &si, seq, true);
+    EXPECT_EQ(o.detected, det.test(fl.class_of(i)))
+        << "fault " << fault::fault_name(f, c);
+  }
+}
+
+TEST(CheckOracle, StemFaultOnFfIsNotCaptured) {
+  // PPO convention: a stuck-at on the FF's Q stem corrupts every reader
+  // but not the latch content, so it must be PO-detectable yet invisible
+  // to scan-out.  q/SA1 with en=1, pi=0, scan-in 0: PO reads q=1 vs 0
+  // (detected at a PO), but the captured chain content stays fault-free.
+  const Circuit c = scan_path_circuit();
+  const FaultList fl = FaultList::build(c);
+  FaultSimulator fsim(c, fl);
+  const netlist::NodeId q = c.find("q");
+  for (std::size_t i = 0; i < fl.num_faults(); ++i) {
+    const fault::Fault& f = fl.faults()[i];
+    if (f.node != q || f.pin != sim::kStemPin || !f.stuck_one) continue;
+    Sequence seq;
+    seq.frames.push_back(sim::vector3_from_string("01"));
+    const Vector3 si = sim::vector3_from_string("0");
+    const check::OracleResult o =
+        check::oracle_run(c, fsim.scan_mask(), f, &si, seq, true);
+    EXPECT_TRUE(o.detected);
+    EXPECT_EQ(o.first_po, 0);
+    ASSERT_EQ(o.state_diff.size(), 1u);
+    EXPECT_EQ(o.state_diff[0], 0) << "stem fault must not corrupt capture";
+    return;
+  }
+  FAIL() << "q stem SA1 not in fault list";
+}
+
+// --- Seeded regression corpus -----------------------------------------
+
+TEST(CheckCorpus, FixedSeedsRunClean) {
+  // The ctest-side slice of the fuzzer: a fixed corpus that re-runs the
+  // whole comparison matrix on every build.  Any divergence is a real
+  // kernel/compaction bug — fuzz_check --seed=<seed> --iters=1 repros it.
+  CheckConfig cfg;
+  cfg.threads = 4;
+  std::uint64_t state = 0xC0FFEE;
+  for (int i = 0; i < 250; ++i) {
+    const std::uint64_t seed = util::splitmix64(state);
+    const check::CaseReport r = check_case(check::make_workload(seed), cfg);
+    for (const std::string& d : r.divergences) {
+      ADD_FAILURE() << "seed " << seed << ": " << d;
+    }
+    if (r.failed()) break;
+  }
+}
+
+// --- Targeted cone-kernel audit cases ---------------------------------
+
+// Satellite audit: with an all-X scan-in, the cone kernel's whole-frame
+// skipping starts from a state where every cone FF is X, and a fault
+// injected on the scan path (the FF's D-side logic) must still wake the
+// cone and reach the scan-out observation.  These cases pin the exact
+// shapes the audit covered, under both full and partial scan.
+TEST(CheckConeAudit, AllXScanInWithScanPathFault) {
+  const Circuit c = scan_path_circuit();
+  const FaultList fl = FaultList::build(c);
+  Sequence seq;
+  seq.frames.push_back(sim::vector3_from_string("1x"));
+  seq.frames.push_back(sim::vector3_from_string("0x"));
+  const Vector3 all_x = sim::vector3_from_string("x");
+  FaultSimulator full(c, fl);
+  full.set_kernel(fault::KernelMode::Full);
+  FaultSimulator cone(c, fl);
+  cone.set_kernel(fault::KernelMode::Cone);
+  EXPECT_EQ(full.detect_scan_test(all_x, seq),
+            cone.detect_scan_test(all_x, seq));
+  // detect_no_scan starts all-X too — same skipping hazard, PO-only.
+  EXPECT_EQ(full.detect_no_scan(seq), cone.detect_no_scan(seq));
+}
+
+TEST(CheckConeAudit, PartialScanUnscannedConeFf) {
+  // Two FFs, only one scanned: the unscanned FF's position is forced to
+  // X on every load, so the cone around it must never claim a binary
+  // fault-free reference there.
+  netlist::CircuitBuilder b("pcone");
+  b.add_input("a");
+  b.add_gate(GateType::Dff, "q0", {"d0"});
+  b.add_gate(GateType::Dff, "q1", {"d1"});
+  b.add_gate(GateType::Not, "d0", {"q1"});
+  b.add_gate(GateType::Xor, "d1", {"a", "q0"});
+  b.add_gate(GateType::Or, "po", {"q0", "q1"});
+  b.mark_output("po");
+  const Circuit c = b.build();
+  const FaultList fl = FaultList::build(c);
+  util::Bitset mask(2);
+  mask.set(0);  // q0 scanned, q1 not
+  Sequence seq;
+  seq.frames.push_back(sim::vector3_from_string("1"));
+  seq.frames.push_back(sim::vector3_from_string("0"));
+  seq.frames.push_back(sim::vector3_from_string("1"));
+  // scan_in spans *all* flip-flops; the unscanned q1 position must be
+  // forced to X regardless of what the caller wrote there.
+  for (const char* si_str : {"0x", "1x", "xx", "01", "10"}) {
+    const Vector3 si = sim::vector3_from_string(si_str);
+    FaultSimulator full(c, fl, mask);
+    full.set_kernel(fault::KernelMode::Full);
+    FaultSimulator cone(c, fl, mask);
+    cone.set_kernel(fault::KernelMode::Cone);
+    const FaultSet df = full.detect_scan_test(si, seq);
+    const FaultSet dc = cone.detect_scan_test(si, seq);
+    EXPECT_EQ(df, dc) << "scan-in " << si_str
+                      << set_delta(df, dc, fl, c);
+  }
+}
+
+// --- TraceCache copy-on-write -----------------------------------------
+
+TEST(TraceCacheCow, HeldTraceSurvivesExtendingGet) {
+  const Workload w = check::make_workload(99);
+  sim::TraceCache cache(w.circuit, 4);
+  Sequence shorter;
+  Sequence longer;
+  util::Rng rng(7);
+  for (int t = 0; t < 6; ++t) {
+    Vector3 v(w.circuit.num_inputs());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = rng.coin() ? sim::V3::One : sim::V3::Zero;
+    }
+    longer.frames.push_back(v);
+    if (t < 3) shorter.frames.push_back(v);
+  }
+
+  // Hold the short trace across a get() that extends the cached entry.
+  const auto held = cache.get(nullptr, shorter);
+  ASSERT_EQ(held->length(), 3u);
+  std::vector<sim::V3> frame0(held->frame(0).begin(), held->frame(0).end());
+
+  const auto extended = cache.get(nullptr, longer);
+  EXPECT_EQ(cache.extensions(), 1u);
+  ASSERT_EQ(extended->length(), 6u);
+  // Copy-on-write: the holder's trace is physically untouched...
+  EXPECT_NE(held.get(), extended.get());
+  EXPECT_EQ(held->length(), 3u);
+  EXPECT_TRUE(std::equal(frame0.begin(), frame0.end(),
+                         held->frame(0).begin()));
+  // ...and the extension agrees with it on the shared prefix.
+  for (std::size_t t = 0; t < 3; ++t) {
+    const auto a = held->frame(t);
+    const auto b = extended->frame(t);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "frame " << t;
+  }
+}
+
+TEST(TraceCacheCow, UnsharedEntryExtendsInPlace) {
+  const Workload w = check::make_workload(99);
+  sim::TraceCache cache(w.circuit, 4);
+  Sequence shorter;
+  Sequence longer;
+  for (int t = 0; t < 4; ++t) {
+    Vector3 v(w.circuit.num_inputs(), sim::V3::One);
+    longer.frames.push_back(v);
+    if (t < 2) shorter.frames.push_back(v);
+  }
+  const sim::NodeTrace* raw = nullptr;
+  {
+    const auto held = cache.get(nullptr, shorter);
+    raw = held.get();
+  }  // released: only the cache entry still owns the trace
+  const auto extended = cache.get(nullptr, longer);
+  EXPECT_EQ(cache.extensions(), 1u);
+  EXPECT_EQ(extended.get(), raw) << "no holder -> extend in place";
+  EXPECT_EQ(extended->length(), 4u);
+}
+
+// --- Shrinker output ---------------------------------------------------
+
+TEST(CheckShrink, ReproIsStandalone) {
+  const Workload w = check::make_workload(4242);
+  check::CaseReport report;
+  report.divergences.push_back("synthetic divergence for formatting");
+  std::ostringstream out;
+  check::write_repro(out, w, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("seed=4242"), std::string::npos);
+  EXPECT_NE(text.find("synthetic divergence"), std::string::npos);
+  EXPECT_NE(text.find("INPUT("), std::string::npos);
+  EXPECT_NE(text.find("OUTPUT("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scanc

@@ -75,6 +75,38 @@ TEST(Metrics, ClockCyclesFormula) {
   EXPECT_EQ(clock_cycles(set, 10), 38u);
 }
 
+TEST(Metrics, ClockCyclesFromCounts) {
+  // Empty set costs nothing, regardless of the other counts.
+  EXPECT_EQ(clock_cycles_from_counts(0, 0, 10), 0u);
+  EXPECT_EQ(clock_cycles_from_counts(0, 0, 10, 4), 0u);
+  // chains = 0 and chains = 1 both mean a single chain.
+  EXPECT_EQ(clock_cycles_from_counts(2, 8, 10, 0),
+            clock_cycles_from_counts(2, 8, 10, 1));
+  EXPECT_EQ(clock_cycles_from_counts(2, 8, 10), 38u);
+  // Multi-chain shift cost is ceil(N_SV / chains): 10 cells on 4 chains
+  // shift in 3 cycles, so (2+1)*3 + 8 = 17.
+  EXPECT_EQ(clock_cycles_from_counts(2, 8, 10, 4), 17u);
+  // The ScanTestSet overloads are exactly the counts helper.
+  ScanTestSet set;
+  ScanTest t;
+  t.seq.frames.assign(5, sim::Vector3(2, sim::V3::Zero));
+  set.tests = {t, t, t};
+  EXPECT_EQ(clock_cycles(set, 7),
+            clock_cycles_from_counts(3, 15, 7));
+  EXPECT_EQ(clock_cycles(set, 7, 3),
+            clock_cycles_from_counts(3, 15, 7, 3));
+}
+
+TEST(Pipeline, ResultCarriesCycleAccounting) {
+  Rig s = make_rig(21);
+  const PipelineResult r = run_pipeline(*s.fsim, s.t0, s.comb.tests);
+  const std::size_t nsv = s.fsim->num_scanned();
+  EXPECT_EQ(r.initial_cycles, clock_cycles(r.initial, nsv));
+  EXPECT_EQ(r.compacted_cycles, clock_cycles(r.compacted, nsv));
+  EXPECT_LE(r.compacted_cycles, r.initial_cycles);
+  EXPECT_GT(r.compacted_cycles, 0u);
+}
+
 TEST(Metrics, AtSpeedStats) {
   ScanTestSet set;
   ScanTest t;
