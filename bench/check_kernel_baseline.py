@@ -13,7 +13,10 @@ When the baseline has an ``efficiency`` section, the same tolerance is
 applied to the kernel efficiency counters (frames_skipped_ratio,
 cache_hit_ratio) that perf_microbench attaches to each benchmark — so a
 change that keeps wall time but destroys frame skipping or cache reuse
-still fails.
+still fails.  A ``transition`` section has the same shape and gates the
+frame-gated transition kernel (BM_KernelTDF): tdf_skip_ratio pins the
+activation-aware whole-frame skipping, cache_hit_ratio the shared
+fault-free trace reuse.
 
 Every missing benchmark, field, or baseline key is reported by name
 instead of surfacing as a traceback.
@@ -147,10 +150,11 @@ def main():
     ok = check_speedups(
         speedups(benchmarks, args.measured), baseline["speedup"],
         args.tolerance)
-    if "efficiency" in baseline:
-        ok = check_efficiency(
-            benchmarks, baseline["efficiency"], args.tolerance,
-            args.measured) and ok
+    for section in ("efficiency", "transition"):
+        if section in baseline:
+            ok = check_efficiency(
+                benchmarks, baseline[section], args.tolerance,
+                args.measured) and ok
     sys.exit(0 if ok else 1)
 
 

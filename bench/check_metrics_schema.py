@@ -19,7 +19,8 @@ import sys
 
 EXPECTED_COUNTERS = [
     "frames_simulated", "frames_skipped", "cone_passes", "full_passes",
-    "cone_gates_scheduled", "cone_gates_dropped", "trace_cache_hits",
+    "cone_gates_scheduled", "cone_gates_dropped", "tdf_activations",
+    "tdf_frames_skipped", "trace_cache_hits",
     "trace_cache_misses", "trace_cache_extensions",
     "trace_cache_partial_reuses", "trace_cache_evictions", "pool_tasks_run",
     "pool_queue_wait_ns", "pool_busy_ns", "groups_executed", "queries_run",

@@ -14,6 +14,7 @@
 #include "atpg/podem.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault/model.hpp"
 #include "gen/circuit_gen.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
@@ -185,10 +186,12 @@ netlist::Circuit tiled_circuit(std::size_t tiles) {
   return b.build();
 }
 
-void run_kernel_bench(benchmark::State& state, fault::KernelMode mode) {
+void run_kernel_bench(benchmark::State& state, fault::KernelMode mode,
+                      const fault::FaultModel& model =
+                          fault::FaultModel::stuck_at()) {
   const netlist::Circuit c = tiled_circuit(
       static_cast<std::size_t>(state.range(0)));
-  const fault::FaultList fl = fault::FaultList::build(c);
+  const fault::FaultList fl = fault::FaultList::build(c, model);
   fault::FaultSimulator fsim(c, fl);
   fsim.set_kernel(mode);
   const sim::Sequence seq = tgen::random_test_sequence(c, 32, 11);
@@ -225,6 +228,15 @@ void run_kernel_bench(benchmark::State& state, fault::KernelMode mode) {
   const double lookups = reuse + at(obs::Counter::TraceCacheMisses);
   state.counters["cache_hit_ratio"] = benchmark::Counter(
       lookups > 0.0 ? reuse / lookups : 0.0);
+  if (model.frame_gated()) {
+    // Activation-aware skipping: the fraction of group-frames the TDF
+    // kernel never simulated because no fault in the group launched.
+    const double tdf_frames = at(obs::Counter::FramesSimulated) +
+                              at(obs::Counter::TdfFramesSkipped);
+    state.counters["tdf_skip_ratio"] = benchmark::Counter(
+        tdf_frames > 0.0 ? at(obs::Counter::TdfFramesSkipped) / tdf_frames
+                         : 0.0);
+  }
 }
 
 void BM_KernelFull(benchmark::State& state) {
@@ -237,6 +249,17 @@ void BM_KernelCone(benchmark::State& state) {
   run_kernel_bench(state, fault::KernelMode::Cone);
 }
 BENCHMARK(BM_KernelCone)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// The frame-gated transition kernel on the same tiled circuit (Auto
+// kernel selection, like production runs).  Tracked by the baseline's
+// "transition" section: the tdf_skip_ratio counter pins the
+// activation-aware frame skipping that makes TDF passes cheap.
+void BM_KernelTDF(benchmark::State& state) {
+  run_kernel_bench(state, fault::KernelMode::Auto,
+                   fault::FaultModel::transition());
+}
+BENCHMARK(BM_KernelTDF)->Arg(2)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PodemPerFault(benchmark::State& state) {

@@ -109,7 +109,7 @@ V5 Dalg::eval(NodeId id, const Fault& fault) const {
     for (std::size_t p = 0; p < nf; ++p) {
       V5 v = value_[n.fanins[p]];
       if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
-        v = transform_branch(v, fault.stuck_one);
+        v = transform_branch(v, fault.value);
       }
       vals[p] = v;
     }
@@ -118,7 +118,7 @@ V5 Dalg::eval(NodeId id, const Fault& fault) const {
     for (std::size_t p = 0; p < n.fanins.size(); ++p) {
       V5 v = value_[n.fanins[p]];
       if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
-        v = transform_branch(v, fault.stuck_one);
+        v = transform_branch(v, fault.value);
       }
       if (p == 0) {
         folded = v;
@@ -144,7 +144,7 @@ V5 Dalg::eval(NodeId id, const Fault& fault) const {
                : eval_plain(n.type, vals, nf);
   if (fault.node == id && fault.pin == sim::kStemPin) {
     out = compose(good_of(out),
-                  fault.stuck_one ? sim::V3::One : sim::V3::Zero);
+                  fault.value ? sim::V3::One : sim::V3::Zero);
   }
   return out;
 }
@@ -306,7 +306,7 @@ bool Dalg::solve(const Fault& fault, std::uint32_t& backtracks,
     for (std::size_t p = 0; p < n.fanins.size() && !error_in; ++p) {
       V5 v = value_[n.fanins[p]];
       if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
-        v = transform_branch(v, fault.stuck_one);
+        v = transform_branch(v, fault.value);
       }
       error_in = is_error(v);
     }
@@ -318,7 +318,7 @@ bool Dalg::solve(const Fault& fault, std::uint32_t& backtracks,
   if (!observed && fault.pin == 0 &&
       circuit_->node(fault.node).type == GateType::Dff) {
     observed = is_error(transform_branch(
-        value_[circuit_->node(fault.node).fanins[0]], fault.stuck_one));
+        value_[circuit_->node(fault.node).fanins[0]], fault.value));
   }
 
   if (observed) {
@@ -427,7 +427,7 @@ PodemResult Dalg::generate(const Fault& fault) {
            t != GateType::Const1 && !assignable_[id];
   };
   if (fault.pin == sim::kStemPin) {
-    const V5 site = fault.stuck_one ? V5::Db : V5::D;
+    const V5 site = fault.value ? V5::Db : V5::D;
     if ((value_[fault.node] != V5::X && value_[fault.node] != site) ||
         unassignable_source(fault.node)) {
       result.status = PodemStatus::Untestable;  // constant/unknown site
@@ -436,7 +436,7 @@ PodemResult Dalg::generate(const Fault& fault) {
     set_value(fault.node, site);
   } else {
     const NodeId driver = circuit_->node(fault.node).fanins[fault.pin];
-    const V5 want = v5_from_bool(!fault.stuck_one);
+    const V5 want = v5_from_bool(!fault.value);
     if ((value_[driver] != V5::X && value_[driver] != want) ||
         unassignable_source(driver)) {
       result.status = PodemStatus::Untestable;

@@ -135,7 +135,7 @@ void Podem::compute_controllability() {
 std::pair<V3, V3> Podem::eval_node(const Node& n, NodeId id,
                                    const Fault& fault) const {
   const bool fault_here = fault.node == id;
-  const V3 stuck = fault.stuck_one ? V3::One : V3::Zero;
+  const V3 stuck = fault.value ? V3::One : V3::Zero;
   const auto bad_in = [&](std::size_t p) -> V3 {
     if (fault_here && fault.pin == static_cast<std::int32_t>(p)) {
       return stuck;
@@ -208,7 +208,7 @@ std::pair<V3, V3> Podem::eval_node(const Node& n, NodeId id,
 
 void Podem::imply(const Fault& fault) {
   const bool stem = fault.pin == sim::kStemPin;
-  const V3 stuck = fault.stuck_one ? V3::One : V3::Zero;
+  const V3 stuck = fault.value ? V3::One : V3::Zero;
 
   for (NodeId id = 0; id < circuit_->num_nodes(); ++id) {
     const GateType t = circuit_->node(id).type;
@@ -242,7 +242,7 @@ void Podem::propagate(NodeId changed_input, const Fault& fault) {
   good_[changed_input] = assign_[changed_input];
   bad_[changed_input] = assign_[changed_input];
   if (fault.pin == sim::kStemPin && fault.node == changed_input) {
-    bad_[changed_input] = fault.stuck_one ? V3::One : V3::Zero;
+    bad_[changed_input] = fault.value ? V3::One : V3::Zero;
   }
   dirty_[changed_input] = epoch_;
 
@@ -276,7 +276,7 @@ bool Podem::fault_effect_observed(const Fault& fault) const {
     const NodeId d = circuit_->node(ff).fanins[0];
     V3 b = bad_[d];
     if (fault.node == ff && fault.pin == 0) {
-      b = fault.stuck_one ? V3::One : V3::Zero;
+      b = fault.value ? V3::One : V3::Zero;
     }
     if (has_effect(good_[d], b)) return true;
   }
@@ -314,7 +314,7 @@ bool Podem::x_path_exists(const Fault& fault) {
     for (std::size_t p = 0; p < n.fanins.size(); ++p) {
       V3 b = bad_[n.fanins[p]];
       if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
-        b = fault.stuck_one ? V3::One : V3::Zero;
+        b = fault.value ? V3::One : V3::Zero;
       }
       if (has_effect(good_[n.fanins[p]], b)) return true;
     }
@@ -331,7 +331,7 @@ std::optional<std::pair<NodeId, bool>> Podem::objective(const Fault& fault) {
                           ? fault.node
                           : circuit_->node(fault.node).fanins[fault.pin];
   const V3 site_good = good_[site];
-  const V3 want = fault.stuck_one ? V3::Zero : V3::One;
+  const V3 want = fault.value ? V3::Zero : V3::One;
   if (site_good == V3::X) return std::make_pair(site, want == V3::One);
   if (site_good != want) return std::nullopt;  // conflict: cannot excite
 
@@ -352,7 +352,7 @@ std::optional<std::pair<NodeId, bool>> Podem::objective(const Fault& fault) {
     for (std::size_t p = 0; p < n.fanins.size() && !effect_in; ++p) {
       V3 b = bad_[n.fanins[p]];
       if (fault.node == id && fault.pin == static_cast<std::int32_t>(p)) {
-        b = fault.stuck_one ? V3::One : V3::Zero;
+        b = fault.value ? V3::One : V3::Zero;
       }
       effect_in = has_effect(good_[n.fanins[p]], b);
     }

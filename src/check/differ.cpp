@@ -243,8 +243,8 @@ class CaseChecker {
       const FaultClassId f = times.targets[j];
       const fault::Fault& rep = w_->faults.representative(f);
       const OracleResult o =
-          oracle_run(w_->circuit, w_->scan_mask, rep, &test.scan_in,
-                     test.seq, /*observe_scan_out=*/true);
+          oracle_run(w_->circuit, w_->scan_mask, w_->faults.model(), rep,
+                     &test.scan_in, test.seq, /*observe_scan_out=*/true);
       const std::string where =
           tag + " oracle class=" + std::to_string(f);
       expect_true(where, o.detected == base.test(f),
@@ -261,8 +261,9 @@ class CaseChecker {
       // Feed the oracle's faulty response back as an "observed defective
       // chip": the injected fault itself must stay consistent.
       if (checked <= 8) {
-        const OracleResponse resp = oracle_response(
-            w_->circuit, w_->scan_mask, rep, test.scan_in, test.seq);
+        const OracleResponse resp =
+            oracle_response(w_->circuit, w_->scan_mask, w_->faults.model(),
+                            rep, test.scan_in, test.seq);
         const FaultSet cons = ref_.consistent_faults(
             test.scan_in, test.seq, resp.po_frames, resp.scan_out,
             targets_);
@@ -320,8 +321,9 @@ class CaseChecker {
         ++checked;
         const auto f = static_cast<FaultClassId>(i);
         const OracleResult o = oracle_run(
-            w_->circuit, w_->scan_mask, w_->faults.representative(f),
-            nullptr, w_->no_scan_seq, /*observe_scan_out=*/false);
+            w_->circuit, w_->scan_mask, w_->faults.model(),
+            w_->faults.representative(f), nullptr, w_->no_scan_seq,
+            /*observe_scan_out=*/false);
         expect_true("no_scan oracle class=" + std::to_string(i),
                     o.detected == base.test(f),
                     "oracle disagrees on no-scan detection");

@@ -1,7 +1,8 @@
 // fuzz_check — differential fuzzing driver.
 //
 //   fuzz_check [--seed=N] [--iters=N] [--time-budget=SECS] [--threads=N]
-//              [--no-oracle] [--repro-out=PATH] [--quiet]
+//              [--fault-model=stuck|transition] [--no-oracle]
+//              [--repro-out=PATH] [--quiet]
 //
 // Expands case seeds derived from --seed into workloads and runs each
 // through the full comparison matrix (check/differ.hpp).  On the first
@@ -21,6 +22,7 @@
 #include "check/differ.hpp"
 #include "check/shrink.hpp"
 #include "check/workload.hpp"
+#include "fault/model.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
 
@@ -31,6 +33,7 @@ struct Options {
   std::uint64_t iters = 1000;
   double time_budget = 0.0;  // seconds; 0 = unlimited
   std::size_t threads = 8;
+  scanc::fault::FaultModelKind model = scanc::fault::FaultModelKind::StuckAt;
   bool oracle = true;
   bool quiet = false;
   std::string repro_out;
@@ -59,6 +62,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a.rfind("--threads=", 0) == 0 &&
                parse_u64(value("--threads="), v)) {
       opt.threads = static_cast<std::size_t>(v);
+    } else if (a.rfind("--fault-model=", 0) == 0) {
+      const std::string m = value("--fault-model=");
+      if (m == "stuck") {
+        opt.model = scanc::fault::FaultModelKind::StuckAt;
+      } else if (m == "transition") {
+        opt.model = scanc::fault::FaultModelKind::Transition;
+      } else {
+        std::cerr << "fuzz_check: unknown fault model: " << m << "\n";
+        return false;
+      }
     } else if (a == "--no-oracle") {
       opt.oracle = false;
     } else if (a == "--quiet") {
@@ -96,7 +109,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t i = 0; i < opt.iters; ++i) {
     if (opt.time_budget > 0.0 && elapsed() >= opt.time_budget) break;
     const std::uint64_t case_seed = scanc::util::splitmix64(state);
-    const scanc::check::Workload w = scanc::check::make_workload(case_seed);
+    const scanc::check::Workload w = scanc::check::make_workload(
+        case_seed, scanc::fault::FaultModel::get(opt.model));
     const scanc::check::CaseReport report = scanc::check::check_case(w, cfg);
     ++cases;
     comparisons += report.comparisons;
@@ -127,6 +141,8 @@ int main(int argc, char** argv) {
 
   std::cout << "fuzz_check: " << cases << " cases, " << comparisons
             << " comparisons, 0 divergences ("
-        <<  elapsed() << " s, seed=" << opt.seed << ")\n";
+        <<  elapsed() << " s, seed=" << opt.seed
+        << ", model=" << scanc::fault::FaultModel::get(opt.model).name()
+        << ")\n";
   return 0;
 }

@@ -143,7 +143,7 @@ class Machine {
 
  private:
   [[nodiscard]] V3 stuck() const {
-    return fault_->stuck_one ? V3::One : V3::Zero;
+    return fault_->value ? V3::One : V3::Zero;
   }
   [[nodiscard]] V3 stem(NodeId n, V3 v) const {
     if (fault_ != nullptr && fault_->node == n &&
@@ -178,6 +178,138 @@ Vector3 masked_scan_in(const Vector3& scan_in,
     if (!scan_mask.test(i)) masked[i] = V3::X;
   }
   return masked;
+}
+
+/// Tracks the fault-free machine across frames and decides, per frame,
+/// whether a transition fault launches: the stem held the stale value in
+/// the previous frame and the opposite binary value in the current one.
+/// Frame 0 has no previous frame and never launches.  When a frame is
+/// active, the caller simulates a fresh one-frame faulty machine from
+/// `state_entering` (the clean latch content the frame started from).
+struct TdfTracker {
+  explicit TdfTracker(const fault::Fault& f)
+      : stale(f.value ? V3::One : V3::Zero),
+        fresh(f.value ? V3::Zero : V3::One) {}
+
+  /// Call after free.apply_frame(t) with the free stem value of frame t.
+  [[nodiscard]] bool launches(std::size_t t, V3 cur) const {
+    return t >= 1 && prev == stale && cur == fresh;
+  }
+
+  V3 stale;
+  V3 fresh;
+  V3 prev = V3::X;  // free stem value of the previous frame
+};
+
+/// Clean latch content of the free machine (state entering the next
+/// frame; the Vector3 a one-frame faulty machine is loaded from).
+Vector3 captured_state(const Circuit& c, const Machine& m) {
+  Vector3 state(c.num_flip_flops(), V3::X);
+  for (std::size_t i = 0; i < c.num_flip_flops(); ++i) {
+    state[i] = m.captured(i);
+  }
+  return state;
+}
+
+OracleResult oracle_run_tdf(const Circuit& c, const util::Bitset& scan_mask,
+                            const fault::Fault& f, const Vector3* scan_in,
+                            const Sequence& seq, bool observe_scan_out) {
+  assert(f.pin == sim::kStemPin);
+  const fault::Fault frozen{f.node, f.pin, f.value};  // stuck at stale
+  Machine free(c, nullptr);
+  free.reset();
+  const bool scan_test = scan_in != nullptr;
+  Vector3 state_entering(c.num_flip_flops(), V3::X);
+  if (scan_test) {
+    state_entering = masked_scan_in(*scan_in, scan_mask);
+    free.load_state(state_entering);
+  }
+
+  OracleResult out;
+  if (scan_test) out.state_diff.assign(seq.length(), 0);
+  TdfTracker tracker(f);
+  Machine faulty(c, &frozen);
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    free.apply_frame(seq.frames[t]);
+    const V3 cur = free.value(f.node);
+    const bool active = tracker.launches(t, cur);
+    if (active) {
+      faulty.reset();
+      faulty.load_state(state_entering);
+      faulty.apply_frame(seq.frames[t]);
+      for (const NodeId po : c.primary_outputs()) {
+        if (conservative_diff(free.value(po), faulty.value(po))) {
+          if (out.first_po < 0) out.first_po = static_cast<std::int64_t>(t);
+          out.detected = true;
+          break;
+        }
+      }
+      faulty.latch();
+    }
+    free.latch();
+    if (scan_test && active) {
+      for (std::size_t i = 0; i < c.num_flip_flops(); ++i) {
+        if (!scan_mask.test(i)) continue;
+        if (conservative_diff(free.captured(i), faulty.captured(i))) {
+          out.state_diff[t] = 1;
+          if (observe_scan_out && t + 1 == seq.length()) {
+            out.detected = true;
+          }
+          break;
+        }
+      }
+    }
+    // Inactive frames leave state_diff[t] == 0: with no launch the
+    // faulty machine is the fault-free machine.
+    state_entering = captured_state(c, free);
+    tracker.prev = cur;
+  }
+  return out;
+}
+
+OracleResponse oracle_response_tdf(const Circuit& c,
+                                   const util::Bitset& scan_mask,
+                                   const fault::Fault& f,
+                                   const Vector3& scan_in,
+                                   const Sequence& seq) {
+  assert(f.pin == sim::kStemPin);
+  const fault::Fault frozen{f.node, f.pin, f.value};
+  Machine free(c, nullptr);
+  free.reset();
+  Vector3 state_entering = masked_scan_in(scan_in, scan_mask);
+  free.load_state(state_entering);
+
+  OracleResponse out;
+  out.po_frames.reserve(seq.length());
+  TdfTracker tracker(f);
+  Machine faulty(c, &frozen);
+  bool final_active = false;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    free.apply_frame(seq.frames[t]);
+    const V3 cur = free.value(f.node);
+    const bool active = tracker.launches(t, cur);
+    if (active) {
+      faulty.reset();
+      faulty.load_state(state_entering);
+      faulty.apply_frame(seq.frames[t]);
+    }
+    const Machine& observed = active ? faulty : free;
+    Vector3 po;
+    po.reserve(c.num_outputs());
+    for (const NodeId p : c.primary_outputs()) po.push_back(observed.value(p));
+    out.po_frames.push_back(std::move(po));
+    if (active) faulty.latch();
+    free.latch();
+    if (t + 1 == seq.length()) final_active = active;
+    state_entering = captured_state(c, free);
+    tracker.prev = cur;
+  }
+  const Machine& last = final_active ? faulty : free;
+  out.scan_out.assign(c.num_flip_flops(), V3::X);
+  for (std::size_t i = 0; i < c.num_flip_flops(); ++i) {
+    if (scan_mask.test(i)) out.scan_out[i] = last.captured(i);
+  }
+  return out;
 }
 
 }  // namespace
@@ -224,6 +356,27 @@ OracleResult oracle_run(const Circuit& c, const util::Bitset& scan_mask,
     }
   }
   return out;
+}
+
+OracleResult oracle_run(const Circuit& c, const util::Bitset& scan_mask,
+                        const fault::FaultModel& model, const fault::Fault& f,
+                        const Vector3* scan_in, const Sequence& seq,
+                        bool observe_scan_out) {
+  if (model.frame_gated()) {
+    return oracle_run_tdf(c, scan_mask, f, scan_in, seq, observe_scan_out);
+  }
+  return oracle_run(c, scan_mask, f, scan_in, seq, observe_scan_out);
+}
+
+OracleResponse oracle_response(const Circuit& c,
+                               const util::Bitset& scan_mask,
+                               const fault::FaultModel& model,
+                               const fault::Fault& f, const Vector3& scan_in,
+                               const Sequence& seq) {
+  if (model.frame_gated()) {
+    return oracle_response_tdf(c, scan_mask, f, scan_in, seq);
+  }
+  return oracle_response(c, scan_mask, f, scan_in, seq);
 }
 
 OracleResponse oracle_response(const Circuit& c,

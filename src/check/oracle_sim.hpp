@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/model.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/sequence.hpp"
 #include "util/bitset.hpp"
@@ -60,6 +61,22 @@ struct OracleResult {
                                       const sim::Sequence& seq,
                                       bool observe_scan_out);
 
+/// Model-dispatching form: stuck-at delegates to the permanent-fault
+/// interpreter above; a frame-gated model (transition-delay) runs the
+/// launch/capture interpreter — the faulty machine exists only in frames
+/// whose fault-free stem value transitions away from the stale value
+/// (previous frame stale, current frame the opposite, both binary), is
+/// rebuilt from the fault-free state entering each such frame with the
+/// stem stuck at the stale value, and is observed at the POs of that
+/// frame and (final frame only) the scan-out it captures.
+[[nodiscard]] OracleResult oracle_run(const netlist::Circuit& c,
+                                      const util::Bitset& scan_mask,
+                                      const fault::FaultModel& model,
+                                      const fault::Fault& f,
+                                      const sim::Vector3* scan_in,
+                                      const sim::Sequence& seq,
+                                      bool observe_scan_out);
+
 /// The faulty machine's response to a scan test: PO vectors after every
 /// time unit and the captured scan-out state (full flip_flops() order;
 /// unscanned positions reported as captured, callers mask as needed).
@@ -71,6 +88,15 @@ struct OracleResponse {
 
 [[nodiscard]] OracleResponse oracle_response(const netlist::Circuit& c,
                                              const util::Bitset& scan_mask,
+                                             const fault::Fault& f,
+                                             const sim::Vector3& scan_in,
+                                             const sim::Sequence& seq);
+
+/// Model-dispatching form of oracle_response (see oracle_run): under a
+/// frame-gated model inactive frames report the fault-free response.
+[[nodiscard]] OracleResponse oracle_response(const netlist::Circuit& c,
+                                             const util::Bitset& scan_mask,
+                                             const fault::FaultModel& model,
                                              const fault::Fault& f,
                                              const sim::Vector3& scan_in,
                                              const sim::Sequence& seq);

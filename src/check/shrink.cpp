@@ -195,7 +195,8 @@ ShrinkResult shrink_case(const Workload& w, const CheckConfig& cfg,
 
 void write_repro(std::ostream& out, const Workload& w,
                  const CaseReport& report) {
-  out << "# fuzz_check repro  seed=" << w.seed << "\n";
+  out << "# fuzz_check repro  seed=" << w.seed
+      << " model=" << w.faults.model().name() << "\n";
   out << "# divergences:\n";
   for (const std::string& d : report.divergences) {
     out << "#   " << d << "\n";
@@ -210,7 +211,8 @@ void write_repro(std::ostream& out, const Workload& w,
   } else {
     for (const fault::FaultClassId id : w.targets) {
       out << " " << id << "="
-          << fault::fault_name(w.faults.representative(id), w.circuit);
+          << fault::fault_name(w.faults.representative(id), w.circuit,
+                               w.faults.model());
     }
   }
   out << "\n";

@@ -81,13 +81,82 @@ Circuit make_fanout_circuit(std::size_t width) {
   return b.build();
 }
 
+/// A glitch-free constant cone: Const0/Const1 sources through BUF/NOT/
+/// AND/OR logic whose every line holds a constant, plus one live PI/FF
+/// pair XOR-mixed in at the PO so the circuit still has observable
+/// activity.  No constant-cone site ever transitions, so under the
+/// transition-delay model every fault in the cone must stay inactive
+/// (activation-aware skipping on one side, the scalar oracle's tracker
+/// on the other — any disagreement is a frame-gating bug).
+Circuit make_constant_cone_circuit(std::size_t depth, bool use_one) {
+  CircuitBuilder b("fuzz_const");
+  b.add_input("pi0");
+  b.add_gate(use_one ? GateType::Const1 : GateType::Const0, "k", {});
+  std::string prev = "k";
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::string g = "c" + std::to_string(i);
+    switch (i % 4) {
+      case 0:
+        b.add_gate(GateType::Buf, g, {std::string_view(prev)});
+        break;
+      case 1:
+        b.add_gate(GateType::Not, g, {std::string_view(prev)});
+        break;
+      case 2:
+        b.add_gate(GateType::And, g, {std::string_view(prev), "k"});
+        break;
+      default:
+        b.add_gate(GateType::Or, g, {std::string_view(prev), "k"});
+        break;
+    }
+    prev = g;
+  }
+  b.add_gate(GateType::Dff, "ff0", {"pi0"});
+  b.add_gate(GateType::Xor, "po0", {std::string_view(prev), "ff0"});
+  b.mark_output("po0");
+  return b.build();
+}
+
+/// A shift chain clocked through an XOR edge-detector: stage i+1 holds
+/// stage i's previous value, so each bit entering at the PI shifts one
+/// transition down the chain per frame — launch in frame t, capture at
+/// the t/t+1 boundary, exactly the window the frame-gated kernels must
+/// align on.  The PO XORs adjacent stages, observing the moving edge
+/// itself.
+Circuit make_edge_chain_circuit(std::size_t stages) {
+  CircuitBuilder b("fuzz_edge");
+  b.add_input("pi0");
+  std::string prev = "pi0";
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string ff = "ff" + std::to_string(i);
+    b.add_gate(GateType::Dff, ff, {std::string_view(prev)});
+    prev = ff;
+  }
+  std::string acc = "pi0";
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string x = "e" + std::to_string(i);
+    const std::string ff = "ff" + std::to_string(i);
+    b.add_gate(GateType::Xor, x, {std::string_view(acc), std::string_view(ff)});
+    acc = x;
+  }
+  b.add_gate(GateType::Buf, "po0", {std::string_view(acc)});
+  b.mark_output("po0");
+  return b.build();
+}
+
 Circuit make_circuit(Rng& rng) {
-  const std::uint64_t shape = rng.below(10);
+  const std::uint64_t shape = rng.below(12);
   if (shape == 0) {
     return make_chain_circuit(1 + rng.below(5), rng.coin());
   }
   if (shape == 1) {
     return make_fanout_circuit(2 + rng.below(6));
+  }
+  if (shape == 2) {
+    return make_constant_cone_circuit(1 + rng.below(6), rng.coin());
+  }
+  if (shape == 3) {
+    return make_edge_chain_circuit(1 + rng.below(5));
   }
   gen::GenParams p;
   p.name = "fuzz";
@@ -152,10 +221,11 @@ fault::FaultSet Workload::target_set() const {
   return s;
 }
 
-Workload make_workload(std::uint64_t case_seed) {
+Workload make_workload(std::uint64_t case_seed,
+                       const fault::FaultModel& model) {
   Rng rng(case_seed);
   Circuit circuit = make_circuit(rng);
-  fault::FaultList faults = fault::FaultList::build(circuit);
+  fault::FaultList faults = fault::FaultList::build(circuit, model);
   util::Bitset scan_mask = make_scan_mask(circuit.num_flip_flops(), rng);
 
   Workload w{std::move(circuit), std::move(faults), std::move(scan_mask),

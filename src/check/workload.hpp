@@ -8,7 +8,11 @@
 // disagreement hides: all-X and partially-specified scan-in vectors,
 // length-0 and length-1 sequences, circuits with zero or one flip-flop,
 // single-FF shift chains, one stem fanning out across the whole cone,
-// and partial (including empty) scan chains.
+// and partial (including empty) scan chains.  For the transition-delay
+// model the pool adds glitch-free constant cones (sites that can never
+// launch — the whole case must come out undetected) and shift chains
+// whose stages carry exactly one transition per scan-in edge (launch and
+// capture land on consecutive frame boundaries).
 #pragma once
 
 #include <cstdint>
@@ -40,9 +44,13 @@ struct Workload {
   [[nodiscard]] fault::FaultSet target_set() const;
 };
 
-/// Expands `case_seed` into a workload.  Deterministic: equal seeds give
-/// equal workloads.
-[[nodiscard]] Workload make_workload(std::uint64_t case_seed);
+/// Expands `case_seed` into a workload under `model`.  Deterministic:
+/// equal (seed, model) pairs give equal workloads, and the circuit/test
+/// material depends on the seed alone — only the fault universe changes
+/// with the model.
+[[nodiscard]] Workload make_workload(
+    std::uint64_t case_seed,
+    const fault::FaultModel& model = fault::FaultModel::stuck_at());
 
 /// A scan-in vector with the given X density (0 = fully specified,
 /// 256 = all X, out of 256).

@@ -41,6 +41,17 @@ fault::KernelMode parse_kernel(const std::string& flag, const char* value) {
                               " (expected auto|full|cone)");
 }
 
+/// Parses a fault-model name; throws so a typo does not silently measure
+/// the default model.
+fault::FaultModelKind parse_model(const std::string& flag,
+                                  const char* value) {
+  const std::string v = value;
+  if (v == "stuck") return fault::FaultModelKind::StuckAt;
+  if (v == "transition") return fault::FaultModelKind::Transition;
+  throw std::invalid_argument("bad fault model for " + flag + ": " + v +
+                              " (expected stuck|transition)");
+}
+
 /// Parses a time budget in (fractional) seconds; throws on garbage so a
 /// typo does not silently run without a deadline.
 double parse_seconds(const std::string& flag, const char* value) {
@@ -73,6 +84,12 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
   if (const char* v = std::getenv("SCANC_KERNEL")) {
     cfg.runner.kernel = parse_kernel("SCANC_KERNEL", v);
   }
+  if (const char* v = std::getenv("SCANC_FAULT_MODEL")) {
+    cfg.runner.fault_model = parse_model("SCANC_FAULT_MODEL", v);
+  }
+  if (const char* v = std::getenv("SCANC_CHAINS")) {
+    cfg.runner.num_chains = std::strtoull(v, nullptr, 10);
+  }
   if (const char* v = std::getenv("SCANC_CACHE")) {
     cfg.runner.cache_path = v;
   }
@@ -101,6 +118,12 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
       cfg.runner.num_threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--kernel=", 0) == 0) {
       cfg.runner.kernel = parse_kernel("--kernel", arg.c_str() + 9);
+    } else if (arg.rfind("--fault-model=", 0) == 0) {
+      cfg.runner.fault_model =
+          parse_model("--fault-model", arg.c_str() + 14);
+    } else if (arg.rfind("--chains=", 0) == 0) {
+      cfg.runner.num_chains =
+          std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--cache=", 0) == 0) {
       cfg.runner.cache_path = arg.substr(8);
     } else if (arg.rfind("--time-budget=", 0) == 0) {

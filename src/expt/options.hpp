@@ -12,6 +12,15 @@
 //                                       per-group cone/full selection),
 //                                       full, or cone; results are
 //                                       identical, only speed changes
+//   --fault-model=M    SCANC_FAULT_MODEL
+//                                       fault model: stuck (default) or
+//                                       transition; changes the fault
+//                                       universe and every measured
+//                                       number (cached separately)
+//   --chains=N         SCANC_CHAINS     balanced scan chains for the
+//                                       N_cyc cost model (default 1, the
+//                                       paper's single chain; cached
+//                                       separately when > 1)
 //   --cache=PATH       SCANC_CACHE      cache file prefix
 //   --no-dynamic                        skip the [2,3]-style baseline
 //   --verbose          SCANC_VERBOSE=1  progress notes on stderr

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
@@ -263,6 +264,7 @@ VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
                                    const RunnerOptions& options) {
   tcomp::PipelineOptions popt;
   popt.cancel = options.cancel;
+  popt.num_chains = options.num_chains;
   if (options.verbose) {
     const auto t0_clock = std::chrono::steady_clock::now();
     popt.trace = [t0_clock](const char* what) {
@@ -299,8 +301,19 @@ VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
 
 std::string cache_entry_path(const RunnerOptions& options,
                              const std::string& circuit_name) {
-  return options.cache_path + "." + circuit_name + ".seed" +
-         std::to_string(options.seed);
+  std::string path = options.cache_path + "." + circuit_name + ".seed" +
+                     std::to_string(options.seed);
+  // A non-default fault model or chain count measures different numbers,
+  // so each combination gets its own entry (and journal); the defaults
+  // keep the historical path so existing caches stay valid.
+  if (options.fault_model != fault::FaultModelKind::StuckAt) {
+    path += std::string(".") +
+            fault::FaultModel::get(options.fault_model).name();
+  }
+  if (options.num_chains > 1) {
+    path += ".ch" + std::to_string(options.num_chains);
+  }
+  return path;
 }
 
 std::string serialize_run(const CircuitRun& run) {
@@ -417,12 +430,15 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
 
   note("building circuit");
   const netlist::Circuit circuit = gen::build_suite_circuit(entry);
-  const fault::FaultList faults = fault::FaultList::build(circuit);
+  const fault::FaultModel& model =
+      fault::FaultModel::get(options.fault_model);
+  const fault::FaultList faults = fault::FaultList::build(circuit, model);
   fault::FaultSimulator fsim(circuit, faults);
   fsim.set_num_threads(options.num_threads);
   fsim.set_kernel(options.kernel);
   fsim.set_cancel(options.cancel);
   const std::size_t nsv = circuit.num_flip_flops();
+  const std::size_t chains = std::max<std::size_t>(1, options.num_chains);
 
   CircuitRun run;
   run.name = entry.params.name;
@@ -442,10 +458,25 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   note("generating combinational test set C");
   atpg::CombTestSetOptions copt;
   copt.seed = options.seed;
-  const atpg::CombTestSet comb =
-      atpg::generate_comb_test_set(circuit, faults, copt);
+  atpg::CombTestSet comb;
+  if (!model.frame_gated()) {
+    comb = atpg::generate_comb_test_set(circuit, faults, copt);
+    run.detectable = faults.num_classes() - comb.proven_untestable;
+  } else {
+    // The combinational ATPG is stuck-at-only: under a frame-gated model
+    // C is still the stuck-at test set (deterministic from the seed, the
+    // same patterns as a stuck-at run), while the coverage bookkeeping
+    // switches to the simulator's universe.  Stuck-at untestability
+    // proofs do not carry over, and C's `detected` set indexes the wrong
+    // classes — the dynamic baseline instead targets the full fault
+    // list, against which C's length-one tests launch no transitions.
+    const fault::FaultList sa_faults = fault::FaultList::build(circuit);
+    comb = atpg::generate_comb_test_set(circuit, sa_faults, copt);
+    comb.detected = fsim.all_faults();
+    comb.proven_untestable = 0;
+    run.detectable = faults.num_classes();
+  }
   run.comb_tests = comb.tests.size();
-  run.detectable = faults.num_classes() - comb.proven_untestable;
   if (options.cancel.stop_requested()) return partial("setup");
 
   // --- Phase: pipeline on the greedy T0 ------------------------------
@@ -508,11 +539,11 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   } else {
     note("baseline [4]");
     const tcomp::ScanTestSet b4 = tcomp::comb_initial_set(comb.tests);
-    run.cyc_4_init = tcomp::clock_cycles(b4, nsv);
+    run.cyc_4_init = tcomp::clock_cycles(b4, nsv, chains);
     tcomp::CombineOptions b4opt;
     b4opt.cancel = options.cancel;
     const tcomp::CombineResult b4c = tcomp::combine_tests(fsim, b4, b4opt);
-    run.cyc_4_comp = tcomp::clock_cycles(b4c.tests, nsv);
+    run.cyc_4_comp = tcomp::clock_cycles(b4c.tests, nsv, chains);
     const tcomp::AtSpeedStats s4 = tcomp::at_speed_stats(b4c.tests);
     run.atspeed_ave_4 = s4.average;
     run.atspeed_min_4 = s4.min_length;
@@ -538,7 +569,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
       dopt.seed = options.seed;
       const tcomp::ScanTestSet dyn =
           tcomp::dynamic_baseline(fsim, comb.tests, comb.detected, dopt);
-      run.cyc_dyn = tcomp::clock_cycles(dyn, nsv);
+      run.cyc_dyn = tcomp::clock_cycles(dyn, nsv, chains);
       if (options.cancel.stop_requested()) return partial("dynamic");
       journal.cyc_dyn = run.cyc_dyn;
       journal.has_dynamic = true;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/model.hpp"
 #include "gen/suite.hpp"
 #include "tcomp/scan_test.hpp"
 #include "util/cancel.hpp"
@@ -79,6 +80,19 @@ struct RunnerOptions {
   /// Like num_threads this only changes wall-clock time — every mode
   /// produces bit-identical results — so cached entries stay valid.
   fault::KernelMode kernel = fault::KernelMode::Auto;
+  /// Fault model for the whole measurement: the fault universe and every
+  /// simulation query switch together.  The combinational ATPG stays
+  /// stuck-at-only, so under Transition the test set C is generated
+  /// against the stuck-at universe and its length-one tests launch no
+  /// transitions — exactly the at-speed gap the paper's procedure closes.
+  /// Changes the measured numbers, so results are cached under a
+  /// model-suffixed path (cache_entry_path).
+  fault::FaultModelKind fault_model = fault::FaultModelKind::StuckAt;
+  /// Balanced scan chains for the N_cyc cost accounting: a scan
+  /// operation shifts ceil(N_SV / num_chains) cycles (0 and 1 both mean
+  /// the paper's single chain).  Changes every reported cycle count, so
+  /// chain counts > 1 also get their own cache entries.
+  std::size_t num_chains = 1;
   bool run_dynamic_baseline = true;
   /// Cache file path prefix; empty disables caching *and* the per-phase
   /// checkpoint journal (see docs/robustness.md for the on-disk format).

@@ -1,10 +1,12 @@
-// Single stuck-at fault model on circuit lines.
+// A fault site on a circuit line, shared by every fault model.
 //
 // Lines are stems (a node's output signal) and branches (the connection
-// feeding one fanin pin of a node).  Branch faults are only distinct from
-// the driving stem's fault when the stem has fanout > 1; the fault
-// enumeration therefore materializes branch faults only at such fanout
-// branches.
+// feeding one fanin pin of a node).  Which sites exist, how they collapse,
+// and what `value` means are decided by the active fault::FaultModel:
+// under stuck-at, `value` is the stuck value and branch faults are
+// materialized at fanout stems; under transition-delay, `value` is the
+// stale value the line holds when the delayed transition is launched
+// (false = slow-to-rise, true = slow-to-fall) and only stem sites exist.
 #pragma once
 
 #include <cstdint>
@@ -15,16 +17,24 @@
 
 namespace scanc::fault {
 
-/// One single stuck-at fault.
+class FaultModel;
+
+/// One fault site: a line plus the model-interpreted fault value.
 struct Fault {
   netlist::NodeId node = netlist::kNoNode;  ///< owning node
   std::int32_t pin = sim::kStemPin;  ///< fanin pin, or kStemPin for the stem
-  bool stuck_one = false;            ///< stuck-at-1 if true
+  bool value = false;  ///< model-defined: stuck value / stale value
 
   friend bool operator==(const Fault&, const Fault&) = default;
 };
 
-/// Human-readable fault name, e.g. "G17/SA0" or "G22.in1/SA1".
+/// Human-readable fault name under a model, e.g. "G17/SA0", "G22.in1/SA1",
+/// "G5/STR".
+[[nodiscard]] std::string fault_name(const Fault& f,
+                                     const netlist::Circuit& c,
+                                     const FaultModel& model);
+
+/// Stuck-at-model fault name (the historical two-argument form).
 [[nodiscard]] std::string fault_name(const Fault& f,
                                      const netlist::Circuit& c);
 

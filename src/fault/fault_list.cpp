@@ -6,17 +6,19 @@
 namespace scanc::fault {
 
 using netlist::Circuit;
-using netlist::GateType;
-using netlist::Node;
-using netlist::NodeId;
 
-std::string fault_name(const Fault& f, const Circuit& c) {
+std::string fault_name(const Fault& f, const Circuit& c,
+                       const FaultModel& model) {
   std::string s = c.node(f.node).name;
   if (f.pin != sim::kStemPin) {
     s += ".in" + std::to_string(f.pin);
   }
-  s += f.stuck_one ? "/SA1" : "/SA0";
+  s += model.fault_suffix(f);
   return s;
+}
+
+std::string fault_name(const Fault& f, const Circuit& c) {
+  return fault_name(f, c, FaultModel::stuck_at());
 }
 
 namespace {
@@ -46,99 +48,16 @@ class UnionFind {
   std::vector<std::uint32_t> parent_;
 };
 
-std::uint64_t branch_key(NodeId node, int pin, bool stuck_one) {
-  return (static_cast<std::uint64_t>(node) << 32) |
-         (static_cast<std::uint64_t>(pin) << 1) |
-         static_cast<std::uint64_t>(stuck_one);
-}
-
 }  // namespace
 
-FaultList FaultList::build(const Circuit& c) {
+FaultList FaultList::build(const Circuit& c, const FaultModel& model) {
   FaultList fl;
+  fl.model_ = &model;
+  model.enumerate(c, fl.faults_);
 
-  // Stem faults: index node*2 + stuck_one.
-  fl.faults_.reserve(c.num_nodes() * 2);
-  for (NodeId id = 0; id < c.num_nodes(); ++id) {
-    fl.faults_.push_back(Fault{id, sim::kStemPin, false});
-    fl.faults_.push_back(Fault{id, sim::kStemPin, true});
-  }
-
-  // Branch faults where the driving stem has fanout > 1.  A primary
-  // output designation is an additional (directly observable) fanout of
-  // the stem, so a PO signal that also feeds gates gets branch faults on
-  // every gate connection.
-  const auto effective_fanout = [&](NodeId stem) {
-    return c.node(stem).fanouts.size() +
-           (c.is_primary_output(stem) ? 1u : 0u);
-  };
-  std::unordered_map<std::uint64_t, std::uint32_t> branch_index;
-  for (NodeId id = 0; id < c.num_nodes(); ++id) {
-    const Node& n = c.node(id);
-    if (!netlist::is_combinational(n.type) && n.type != GateType::Dff) {
-      continue;
-    }
-    for (std::size_t pin = 0; pin < n.fanins.size(); ++pin) {
-      if (effective_fanout(n.fanins[pin]) <= 1) continue;
-      for (const bool sv : {false, true}) {
-        branch_index.emplace(branch_key(id, static_cast<int>(pin), sv),
-                             static_cast<std::uint32_t>(fl.faults_.size()));
-        fl.faults_.push_back(Fault{id, static_cast<std::int32_t>(pin), sv});
-      }
-    }
-  }
-
-  // Resolves the fault index of "fanin pin of node `id`, stuck at sv":
-  // the branch fault if one was materialized, else the driving stem.
-  const auto input_fault = [&](NodeId id, std::size_t pin,
-                               bool sv) -> std::uint32_t {
-    const auto it =
-        branch_index.find(branch_key(id, static_cast<int>(pin), sv));
-    if (it != branch_index.end()) return it->second;
-    const NodeId stem = c.node(id).fanins[pin];
-    return stem * 2 + (sv ? 1u : 0u);
-  };
-  const auto stem_fault = [](NodeId id, bool sv) -> std::uint32_t {
-    return id * 2 + (sv ? 1u : 0u);
-  };
-
-  // Structural equivalence collapsing.
   UnionFind uf(fl.faults_.size());
-  for (NodeId id = 0; id < c.num_nodes(); ++id) {
-    const Node& n = c.node(id);
-    switch (n.type) {
-      case GateType::Buf:
-        uf.unite(stem_fault(id, false), input_fault(id, 0, false));
-        uf.unite(stem_fault(id, true), input_fault(id, 0, true));
-        break;
-      case GateType::Not:
-        uf.unite(stem_fault(id, true), input_fault(id, 0, false));
-        uf.unite(stem_fault(id, false), input_fault(id, 0, true));
-        break;
-      case GateType::And:
-        for (std::size_t p = 0; p < n.fanins.size(); ++p) {
-          uf.unite(stem_fault(id, false), input_fault(id, p, false));
-        }
-        break;
-      case GateType::Nand:
-        for (std::size_t p = 0; p < n.fanins.size(); ++p) {
-          uf.unite(stem_fault(id, true), input_fault(id, p, false));
-        }
-        break;
-      case GateType::Or:
-        for (std::size_t p = 0; p < n.fanins.size(); ++p) {
-          uf.unite(stem_fault(id, true), input_fault(id, p, true));
-        }
-        break;
-      case GateType::Nor:
-        for (std::size_t p = 0; p < n.fanins.size(); ++p) {
-          uf.unite(stem_fault(id, false), input_fault(id, p, true));
-        }
-        break;
-      default:
-        break;  // XOR/XNOR/DFF/sources: no structural equivalence
-    }
-  }
+  model.collapse(c, fl.faults_,
+                 [&uf](std::uint32_t a, std::uint32_t b) { uf.unite(a, b); });
 
   // Assign dense class ids, representative = the root fault.
   fl.class_of_.assign(fl.faults_.size(), 0);

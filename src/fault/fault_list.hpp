@@ -3,18 +3,15 @@
 // The collapsed fault list is the working fault universe for every
 // engine: fault simulation, ATPG, and the compaction procedures all
 // operate on representative (collapsed) faults.  The paper's fault counts
-// (Table 1 column "flts") are collapsed counts, as is conventional for
-// the ISCAS benchmarks.
+// (Table 1 column "flts") are collapsed stuck-at counts, as is
+// conventional for the ISCAS benchmarks.
 //
-// Equivalence rules applied (single structural equivalence pass):
-//   - BUF:  in SA-v  ==  out SA-v
-//   - NOT:  in SA-v  ==  out SA-(!v)
-//   - AND:  in SA-0  ==  out SA-0      NAND: in SA-0 == out SA-1
-//   - OR:   in SA-1  ==  out SA-1      NOR:  in SA-1 == out SA-0
-// where "in" resolves to the fanout branch when the driving stem has
-// fanout > 1 and to the driving stem otherwise.  Faults are not collapsed
-// across flip-flops (the scan boundary makes D- and Q-side faults
-// distinguishable under scan observation).
+// Site enumeration and the equivalence rules live in the active
+// fault::FaultModel (fault/model.hpp); this class owns the union-find
+// pass and the dense class numbering, which are model-independent.
+// Faults are never collapsed across flip-flops (the scan boundary makes
+// D- and Q-side faults distinguishable under scan observation), a
+// property every model's rules preserve.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +19,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/model.hpp"
 #include "netlist/circuit.hpp"
 
 namespace scanc::fault {
@@ -29,11 +27,18 @@ namespace scanc::fault {
 /// Index of a collapsed fault class (0 .. num_classes-1).
 using FaultClassId = std::uint32_t;
 
-/// Enumerated and collapsed fault universe of one circuit.
+/// Enumerated and collapsed fault universe of one circuit under one
+/// fault model.
 class FaultList {
  public:
-  /// Enumerates all stuck-at faults of `c` and collapses equivalences.
-  [[nodiscard]] static FaultList build(const netlist::Circuit& c);
+  /// Enumerates the faults of `c` under `model` (default: stuck-at) and
+  /// collapses equivalences.
+  [[nodiscard]] static FaultList build(
+      const netlist::Circuit& c,
+      const FaultModel& model = FaultModel::stuck_at());
+
+  /// The model this list was built under.
+  [[nodiscard]] const FaultModel& model() const noexcept { return *model_; }
 
   /// Total number of enumerated (uncollapsed) faults.
   [[nodiscard]] std::size_t num_faults() const noexcept {
@@ -62,6 +67,7 @@ class FaultList {
   }
 
  private:
+  const FaultModel* model_ = &FaultModel::stuck_at();
   std::vector<Fault> faults_;
   std::vector<std::uint32_t> representatives_;  // fault index per class
   std::vector<FaultClassId> class_of_;          // fault index -> class

@@ -109,7 +109,11 @@ void FaultSimulator::reduce_masks(std::span<const FaultClassId> list,
 
 std::shared_ptr<const sim::NodeTrace> FaultSimulator::acquire_trace(
     const sim::Vector3* scan_in, const sim::Sequence& seq) {
-  if (kernel_ == KernelMode::Full) return nullptr;
+  // Frame-gated models need the fault-free trace in every mode: it is
+  // the activation oracle, not just the cone kernel's seed.
+  if (kernel_ == KernelMode::Full && !faults_->model().frame_gated()) {
+    return nullptr;
+  }
   if (scan_in == nullptr || scan_mask_.all()) {
     return trace_cache_.get(scan_in, seq);
   }
@@ -290,8 +294,22 @@ FaultSimulator::Session::Session(FaultSimulator& parent,
       detected_(parent.num_classes()) {
   num_groups_ = fault::num_groups(targets_.size());
   const std::size_t nff = parent_->circuit_->num_flip_flops();
-  ff_values_.resize(num_groups_ * nff);
   group_remaining_.resize(num_groups_);
+  tdf_ = parent_->faults_->model().frame_gated();
+  if (tdf_) {
+    // Frame-gated: effects never persist, so only the fault-free machine
+    // state is tracked.  prev_site_ starts at X — the first step has no
+    // launch frame and activates nothing.
+    free_state_.assign(nff, sim::V3::X);
+    prev_site_.assign(targets_.size(), sim::V3::X);
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      const std::size_t base = g * kGroupSize;
+      group_remaining_[g] = static_cast<std::uint32_t>(
+          std::min(kGroupSize, targets_.size() - base));
+    }
+    return;
+  }
+  ff_values_.resize(num_groups_ * nff);
   // Build each group's injection map once; step() reuses them every
   // frame instead of re-registering the group's faults per frame.
   group_injections_.reserve(num_groups_);
@@ -311,6 +329,7 @@ FaultSimulator::Session::Session(FaultSimulator& parent,
 }
 
 std::size_t FaultSimulator::Session::step(const sim::Vector3& pi) {
+  if (tdf_) return step_tdf(pi);
   const std::size_t nff = parent_->circuit_->num_flip_flops();
   std::size_t newly = 0;
   for (std::size_t g = 0; g < num_groups_; ++g) {
@@ -337,7 +356,87 @@ std::size_t FaultSimulator::Session::step(const sim::Vector3& pi) {
   return newly;
 }
 
+std::size_t FaultSimulator::Session::step_tdf(const sim::Vector3& pi) {
+  const std::size_t nff = parent_->circuit_->num_flip_flops();
+  sim::PackedSeqSim& sim = worker_->sim();
+  const FaultList& faults = *parent_->faults_;
+
+  // Fault-free frame: evaluate once, sample every target's stem value.
+  sim.reset(nullptr);
+  sim.load_state(free_state_, nullptr);
+  sim.apply_frame(pi, nullptr);
+  std::vector<sim::V3> cur_site(targets_.size());
+  for (std::size_t k = 0; k < targets_.size(); ++k) {
+    const Fault& f = faults.representative(targets_[k]);
+    cur_site[k] = sim::slot(sim.value(f.node), 0);
+  }
+  sim.latch(nullptr);
+  sim::Vector3 free_next(nff, sim::V3::X);
+  for (std::size_t i = 0; i < nff; ++i) {
+    free_next[i] = sim::slot(sim.captured(i), 0);
+  }
+
+  // Launch every active fault one-frame from the free state; effects do
+  // not persist, so the latched-effect fitness signal is recomputed per
+  // step from this frame's captures alone.
+  std::size_t newly = 0;
+  tdf_latched_ = 0;
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    const std::size_t base = g * kGroupSize;
+    const std::size_t n = std::min(kGroupSize, targets_.size() - base);
+    std::uint64_t act = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Fault& f = faults.representative(targets_[base + j]);
+      const sim::V3 stale = f.value ? sim::V3::One : sim::V3::Zero;
+      const sim::V3 fresh = f.value ? sim::V3::Zero : sim::V3::One;
+      if (prev_site_[base + j] == stale && cur_site[base + j] == fresh) {
+        act |= 1ULL << (j + 1);
+      }
+    }
+    if (act == 0 || group_remaining_[g] == 0) continue;
+    obs::add(obs::Counter::TdfActivations,
+             static_cast<std::uint64_t>(std::popcount(act)));
+    sim::InjectionMap& inj = worker_->injections();
+    inj.clear();
+    std::uint64_t bits = act;
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      const Fault& f =
+          faults.representative(targets_[base + static_cast<std::size_t>(bit) - 1]);
+      inj.add(f.node, sim::kStemPin, f.value, 1ULL << bit);
+    }
+    sim.reset(&inj);
+    sim.load_state(free_state_, &inj);
+    sim.apply_frame(pi, &inj);
+    std::uint64_t det = worker_->po_detections();
+    sim.latch(&inj);
+    for (std::size_t i = 0; i < nff; ++i) {
+      const sim::PackedV3 w = sim.captured(i);
+      const bool ref0 = (w.is0 & 1) != 0;
+      const bool ref1 = (w.is1 & 1) != 0;
+      if (ref0 == ref1) continue;
+      tdf_latched_ += static_cast<std::size_t>(
+          std::popcount(sim::differs_from_reference(w, ref1) & ~1ULL));
+    }
+    while (det != 0) {
+      const int bit = std::countr_zero(det);
+      det &= det - 1;
+      const FaultClassId id = targets_[base + static_cast<std::size_t>(bit) - 1];
+      if (!detected_.test(id)) {
+        detected_.set(id);
+        --group_remaining_[g];
+        ++newly;
+      }
+    }
+  }
+  free_state_.swap(free_next);
+  prev_site_.swap(cur_site);
+  return newly;
+}
+
 std::size_t FaultSimulator::Session::latched_effects() const {
+  if (tdf_) return tdf_latched_;
   const std::size_t nff = parent_->circuit_->num_flip_flops();
   std::size_t effects = 0;
   for (std::size_t g = 0; g < num_groups_; ++g) {
@@ -354,13 +453,17 @@ std::size_t FaultSimulator::Session::latched_effects() const {
 }
 
 FaultSimulator::Session::Snapshot FaultSimulator::Session::snapshot() const {
-  return Snapshot{ff_values_, detected_, group_remaining_};
+  return Snapshot{ff_values_,   detected_,  group_remaining_,
+                  free_state_,  prev_site_, tdf_latched_};
 }
 
 void FaultSimulator::Session::restore(const Snapshot& snap) {
   ff_values_ = snap.ff_values;
   detected_ = snap.detected;
   group_remaining_ = snap.group_remaining;
+  free_state_ = snap.free_state;
+  prev_site_ = snap.prev_site;
+  tdf_latched_ = snap.tdf_latched;
 }
 
 }  // namespace scanc::fault

@@ -59,7 +59,8 @@ using FaultSet = util::Bitset;
 ///          group's union fanout cone is small enough to pay off, else
 ///          the full kernel (the default);
 ///   Full — always evaluate the whole circuit (no fault-free trace is
-///          computed);
+///          computed under stuck-at; frame-gated models still build one
+///          as their activation oracle);
 ///   Cone — always use the cone-restricted kernel (testing/benchmarks).
 enum class KernelMode { Auto, Full, Cone };
 
@@ -264,12 +265,19 @@ class FaultSimulator {
       std::vector<sim::PackedV3> ff_values;  // per group x per FF
       FaultSet detected;
       std::vector<std::uint32_t> group_remaining;
+      // Frame-gated sessions only (empty / 0 under stuck-at):
+      sim::Vector3 free_state;         // fault-free machine state
+      std::vector<sim::V3> prev_site;  // per target: last site value
+      std::size_t tdf_latched = 0;
     };
 
     [[nodiscard]] Snapshot snapshot() const;
     void restore(const Snapshot& snap);
 
    private:
+    /// Advances a frame-gated session (see step()).
+    std::size_t step_tdf(const sim::Vector3& pi);
+
     FaultSimulator* parent_;
     GroupWorker* worker_;  // the parent's serial engine
     std::vector<FaultClassId> targets_;
@@ -277,12 +285,25 @@ class FaultSimulator {
     std::vector<sim::PackedV3> ff_values_;  // num_groups x num_ffs
     /// Per-group injection maps, built once at construction — step()
     /// re-installs simulation state per group every frame, but the
-    /// injections never change for a fixed target set.
+    /// injections never change for a fixed target set.  Unused (empty)
+    /// under a frame-gated model, where injections depend on the frame.
     std::vector<sim::InjectionMap> group_injections_;
     FaultSet detected_;
     /// Undetected faults left per group; fully-detected groups are
     /// skipped by step().
     std::vector<std::uint32_t> group_remaining_;
+    // --- frame-gated (transition-delay) session state ------------------
+    // Under a frame-gated model effects never persist, so the session
+    // tracks only the fault-free machine state entering the next frame
+    // (a scalar Vector3 — the free machine is slot-uniform): each step
+    // launches active faults one-frame from it via load_state, which
+    // applies FF-stem injections exactly like the batch passes.
+    // prev_site_ holds the free value of each target's stem from the
+    // previous frame (X before the first step: frame 0 never launches).
+    bool tdf_ = false;
+    sim::Vector3 free_state_;         // per FF, entering the next frame
+    std::vector<sim::V3> prev_site_;  // per target
+    std::size_t tdf_latched_ = 0;     // latched_effects() under TDF
   };
 
  private:
@@ -313,15 +334,18 @@ class FaultSimulator {
                     std::span<const std::uint64_t> group_masks,
                     FaultSet& out, bool complement = false) const;
 
-  /// Fault-free trace for the kernel choice: nullptr in Full mode, else
-  /// the cached (masked scan_in, seq) trace shared across groups.
+  /// Fault-free trace for the kernel choice: nullptr in Full mode under
+  /// a frame-less model, else the cached (masked scan_in, seq) trace
+  /// shared across groups (frame-gated models always need it for the
+  /// activation predicate).
   [[nodiscard]] std::shared_ptr<const sim::NodeTrace> acquire_trace(
       const sim::Vector3* scan_in, const sim::Sequence& seq);
 
   /// The per-group kernel choice handed to every worker pass.
   [[nodiscard]] KernelChoice kernel_choice(
       const sim::NodeTrace* trace) const noexcept {
-    return KernelChoice{trace, kernel_ == KernelMode::Cone};
+    return KernelChoice{trace, kernel_ == KernelMode::Cone,
+                        kernel_ != KernelMode::Full};
   }
 
   const netlist::Circuit* circuit_;

@@ -49,11 +49,15 @@ void build_group_injections(const FaultList& faults,
 /// With `trace == nullptr` the worker always runs the full kernel.
 /// Otherwise it may run the cone-restricted kernel (sim/cone_kernel.hpp)
 /// seeded from the shared fault-free trace — always when `force_cone`,
-/// else only when the group's union cone is small enough to pay off.
-/// Either choice produces bit-identical results.
+/// else only when the group's union cone is small enough to pay off —
+/// unless `allow_cone` is cleared (KernelMode::Full under a frame-gated
+/// fault model, where the trace is required for activation gating but
+/// the cone kernel must stay off).  Either choice produces bit-identical
+/// results.
 struct KernelChoice {
   const sim::NodeTrace* trace = nullptr;
   bool force_cone = false;
+  bool allow_cone = true;
 };
 
 class GroupWorker {
@@ -179,6 +183,81 @@ class GroupWorker {
   [[nodiscard]] std::uint64_t po_detections_cone() const;
   [[nodiscard]] std::uint64_t state_detections_cone() const;
 
+  // --- frame-gated (transition-delay) pass counterparts ---------------
+  //
+  // Under a frame-gated model (FaultModel::frame_gated()) every pass
+  // needs the fault-free trace regardless of kernel: a fault is injected
+  // only in frames whose fault-free site value launches the delayed
+  // transition (previous frame at the stale value, current frame at the
+  // opposite value, both binary).  An active frame is simulated
+  // one-frame from the fault-free state entering it — effects never
+  // persist across frames — and frames with no active fault are skipped
+  // whole (activation-aware skipping, Counter::TdfFramesSkipped).
+  // Scan-out can only observe a fault whose *final* frame is active.
+
+  /// Caches the group's (node, stale value) sites for activation checks.
+  void build_tdf_sites(std::span<const FaultClassId> group);
+
+  /// Slot mask of faults active in frame `t` (launch condition met
+  /// across frames t-1 -> t of the fault-free trace).  Requires t >= 1;
+  /// frame 0 has no launch frame and is never active.
+  [[nodiscard]] std::uint64_t tdf_activation(const sim::NodeTrace& trace,
+                                             std::size_t t) const;
+
+  /// Rebuilds injections_ with only the slots in `act` (stuck at the
+  /// stale value for one frame).
+  void build_tdf_injections(std::uint64_t act);
+
+  std::uint64_t run_detect_tdf(const sim::NodeTrace& trace,
+                               const sim::Sequence& seq,
+                               std::span<const FaultClassId> group,
+                               bool observe_scan_out, bool early_exit,
+                               const std::atomic<bool>* keep_going,
+                               const util::CancelToken* cancel);
+  std::uint64_t run_detect_tdf_cone(const sim::NodeTrace& trace,
+                                    const sim::Sequence& seq,
+                                    std::span<const FaultClassId> group,
+                                    bool observe_scan_out, bool early_exit,
+                                    const std::atomic<bool>* keep_going,
+                                    const util::CancelToken* cancel);
+  void run_times_tdf(const sim::NodeTrace& trace, const sim::Sequence& seq,
+                     std::span<std::int64_t> first_po,
+                     std::span<util::Bitset> state_diff,
+                     const util::CancelToken* cancel);
+  void run_times_tdf_cone(const sim::NodeTrace& trace,
+                          const sim::Sequence& seq,
+                          std::span<std::int64_t> first_po,
+                          std::span<util::Bitset> state_diff,
+                          const util::CancelToken* cancel);
+  std::uint64_t run_prefix_tdf(const sim::NodeTrace& trace,
+                               const sim::Sequence& seq,
+                               std::span<const FaultClassId> group,
+                               std::span<std::int64_t> first_po,
+                               const util::CancelToken* cancel);
+  std::uint64_t run_prefix_tdf_cone(const sim::NodeTrace& trace,
+                                    const sim::Sequence& seq,
+                                    std::span<const FaultClassId> group,
+                                    std::span<std::int64_t> first_po,
+                                    const util::CancelToken* cancel);
+  std::uint64_t run_consistency_tdf(const sim::NodeTrace& trace,
+                                    const sim::Sequence& seq,
+                                    std::span<const sim::Vector3> observed_pos,
+                                    const sim::Vector3& observed_scan_out,
+                                    std::span<const FaultClassId> group,
+                                    const util::CancelToken* cancel);
+  std::uint64_t run_consistency_tdf_cone(
+      const sim::NodeTrace& trace, const sim::Sequence& seq,
+      std::span<const sim::Vector3> observed_pos,
+      const sim::Vector3& observed_scan_out,
+      std::span<const FaultClassId> group, const util::CancelToken* cancel);
+
+  /// One activation site: a stem plus the stale value the delayed
+  /// transition leaves behind.
+  struct TdfSite {
+    netlist::NodeId node;
+    bool stale;
+  };
+
   const netlist::Circuit* circuit_;
   const FaultList* faults_;
   util::Bitset scan_mask_;
@@ -187,6 +266,7 @@ class GroupWorker {
   sim::ConePlan plan_;
   sim::ConeSim cone_;
   std::vector<sim::ConeSite> sites_;
+  std::vector<TdfSite> tdf_sites_;
 };
 
 }  // namespace scanc::fault

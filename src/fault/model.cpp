@@ -1,0 +1,211 @@
+#include "fault/model.hpp"
+
+#include <unordered_map>
+
+namespace scanc::fault {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::Node;
+using netlist::NodeId;
+
+std::size_t effective_fanout(const Circuit& c, NodeId stem) noexcept {
+  return c.node(stem).fanouts.size() + (c.is_primary_output(stem) ? 1u : 0u);
+}
+
+namespace {
+
+std::uint64_t branch_key(NodeId node, int pin, bool value) {
+  return (static_cast<std::uint64_t>(node) << 32) |
+         (static_cast<std::uint64_t>(pin) << 1) |
+         static_cast<std::uint64_t>(value);
+}
+
+// -----------------------------------------------------------------------
+// Single stuck-at model.
+
+class StuckAtModel final : public FaultModel {
+ public:
+  [[nodiscard]] FaultModelKind kind() const noexcept override {
+    return FaultModelKind::StuckAt;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "stuck"; }
+
+  [[nodiscard]] const char* fault_suffix(
+      const Fault& f) const noexcept override {
+    return f.value ? "/SA1" : "/SA0";
+  }
+
+  [[nodiscard]] bool frame_gated() const noexcept override { return false; }
+
+  void enumerate(const Circuit& c, std::vector<Fault>& out) const override {
+    // Stem faults: index node*2 + value.
+    out.reserve(c.num_nodes() * 2);
+    for (NodeId id = 0; id < c.num_nodes(); ++id) {
+      out.push_back(Fault{id, sim::kStemPin, false});
+      out.push_back(Fault{id, sim::kStemPin, true});
+    }
+    // Branch faults where the driving stem has fanout > 1.  A primary
+    // output designation is an additional (directly observable) fanout
+    // of the stem, so a PO signal that also feeds gates gets branch
+    // faults on every gate connection.
+    for (NodeId id = 0; id < c.num_nodes(); ++id) {
+      const Node& n = c.node(id);
+      if (!netlist::is_combinational(n.type) && n.type != GateType::Dff) {
+        continue;
+      }
+      for (std::size_t pin = 0; pin < n.fanins.size(); ++pin) {
+        if (effective_fanout(c, n.fanins[pin]) <= 1) continue;
+        for (const bool sv : {false, true}) {
+          out.push_back(Fault{id, static_cast<std::int32_t>(pin), sv});
+        }
+      }
+    }
+  }
+
+  void collapse(const Circuit& c, std::span<const Fault> faults,
+                const std::function<void(std::uint32_t, std::uint32_t)>&
+                    unite) const override {
+    // Rebuild the branch-fault index from the enumeration order (branch
+    // faults follow the 2*num_nodes stem block).
+    std::unordered_map<std::uint64_t, std::uint32_t> branch_index;
+    for (std::uint32_t i = c.num_nodes() * 2; i < faults.size(); ++i) {
+      const Fault& f = faults[i];
+      branch_index.emplace(branch_key(f.node, f.pin, f.value), i);
+    }
+    // Resolves the fault index of "fanin pin of node `id`, stuck at sv":
+    // the branch fault if one was materialized, else the driving stem.
+    const auto input_fault = [&](NodeId id, std::size_t pin,
+                                 bool sv) -> std::uint32_t {
+      const auto it =
+          branch_index.find(branch_key(id, static_cast<int>(pin), sv));
+      if (it != branch_index.end()) return it->second;
+      const NodeId stem = c.node(id).fanins[pin];
+      return stem * 2 + (sv ? 1u : 0u);
+    };
+    const auto stem_fault = [](NodeId id, bool sv) -> std::uint32_t {
+      return id * 2 + (sv ? 1u : 0u);
+    };
+
+    for (NodeId id = 0; id < c.num_nodes(); ++id) {
+      const Node& n = c.node(id);
+      switch (n.type) {
+        case GateType::Buf:
+          unite(stem_fault(id, false), input_fault(id, 0, false));
+          unite(stem_fault(id, true), input_fault(id, 0, true));
+          break;
+        case GateType::Not:
+          unite(stem_fault(id, true), input_fault(id, 0, false));
+          unite(stem_fault(id, false), input_fault(id, 0, true));
+          break;
+        case GateType::And:
+          for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+            unite(stem_fault(id, false), input_fault(id, p, false));
+          }
+          break;
+        case GateType::Nand:
+          for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+            unite(stem_fault(id, true), input_fault(id, p, false));
+          }
+          break;
+        case GateType::Or:
+          for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+            unite(stem_fault(id, true), input_fault(id, p, true));
+          }
+          break;
+        case GateType::Nor:
+          for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+            unite(stem_fault(id, false), input_fault(id, p, true));
+          }
+          break;
+        default:
+          break;  // XOR/XNOR/DFF/sources: no structural equivalence
+      }
+    }
+  }
+};
+
+// -----------------------------------------------------------------------
+// Transition-delay model.
+//
+// Universe: two stem faults per signal — value=false is slow-to-rise
+// (stale 0), value=true is slow-to-fall (stale 1) — indexed node*2 +
+// value, matching fault::transition_fault_index.  No branch faults: a
+// gross-delay defect on the stem delays every branch identically, and
+// per-branch delay resolution is below this model's abstraction.
+//
+// Collapsing: only through single-fanout BUF/NOT.  With effective fanout
+// one, the output line transitions exactly when the input line does
+// (inverted polarity through NOT), so the stale-value effects are
+// indistinguishable at every observation point:
+//   BUF:  in slow-to-v   ==  out slow-to-v
+//   NOT:  in slow-to-v   ==  out slow-to-(!v)
+// Controlling-value rules (AND/OR families) do NOT transfer: equal stale
+// values at an input and the output do not imply equal activation frames,
+// because the output can transition without that input transitioning.
+
+class TransitionModel final : public FaultModel {
+ public:
+  [[nodiscard]] FaultModelKind kind() const noexcept override {
+    return FaultModelKind::Transition;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "transition";
+  }
+
+  [[nodiscard]] const char* fault_suffix(
+      const Fault& f) const noexcept override {
+    return f.value ? "/STF" : "/STR";
+  }
+
+  [[nodiscard]] bool frame_gated() const noexcept override { return true; }
+
+  void enumerate(const Circuit& c, std::vector<Fault>& out) const override {
+    out.reserve(c.num_nodes() * 2);
+    for (NodeId id = 0; id < c.num_nodes(); ++id) {
+      out.push_back(Fault{id, sim::kStemPin, false});  // STR, stale 0
+      out.push_back(Fault{id, sim::kStemPin, true});   // STF, stale 1
+    }
+  }
+
+  void collapse(const Circuit& c, std::span<const Fault> /*faults*/,
+                const std::function<void(std::uint32_t, std::uint32_t)>&
+                    unite) const override {
+    const auto stem_fault = [](NodeId id, bool sv) -> std::uint32_t {
+      return id * 2 + (sv ? 1u : 0u);
+    };
+    for (NodeId id = 0; id < c.num_nodes(); ++id) {
+      const Node& n = c.node(id);
+      if (n.type != GateType::Buf && n.type != GateType::Not) continue;
+      const NodeId in = n.fanins[0];
+      if (effective_fanout(c, in) > 1) continue;
+      if (n.type == GateType::Buf) {
+        unite(stem_fault(id, false), stem_fault(in, false));
+        unite(stem_fault(id, true), stem_fault(in, true));
+      } else {
+        unite(stem_fault(id, false), stem_fault(in, true));
+        unite(stem_fault(id, true), stem_fault(in, false));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const FaultModel& FaultModel::stuck_at() noexcept {
+  static const StuckAtModel model;
+  return model;
+}
+
+const FaultModel& FaultModel::transition() noexcept {
+  static const TransitionModel model;
+  return model;
+}
+
+const FaultModel& FaultModel::get(FaultModelKind kind) noexcept {
+  return kind == FaultModelKind::Transition ? transition() : stuck_at();
+}
+
+}  // namespace scanc::fault

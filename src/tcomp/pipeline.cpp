@@ -1,5 +1,6 @@
 #include "tcomp/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/telemetry.hpp"
@@ -41,8 +42,10 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   // sets it is returning, all via the one shared cost-model helper.
   const auto finish = [&]() -> PipelineResult& {
     const std::size_t nsv = fsim.num_scanned();
-    result.initial_cycles = clock_cycles(result.initial, nsv);
-    result.compacted_cycles = clock_cycles(result.compacted, nsv);
+    const std::size_t chains = std::max<std::size_t>(1, options.num_chains);
+    result.num_chains = chains;
+    result.initial_cycles = clock_cycles(result.initial, nsv, chains);
+    result.compacted_cycles = clock_cycles(result.compacted, nsv, chains);
     return result;
   };
   if (options.num_threads != 0) fsim.set_num_threads(options.num_threads);

@@ -37,6 +37,12 @@ struct PipelineOptions {
   IterateOptions iterate;
   CombineOptions combine;
   bool run_phase4 = true;  ///< ablation: skip final static compaction
+  /// Balanced scan chains for the cost accounting: a scan operation
+  /// shifts ceil(N_SV / num_chains) cycles (0 and 1 both mean the
+  /// paper's single chain).  Affects only the reported N_cyc numbers —
+  /// the compaction decisions themselves minimise vectors and tests,
+  /// which are chain-count independent.
+  std::size_t num_chains = 1;
   /// Fault-simulation worker threads for every phase (applied to `fsim`
   /// at pipeline entry): 0 = keep the simulator's current setting,
   /// 1 = serial, otherwise that many threads.  Results are identical for
@@ -68,8 +74,10 @@ struct PipelineResult {
   fault::FaultSet final_coverage;  ///< detected by `compacted`
   std::size_t combinations = 0;  ///< Phase 4 accepted combinations
 
-  // Cost accounting (single-chain N_cyc via clock_cycles_from_counts,
-  // with N_SV = the simulator's scanned-cell count).
+  // Cost accounting (N_cyc via clock_cycles_from_counts, with N_SV =
+  // the simulator's scanned-cell count and the options' chain count —
+  // each scan operation costs ceil(N_SV / num_chains) cycles).
+  std::size_t num_chains = 1;          ///< chain count used for N_cyc
   std::uint64_t initial_cycles = 0;    ///< N_cyc of `initial`
   std::uint64_t compacted_cycles = 0;  ///< N_cyc of `compacted`
 

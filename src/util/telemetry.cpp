@@ -152,6 +152,8 @@ const char* counter_name(Counter c) noexcept {
     case Counter::FullPasses: return "full_passes";
     case Counter::ConeGatesScheduled: return "cone_gates_scheduled";
     case Counter::ConeGatesDropped: return "cone_gates_dropped";
+    case Counter::TdfActivations: return "tdf_activations";
+    case Counter::TdfFramesSkipped: return "tdf_frames_skipped";
     case Counter::TraceCacheHits: return "trace_cache_hits";
     case Counter::TraceCacheMisses: return "trace_cache_misses";
     case Counter::TraceCacheExtensions: return "trace_cache_extensions";

@@ -52,6 +52,8 @@ enum class Counter : std::uint16_t {
   FullPasses,           ///< group passes run on the full kernel
   ConeGatesScheduled,   ///< gates in compacted cone schedules
   ConeGatesDropped,     ///< gates cone passes did not schedule
+  TdfActivations,       ///< transition-fault launch frames injected
+  TdfFramesSkipped,     ///< frames skipped activation-aware (no launch)
   // Fault-free trace cache (sim/trace_cache.cpp).
   TraceCacheHits,
   TraceCacheMisses,

@@ -15,6 +15,7 @@
 #include "check/workload.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault/model.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/trace_cache.hpp"
 #include "util/rng.hpp"
@@ -132,7 +133,7 @@ TEST(CheckOracle, StemFaultOnFfIsNotCaptured) {
   const netlist::NodeId q = c.find("q");
   for (std::size_t i = 0; i < fl.num_faults(); ++i) {
     const fault::Fault& f = fl.faults()[i];
-    if (f.node != q || f.pin != sim::kStemPin || !f.stuck_one) continue;
+    if (f.node != q || f.pin != sim::kStemPin || !f.value) continue;
     Sequence seq;
     seq.frames.push_back(sim::vector3_from_string("01"));
     const Vector3 si = sim::vector3_from_string("0");
@@ -147,6 +148,76 @@ TEST(CheckOracle, StemFaultOnFfIsNotCaptured) {
   FAIL() << "q stem SA1 not in fault list";
 }
 
+// --- Transition-delay faults: oracle vs kernels -----------------------
+
+TEST(CheckOracleTdf, AgreesWithBothKernelsOnEveryFault) {
+  // The scalar launch/capture interpreter and the packed frame-gated
+  // kernels must agree fault-by-fault, in both kernel modes.
+  const Circuit c = scan_path_circuit();
+  const FaultList fl = FaultList::build(c, fault::FaultModel::transition());
+  Sequence seq;
+  seq.frames.push_back(sim::vector3_from_string("10"));
+  seq.frames.push_back(sim::vector3_from_string("01"));
+  seq.frames.push_back(sim::vector3_from_string("11"));
+  seq.frames.push_back(sim::vector3_from_string("01"));
+  const Vector3 si = sim::vector3_from_string("0");
+  for (const fault::KernelMode mode :
+       {fault::KernelMode::Full, fault::KernelMode::Cone}) {
+    FaultSimulator fsim(c, fl);
+    fsim.set_kernel(mode);
+    const FaultSet det = fsim.detect_scan_test(si, seq);
+    for (std::size_t i = 0; i < fl.num_faults(); ++i) {
+      const fault::Fault& f = fl.faults()[i];
+      const check::OracleResult o = check::oracle_run(
+          c, fsim.scan_mask(), fl.model(), f, &si, seq, true);
+      EXPECT_EQ(o.detected, det.test(fl.class_of(i)))
+          << "fault " << fault::fault_name(f, c, fl.model()) << " kernel "
+          << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(CheckOracleTdf, LaunchCaptureSemanticsByHand) {
+  // q/STR (slow-to-rise) on the FF output: scan-in q=0, pi=1 in frame 0
+  // captures q=1 for frame 1 — the launch.  In that one frame the site
+  // behaves as stuck-at-0, so po = q&en flips 1 -> 0 iff en=1 there.
+  const Circuit c = scan_path_circuit();
+  const FaultList fl = FaultList::build(c, fault::FaultModel::transition());
+  const netlist::NodeId q = c.find("q");
+  const fault::Fault* str = nullptr;
+  for (const fault::Fault& f : fl.faults()) {
+    if (f.node == q && !f.value) str = &f;  // stale 0 = slow-to-rise
+  }
+  ASSERT_NE(str, nullptr) << "q/STR not enumerated";
+  FaultSimulator fsim(c, fl);
+  Sequence launch_observed;  // en=1 at the capture frame
+  launch_observed.frames.push_back(sim::vector3_from_string("10"));
+  launch_observed.frames.push_back(sim::vector3_from_string("01"));
+  const Vector3 si = sim::vector3_from_string("0");
+  const check::OracleResult o = check::oracle_run(
+      c, fsim.scan_mask(), fl.model(), *str, &si, launch_observed, true);
+  EXPECT_TRUE(o.detected);
+  EXPECT_EQ(o.first_po, 1);
+
+  // Same launch with en=0 at the capture frame: active but unobserved at
+  // the PO, and the FF stem corruption is never captured (PPO rule), so
+  // scan-out sees nothing either.
+  Sequence launch_masked;
+  launch_masked.frames.push_back(sim::vector3_from_string("10"));
+  launch_masked.frames.push_back(sim::vector3_from_string("00"));
+  const check::OracleResult m = check::oracle_run(
+      c, fsim.scan_mask(), fl.model(), *str, &si, launch_masked, true);
+  EXPECT_FALSE(m.detected);
+
+  // No transition at the site (pi held 0): never active.
+  Sequence quiet;
+  quiet.frames.push_back(sim::vector3_from_string("01"));
+  quiet.frames.push_back(sim::vector3_from_string("01"));
+  const check::OracleResult n = check::oracle_run(
+      c, fsim.scan_mask(), fl.model(), *str, &si, quiet, true);
+  EXPECT_FALSE(n.detected);
+}
+
 // --- Seeded regression corpus -----------------------------------------
 
 TEST(CheckCorpus, FixedSeedsRunClean) {
@@ -159,6 +230,24 @@ TEST(CheckCorpus, FixedSeedsRunClean) {
   for (int i = 0; i < 250; ++i) {
     const std::uint64_t seed = util::splitmix64(state);
     const check::CaseReport r = check_case(check::make_workload(seed), cfg);
+    for (const std::string& d : r.divergences) {
+      ADD_FAILURE() << "seed " << seed << ": " << d;
+    }
+    if (r.failed()) break;
+  }
+}
+
+TEST(CheckCorpus, FixedSeedsRunCleanTransition) {
+  // The same matrix under the transition model: every configuration
+  // (full/cone/auto, cold/warm, serial/parallel) plus the scalar TDF
+  // oracle must agree on the frame-gated semantics.
+  CheckConfig cfg;
+  cfg.threads = 4;
+  std::uint64_t state = 0xBEEFED;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t seed = util::splitmix64(state);
+    const check::CaseReport r = check_case(
+        check::make_workload(seed, fault::FaultModel::transition()), cfg);
     for (const std::string& d : r.divergences) {
       ADD_FAILURE() << "seed " << seed << ": " << d;
     }

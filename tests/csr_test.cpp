@@ -273,7 +273,7 @@ std::vector<sim::ConeSite> sites_of(const fault::FaultList& faults,
   std::vector<sim::ConeSite> sites;
   for (const fault::FaultClassId id : ids) {
     const fault::Fault& f = faults.representative(id);
-    sites.push_back(sim::ConeSite{f.node, f.pin, f.stuck_one});
+    sites.push_back(sim::ConeSite{f.node, f.pin, f.value});
   }
   return sites;
 }

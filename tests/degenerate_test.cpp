@@ -132,6 +132,53 @@ TEST(Degenerate, MisWidthScanInIsRejected) {
                std::invalid_argument);
 }
 
+TEST(Degenerate, TransitionFaultsNeedTwoFrames) {
+  // A transition fault launches across consecutive functional frames, so
+  // length-0 and length-1 scan tests can never activate one: every query
+  // must return "nothing detected" without crashing, in both kernels.
+  const Circuit c = small_circuit(4);
+  const FaultList fl =
+      FaultList::build(c, fault::FaultModel::transition());
+  FaultSimulator fsim(c, fl);
+  const Vector3 si(c.num_flip_flops(), sim::V3::Zero);
+  Sequence one;
+  one.frames.push_back(Vector3(c.num_inputs(), sim::V3::One));
+  for (const auto mode :
+       {fault::KernelMode::Full, fault::KernelMode::Cone}) {
+    fsim.set_kernel(mode);
+    for (const Sequence& seq : {Sequence{}, one}) {
+      EXPECT_EQ(fsim.detect_scan_test(si, seq).count(), 0u);
+      EXPECT_EQ(fsim.detect_no_scan(seq).count(), 0u);
+      const FaultSet all = fsim.all_faults();
+      const auto times = fsim.detection_times(si, seq, all);
+      for (std::size_t j = 0; j < times.targets.size(); ++j) {
+        EXPECT_EQ(times.first_po[j], -1);
+        EXPECT_EQ(times.state_diff[j].count(), 0u);
+      }
+      EXPECT_FALSE(fsim.detects_all(si, seq, all));
+    }
+  }
+}
+
+TEST(Degenerate, TransitionNoFlipFlopCircuitThroughScanPipeline) {
+  // Flip-flop-free circuit under the transition model: the pipeline must
+  // complete even though scan tests are single-vector (nothing ever
+  // launches, so coverage may legitimately be zero).
+  const Circuit c = small_circuit(0);
+  const FaultList fl =
+      FaultList::build(c, fault::FaultModel::transition());
+  FaultSimulator fsim(c, fl);
+  // C stays stuck-at (the ATPG is stuck-at-only, as in the runner).
+  const FaultList sa = FaultList::build(c);
+  atpg::CombTestSetOptions copt;
+  copt.seed = 5;
+  const atpg::CombTestSet comb = atpg::generate_comb_test_set(c, sa, copt);
+  const sim::Sequence t0 = tgen::random_test_sequence(c, 20, 5);
+  const tcomp::PipelineResult r = tcomp::run_pipeline(fsim, t0, comb.tests);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.compacted_cycles, r.compacted.total_vectors());
+}
+
 TEST(Degenerate, ZeroThreadsMeansHardwareConcurrency) {
   // set_num_threads(0) = one worker per hardware thread; results stay
   // bit-identical to serial even on degenerate inputs.

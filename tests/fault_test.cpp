@@ -137,7 +137,7 @@ TEST(FaultSim, DetectsStuckOutputOnS27) {
   for (FaultClassId id = 0; id < fl.num_classes(); ++id) {
     const Fault& rep = fl.representative(id);
     if (rep.node == c.find("G17") && rep.pin == sim::kStemPin &&
-        !rep.stuck_one) {
+        !rep.value) {
       g17_sa0_detected = det.test(id);
     }
   }

@@ -35,6 +35,7 @@ std::size_t parallel_threads() {
 struct Case {
   std::uint64_t seed;
   bool partial_scan;
+  bool tdf = false;  ///< run under the transition-delay fault model
 };
 
 class ParallelEquivalence : public ::testing::TestWithParam<Case> {
@@ -49,7 +50,8 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
     p.num_flip_flops = 12;
     p.num_gates = 220;  // a few hundred classes -> several fault groups
     circuit_ = gen::generate_circuit(p);
-    faults_ = FaultList::build(*circuit_);
+    faults_ = FaultList::build(*circuit_, c.tdf ? FaultModel::transition()
+                                                : FaultModel::stuck_at());
     scan_mask_ = util::Bitset(circuit_->num_flip_flops(), true);
     if (c.partial_scan) {
       util::Rng rng(c.seed * 131 + 7);
@@ -180,14 +182,21 @@ TEST_P(ParallelEquivalence, ConsistentFaults) {
 }
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {
-  return (info.param.partial_scan ? "partial_seed" : "full_seed") +
+  return std::string(info.param.tdf ? "tdf_" : "") +
+         (info.param.partial_scan ? "partial_seed" : "full_seed") +
          std::to_string(info.param.seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Seeds, ParallelEquivalence,
     ::testing::Values(Case{1, false}, Case{2, false}, Case{3, false},
-                      Case{1, true}, Case{2, true}, Case{3, true}),
+                      Case{1, true}, Case{2, true}, Case{3, true},
+                      // Transition-delay model: the frame-gated kernel
+                      // paths (activation-aware Full and Cone variants)
+                      // must agree bit-for-bit too.
+                      Case{1, false, true}, Case{2, false, true},
+                      Case{3, false, true}, Case{1, true, true},
+                      Case{2, true, true}, Case{3, true, true}),
     case_name);
 
 }  // namespace

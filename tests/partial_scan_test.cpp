@@ -72,7 +72,7 @@ TEST(PartialScanSim, UnscannedCaptureNotObserved) {
     for (std::size_t i = 0; i < fl.num_faults(); ++i) {
       const fault::Fault& f = fl.faults()[i];
       if (f.node == c.find("d0") && f.pin == sim::kStemPin &&
-          !f.stuck_one) {
+          !f.value) {
         return fl.class_of(i);
       }
     }

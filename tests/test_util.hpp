@@ -34,7 +34,7 @@ inline SerialTrace serial_simulate(const netlist::Circuit& c,
 
   const auto forced = [&](NodeId node, int pin, V3 v) -> V3 {
     if (f != nullptr && f->node == node && f->pin == pin) {
-      return f->stuck_one ? V3::One : V3::Zero;
+      return f->value ? V3::One : V3::Zero;
     }
     return v;
   };
