@@ -26,13 +26,27 @@ EXPECTED_COUNTERS = [
     "pool_queue_wait_ns", "pool_busy_ns", "groups_executed", "queries_run",
     "faults_detected", "iterate_rounds", "check_cases_run",
     "check_queries_compared", "check_divergences", "check_shrink_steps",
+    "check_case_timeouts",
+    "jobs_submitted", "jobs_accepted", "jobs_rejected", "jobs_shed",
+    "jobs_started", "jobs_done", "jobs_failed", "jobs_retried",
+    "jobs_quarantined", "jobs_deadline_cut", "jobs_resumed",
+    "svc_connections", "svc_frames_read", "svc_frames_written",
+    "svc_bytes_read", "svc_bytes_written", "svc_protocol_errors",
+    "registry_circuit_hits", "registry_circuit_misses",
+    "registry_sim_reuses",
 ]
-EXPECTED_GAUGES = ["trace_cache_size", "threads_configured"]
+EXPECTED_GAUGES = [
+    "trace_cache_size", "threads_configured", "svc_queue_depth",
+    "svc_jobs_running",
+]
 EXPECTED_DERIVED = [
     "frame_skip_ratio", "trace_cache_hit_ratio", "cone_pass_ratio",
     "cone_gates_dropped_ratio", "pool_mean_queue_wait_ns",
 ]
-EXPECTED_HISTOGRAMS = ["queue_wait_ns", "task_run_ns", "query_ns"]
+EXPECTED_HISTOGRAMS = [
+    "queue_wait_ns", "task_run_ns", "query_ns", "job_queue_ns",
+    "job_run_ns", "job_latency_ns",
+]
 
 errors = []
 

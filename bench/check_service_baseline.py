@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate on compaction-service load results (load_gen --json-out).
+
+Validates the scanc-service-load-v1 schema and applies the invariant
+gates that must hold on any machine:
+
+  - the daemon survived the run (daemon_alive);
+  - no accepted job was lost (every accepted job reached a terminal
+    state — done, failed, shed, or quarantined);
+  - at least one job completed (the run actually exercised execution).
+
+When a baseline file (bench/BENCH_service_baseline.json) is given, the
+relative gates apply too: measured throughput must stay above
+``tolerance * baseline`` and p99 latency below ``baseline / tolerance``.
+The default tolerance of 0.25 only trips on a 4x regression, which
+shared-runner noise cannot produce.
+
+Every missing field is reported by name instead of surfacing as a
+traceback.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = [
+    "schema", "jobs", "clients", "hostile_pct", "submitted", "accepted",
+    "rejected", "hostile", "done", "failed", "shed", "quarantined", "lost",
+    "recovered", "reconnects", "p50_ms", "p99_ms", "throughput_done_per_s",
+    "seconds", "daemon_alive",
+]
+
+
+def fail(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="load_gen --json-out file")
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH_service_baseline.json for relative gates")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative gate factor (default 0.25 = 4x slack)")
+    args = parser.parse_args()
+
+    results = load_json(args.results)
+    problems = []
+
+    for field in REQUIRED_FIELDS:
+        if field not in results:
+            problems.append(f"missing field '{field}'")
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        sys.exit(1)
+
+    if results["schema"] != "scanc-service-load-v1":
+        problems.append(f"unexpected schema '{results['schema']}'")
+    if not results["daemon_alive"]:
+        problems.append("daemon did not survive the run")
+    if results["lost"] != 0:
+        problems.append(f"{results['lost']} accepted job(s) never reached a "
+                        "terminal state")
+    if results["done"] == 0:
+        problems.append("no job completed - the run exercised nothing")
+    terminal = (results["done"] + results["failed"] + results["shed"]
+                + results["quarantined"])
+    if terminal + results["lost"] != results["accepted"]:
+        problems.append(
+            f"terminal states ({terminal}) + lost ({results['lost']}) != "
+            f"accepted ({results['accepted']})")
+
+    if args.baseline:
+        base = load_json(args.baseline)
+        tol = args.tolerance
+        floor = base.get("throughput_done_per_s", 0.0) * tol
+        if results["throughput_done_per_s"] < floor:
+            problems.append(
+                f"throughput {results['throughput_done_per_s']:.2f} done/s "
+                f"below floor {floor:.2f} (baseline "
+                f"{base.get('throughput_done_per_s')}, tolerance {tol})")
+        if base.get("p99_ms") and tol > 0:
+            ceil = base["p99_ms"] / tol
+            if results["p99_ms"] > ceil:
+                problems.append(
+                    f"p99 latency {results['p99_ms']:.1f} ms above ceiling "
+                    f"{ceil:.1f} (baseline {base['p99_ms']}, tolerance {tol})")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        sys.exit(1)
+
+    print(f"ok: {results['done']} done / {results['accepted']} accepted, "
+          f"p50 {results['p50_ms']:.1f} ms, p99 {results['p99_ms']:.1f} ms, "
+          f"{results['throughput_done_per_s']:.2f} done/s")
+
+
+if __name__ == "__main__":
+    main()

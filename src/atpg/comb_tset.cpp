@@ -183,6 +183,7 @@ CombTestSet generate_comb_test_set(const Circuit& circuit,
 
   const auto target_pass = [&](bool checkpoints) {
     for (FaultClassId id = 0; id < faults.num_classes(); ++id) {
+      if (options.cancel.stop_requested()) return;
       if (checkpoints && !is_checkpoint(faults, circuit, id)) continue;
       while (active.test(id) && !gave_up[id]) {
         const PodemResult r = run_engine(faults.representative(id));
@@ -217,6 +218,8 @@ CombTestSet generate_comb_test_set(const Circuit& circuit,
     target_pass(false);
   }
 
+  // A cancelled run skips compaction too: the caller discards the set.
+  if (options.cancel.stop_requested()) return out;
   compact(fsim, out.tests, faults.num_classes(), options);
   return out;
 }
@@ -237,7 +240,7 @@ CombTestSet generate_random_comb_test_set(const Circuit& circuit,
   undetected.fill();
 
   for (std::size_t i = 0; i < options.random_pool; ++i) {
-    if (undetected.none()) break;
+    if (undetected.none() || options.cancel.stop_requested()) break;
     CombTest t{sim::random_vector(circuit.num_flip_flops(), rng),
                sim::random_vector(circuit.num_inputs(), rng)};
     randomize_state(t.state, mask, rng);
@@ -248,6 +251,7 @@ CombTestSet generate_random_comb_test_set(const Circuit& circuit,
     out.tests.push_back(std::move(t));
   }
 
+  if (options.cancel.stop_requested()) return out;
   compact(fsim, out.tests, faults.num_classes(), options);
   return out;
 }

@@ -21,6 +21,7 @@
 #include "atpg/dalg.hpp"
 #include "atpg/podem.hpp"
 #include "fault/fault_sim.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::atpg {
 
@@ -76,6 +77,11 @@ struct CombTestSetOptions {
   /// `detected` set is exact.  Cuts PODEM calls substantially on wide
   /// circuits.
   bool checkpoints_only = false;
+  /// Cooperative cancellation, polled between per-fault targets.  A
+  /// cancelled run returns the tests generated so far — callers that
+  /// observe the raised token must discard the truncated set (the
+  /// experiment runner does; see its phase checks).
+  util::CancelToken cancel;
 };
 
 /// Deterministic ATPG test set: one PODEM call per still-undetected

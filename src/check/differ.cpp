@@ -8,6 +8,7 @@
 #include "fault/fault_sim.hpp"
 #include "sim/seq_sim.hpp"
 #include "tcomp/omission.hpp"
+#include "util/cancel.hpp"
 #include "util/telemetry.hpp"
 
 namespace scanc::check {
@@ -47,7 +48,11 @@ class CaseChecker {
       : w_(&w),
         cfg_(&cfg),
         targets_(w.target_set()),
-        ref_(w.circuit, w.faults, w.scan_mask) {
+        ref_(w.circuit, w.faults, w.scan_mask),
+        watchdog_(cfg.max_case_seconds > 0.0
+                      ? util::CancelToken::make(
+                            util::Deadline::after(cfg.max_case_seconds))
+                      : util::CancelToken{}) {
     ref_.set_kernel(KernelMode::Full);
     configs_ = {
         Config{"full/N", KernelMode::Full, cfg.threads, false},
@@ -62,13 +67,17 @@ class CaseChecker {
   }
 
   CaseReport run() {
-    for (std::size_t i = 0; i < w_->tests.size(); ++i) {
+    for (std::size_t i = 0; i < w_->tests.size() && !cut(); ++i) {
       check_scan_test(i);
     }
-    check_no_scan();
-    if (cfg_->run_metamorphic) {
+    if (!cut()) check_no_scan();
+    if (cfg_->run_metamorphic && !cut()) {
       check_session_resume();
       check_cycles();
+    }
+    if (cut()) {
+      report_.timed_out = true;
+      obs::add(obs::Counter::CheckCaseTimeouts);
     }
     obs::add(obs::Counter::CheckCasesRun);
     obs::add(obs::Counter::CheckQueriesCompared, report_.comparisons);
@@ -87,10 +96,15 @@ class CaseChecker {
     return s;
   }
 
+  /// True once the per-case watchdog fired.  Polled at comparison
+  /// boundaries; a cut case skips remaining checks (timed_out, never a
+  /// divergence), so verdicts recorded before the cut stay valid.
+  [[nodiscard]] bool cut() const { return watchdog_.stop_requested(); }
+
   /// Runs `fn` on every non-reference configuration's simulator.
   template <typename Fn>
   void for_each_config(Fn&& fn) {
-    for (std::size_t i = 0; i < configs_.size(); ++i) {
+    for (std::size_t i = 0; i < configs_.size() && !cut(); ++i) {
       if (configs_[i].fresh_per_query) {
         auto s = make_sim(configs_[i]);
         fn(configs_[i].name, *s);
@@ -166,13 +180,15 @@ class CaseChecker {
                   "prefix_detection detected disagrees");
     }
 
+    if (cut()) return;
     check_detects_all(tag, test, base);
+    if (cut()) return;
     check_consistency(tag, test, base);
-    if (cfg_->run_oracle) check_oracle(tag, test, base, times);
-    if (cfg_->run_metamorphic && len >= 1) {
+    if (cfg_->run_oracle && !cut()) check_oracle(tag, test, base, times);
+    if (cfg_->run_metamorphic && len >= 1 && !cut()) {
       check_prefix_property(tag, test, times);
     }
-    if (cfg_->run_metamorphic && len >= 2 && base.count() > 0) {
+    if (cfg_->run_metamorphic && len >= 2 && base.count() > 0 && !cut()) {
       check_omission(tag, test, base);
     }
   }
@@ -238,7 +254,7 @@ class CaseChecker {
     const std::size_t len = test.seq.length();
     std::size_t checked = 0;
     for (std::size_t j = 0; j < times.targets.size(); ++j) {
-      if (checked >= cfg_->oracle_fault_cap) break;
+      if (checked >= cfg_->oracle_fault_cap || cut()) break;
       ++checked;
       const FaultClassId f = times.targets[j];
       const fault::Fault& rep = w_->faults.representative(f);
@@ -317,7 +333,7 @@ class CaseChecker {
     if (cfg_->run_oracle) {
       std::size_t checked = 0;
       targets_.for_each([&](std::size_t i) {
-        if (checked >= cfg_->oracle_fault_cap) return;
+        if (checked >= cfg_->oracle_fault_cap || cut()) return;
         ++checked;
         const auto f = static_cast<FaultClassId>(i);
         const OracleResult o = oracle_run(
@@ -390,6 +406,7 @@ class CaseChecker {
   const CheckConfig* cfg_;
   FaultSet targets_;
   FaultSimulator ref_;
+  util::CancelToken watchdog_;  ///< inert unless max_case_seconds > 0
   std::vector<Config> configs_;
   std::vector<std::unique_ptr<FaultSimulator>> shared_;
   FaultSet no_scan_base_;

@@ -50,12 +50,19 @@ struct CheckConfig {
   std::size_t oracle_fault_cap = 128;
   bool run_oracle = true;
   bool run_metamorphic = true;
+  /// Per-case watchdog: a case still running after this many seconds is
+  /// cut at the next comparison boundary and reported with timed_out
+  /// set (obs.check_case_timeouts).  A timeout is NOT a divergence —
+  /// comparisons completed before the cut keep their verdicts, the rest
+  /// are skipped.  0 disables the watchdog.
+  double max_case_seconds = 0.0;
 };
 
 /// Outcome of checking one workload.
 struct CaseReport {
   std::vector<std::string> divergences;  ///< empty = case passed
   std::size_t comparisons = 0;           ///< individual equalities checked
+  bool timed_out = false;  ///< cut by CheckConfig::max_case_seconds
 
   [[nodiscard]] bool failed() const noexcept { return !divergences.empty(); }
 };

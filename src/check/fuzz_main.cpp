@@ -2,7 +2,7 @@
 //
 //   fuzz_check [--seed=N] [--iters=N] [--time-budget=SECS] [--threads=N]
 //              [--fault-model=stuck|transition] [--no-oracle]
-//              [--repro-out=PATH] [--quiet]
+//              [--max-case-seconds=SECS] [--repro-out=PATH] [--quiet]
 //
 // Expands case seeds derived from --seed into workloads and runs each
 // through the full comparison matrix (check/differ.hpp).  On the first
@@ -11,6 +11,10 @@
 // prints one summary line and exits 0.  --time-budget stops cleanly
 // after the given wall time even if --iters has not been reached (the
 // CI smoke job runs a fixed seed set under a ~60 s budget).
+// --max-case-seconds arms a per-case watchdog: a case that outlives it
+// is cut at the next comparison boundary and counted as a timeout
+// (obs.check_case_timeouts), never as a divergence — it protects a
+// fixed budget from one pathologically slow workload.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +36,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint64_t iters = 1000;
   double time_budget = 0.0;  // seconds; 0 = unlimited
+  double max_case_seconds = 0.0;  // per-case watchdog; 0 = disabled
   std::size_t threads = 8;
   scanc::fault::FaultModelKind model = scanc::fault::FaultModelKind::StuckAt;
   bool oracle = true;
@@ -59,6 +64,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.iters = v;
     } else if (a.rfind("--time-budget=", 0) == 0) {
       opt.time_budget = std::strtod(value("--time-budget="), nullptr);
+    } else if (a.rfind("--max-case-seconds=", 0) == 0) {
+      opt.max_case_seconds =
+          std::strtod(value("--max-case-seconds="), nullptr);
     } else if (a.rfind("--threads=", 0) == 0 &&
                parse_u64(value("--threads="), v)) {
       opt.threads = static_cast<std::size_t>(v);
@@ -95,6 +103,7 @@ int main(int argc, char** argv) {
   scanc::check::CheckConfig cfg;
   cfg.threads = opt.threads;
   cfg.run_oracle = opt.oracle;
+  cfg.max_case_seconds = opt.max_case_seconds;
 
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed = [&]() {
@@ -105,6 +114,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t state = opt.seed;
   std::uint64_t cases = 0;
+  std::uint64_t timeouts = 0;
   std::size_t comparisons = 0;
   for (std::uint64_t i = 0; i < opt.iters; ++i) {
     if (opt.time_budget > 0.0 && elapsed() >= opt.time_budget) break;
@@ -114,6 +124,14 @@ int main(int argc, char** argv) {
     const scanc::check::CaseReport report = scanc::check::check_case(w, cfg);
     ++cases;
     comparisons += report.comparisons;
+    if (report.timed_out) {
+      ++timeouts;
+      if (!opt.quiet) {
+        std::cerr << "[fuzz_check] case seed=" << case_seed
+                  << " cut by --max-case-seconds=" << opt.max_case_seconds
+                  << " after " << report.comparisons << " comparisons\n";
+      }
+    }
     if (!opt.quiet && cases % 500 == 0) {
       std::cerr << "[fuzz_check] " << cases << " cases, " << comparisons
                 << " comparisons, " << elapsed() << " s\n";
@@ -140,7 +158,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "fuzz_check: " << cases << " cases, " << comparisons
-            << " comparisons, 0 divergences ("
+            << " comparisons, 0 divergences, " << timeouts << " timeouts ("
         <<  elapsed() << " s, seed=" << opt.seed
         << ", model=" << scanc::fault::FaultModel::get(opt.model).name()
         << ")\n";

@@ -265,9 +265,13 @@ VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
   tcomp::PipelineOptions popt;
   popt.cancel = options.cancel;
   popt.num_chains = options.num_chains;
-  if (options.verbose) {
+  if (options.verbose || options.progress) {
     const auto t0_clock = std::chrono::steady_clock::now();
-    popt.trace = [t0_clock](const char* what) {
+    const bool verbose = options.verbose;
+    const auto progress = options.progress;
+    popt.trace = [t0_clock, verbose, progress](const char* what) {
+      if (progress) progress(what);
+      if (!verbose) return;
       const double elapsed = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - t0_clock)
                                  .count();
@@ -403,6 +407,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
         .count();
   };
   const auto note = [&](const char* what) {
+    if (options.progress) options.progress(what);
     if (options.verbose) {
       std::cerr << "[" << entry.params.name << " +" << std::fixed
                 << std::setprecision(1) << elapsed() << "s] " << what
@@ -429,11 +434,37 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   };
 
   note("building circuit");
-  const netlist::Circuit circuit = gen::build_suite_circuit(entry);
+  SharedInputs shared;
+  if (options.shared_inputs) {
+    shared = options.shared_inputs(entry, options.fault_model);
+  }
+  std::shared_ptr<const netlist::Circuit> circuit_holder = shared.circuit;
+  if (!circuit_holder) {
+    circuit_holder =
+        std::make_shared<const netlist::Circuit>(
+            gen::build_suite_circuit(entry));
+  }
+  const netlist::Circuit& circuit = *circuit_holder;
   const fault::FaultModel& model =
       fault::FaultModel::get(options.fault_model);
-  const fault::FaultList faults = fault::FaultList::build(circuit, model);
-  fault::FaultSimulator fsim(circuit, faults);
+  std::shared_ptr<const fault::FaultList> faults_holder = shared.faults;
+  if (!faults_holder) {
+    faults_holder = std::make_shared<const fault::FaultList>(
+        fault::FaultList::build(circuit, model));
+  }
+  const fault::FaultList& faults = *faults_holder;
+  // A host-supplied (pooled) simulator carries a warmed trace cache from
+  // earlier jobs on this circuit; otherwise build a private one.  Either
+  // way the cancel token is detached on every exit path so a raised
+  // per-job token never leaks into the next lease.
+  std::optional<fault::FaultSimulator> own_fsim;
+  if (options.simulator == nullptr) own_fsim.emplace(circuit, faults);
+  fault::FaultSimulator& fsim =
+      options.simulator ? *options.simulator : *own_fsim;
+  struct CancelDetach {
+    fault::FaultSimulator& fsim;
+    ~CancelDetach() { fsim.set_cancel({}); }
+  } cancel_detach{fsim};
   fsim.set_num_threads(options.num_threads);
   fsim.set_kernel(options.kernel);
   fsim.set_cancel(options.cancel);
@@ -458,6 +489,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   note("generating combinational test set C");
   atpg::CombTestSetOptions copt;
   copt.seed = options.seed;
+  copt.cancel = options.cancel;
   atpg::CombTestSet comb;
   if (!model.frame_gated()) {
     comb = atpg::generate_comb_test_set(circuit, faults, copt);
@@ -488,6 +520,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
     tgen::GreedyTgenOptions gopt;
     gopt.seed = options.seed;
     gopt.max_length = 1024;
+    gopt.cancel = options.cancel;
     const tgen::GreedyTgenResult t0_atpg =
         generate_test_sequence(circuit, faults, gopt);
     if (options.cancel.stop_requested()) return partial("setup");

@@ -11,16 +11,36 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/fault_list.hpp"
 #include "fault/model.hpp"
 #include "gen/suite.hpp"
 #include "tcomp/scan_test.hpp"
 #include "util/cancel.hpp"
 
+namespace scanc::fault {
+class FaultSimulator;
+}
+
 namespace scanc::expt {
+
+/// Pre-built inputs a multi-job host (the svc/ daemon's shared-state
+/// registry) can hand to run_circuit so concurrent jobs on the same
+/// circuit reuse one parsed circuit and collapsed fault list instead of
+/// rebuilding them per job.  Entries are immutable once published —
+/// readers share them copy-on-write and a rebuild replaces the pointer
+/// wholesale.  Either field may be null (run_circuit builds that input
+/// itself); a non-null faults must have been built on the non-null
+/// circuit under the options' fault model.
+struct SharedInputs {
+  std::shared_ptr<const netlist::Circuit> circuit;
+  std::shared_ptr<const fault::FaultList> faults;
+};
 
 /// Measurements for one T0 variant of the proposed procedure.
 struct VariantResult {
@@ -99,6 +119,23 @@ struct RunnerOptions {
   std::string cache_path = ".scanc_cache";
   bool force_fresh = false;  ///< ignore cached entries and journals
   bool verbose = false;      ///< progress notes to stderr
+  /// Optional provider of shared, immutable inputs (see SharedInputs).
+  /// Called once at measurement entry; null fields are built locally.
+  std::function<SharedInputs(const gen::SuiteEntry&, fault::FaultModelKind)>
+      shared_inputs;
+  /// Optional pre-built simulator to run every query on.  The caller
+  /// keeps ownership and must guarantee exclusive use for the duration
+  /// of the call; it must have been constructed on exactly the circuit
+  /// and fault list `shared_inputs` returns.  run_circuit installs its
+  /// own threads/kernel/cancel settings and detaches the cancel token
+  /// on every exit path, so a pooled simulator — whose warmed trace
+  /// cache is the point of reuse — comes back clean for the next job.
+  fault::FaultSimulator* simulator = nullptr;
+  /// Optional machine progress hook: called with a short phase note at
+  /// every runner and pipeline phase boundary (same strings the
+  /// --verbose stderr notes print).  The service watchdog uses it as a
+  /// per-job liveness stamp.  Must not throw.
+  std::function<void(const char*)> progress;
   /// Cooperative cancellation for the whole run: raised explicitly
   /// (e.g. by util::ScopedSignalCancel on SIGINT/SIGTERM) or by a
   /// deadline (util::CancelToken::make(util::Deadline::after(s)) — the

@@ -1,0 +1,338 @@
+#include "svc/job.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <span>
+
+#include "fault/fault_sim.hpp"
+
+namespace scanc::svc {
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Shed: return "shed";
+    case JobState::Quarantined: return "quarantined";
+  }
+  return "?";
+}
+
+const char* to_string(JobErrorKind k) noexcept {
+  switch (k) {
+    case JobErrorKind::BadRequest: return "bad_request";
+    case JobErrorKind::DeadlineExceeded: return "deadline_exceeded";
+    case JobErrorKind::Internal: return "internal";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// Spec parsing.
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw JobError(JobErrorKind::BadRequest, what);
+}
+
+const Json& require(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) bad(std::string("missing field \"") + key + '"');
+  return *v;
+}
+
+std::uint64_t u64_field(const Json& obj, const char* key, std::uint64_t def,
+                        std::uint64_t lo, std::uint64_t hi) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return def;
+  std::uint64_t u = 0;
+  try {
+    u = v->as_u64();
+  } catch (const JsonError&) {
+    bad(std::string("field \"") + key + "\" must be an unsigned integer");
+  }
+  if (u < lo || u > hi) {
+    bad(std::string("field \"") + key + "\" out of range [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return u;
+}
+
+double double_field(const Json& obj, const char* key, double def, double lo,
+                    double hi) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return def;
+  double d = 0.0;
+  try {
+    d = v->as_double();
+  } catch (const JsonError&) {
+    bad(std::string("field \"") + key + "\" must be a number");
+  }
+  if (!std::isfinite(d) || d < lo || d > hi) {
+    bad(std::string("field \"") + key + "\" out of range");
+  }
+  return d;
+}
+
+bool bool_field(const Json& obj, const char* key, bool def) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return def;
+  try {
+    return v->as_bool();
+  } catch (const JsonError&) {
+    bad(std::string("field \"") + key + "\" must be a boolean");
+  }
+}
+
+std::string string_field(const Json& obj, const char* key) {
+  try {
+    return require(obj, key).as_string();
+  } catch (const JsonError&) {
+    bad(std::string("field \"") + key + "\" must be a string");
+  }
+}
+
+/// The job id doubles as an on-disk journal file name component, so the
+/// accepted alphabet is airtight: no separators, no leading dot.
+bool valid_id(const std::string& id) {
+  if (id.empty() || id.size() > 64 || id.front() == '.') return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void check_known_keys(const Json& obj, std::span<const char* const> allowed,
+                      const char* where) {
+  for (const auto& [key, value] : obj.members()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) bad(std::string("unknown ") + where + " field \"" + key + '"');
+  }
+}
+
+gen::GenParams parse_gen(const Json& g) {
+  if (!g.is_object()) bad("field \"gen\" must be an object");
+  static constexpr const char* kKeys[] = {
+      "name",  "inputs", "outputs", "flip_flops",
+      "gates", "seed",   "pi_mux_fraction"};
+  check_known_keys(g, kKeys, "gen");
+  gen::GenParams p;
+  p.name = string_field(g, "name");
+  if (!valid_id(p.name)) bad("gen.name must match [A-Za-z0-9._-]{1,64}");
+  p.num_inputs = u64_field(g, "inputs", 0, 1, 256);
+  p.num_outputs = u64_field(g, "outputs", 0, 1, 256);
+  p.num_flip_flops = u64_field(g, "flip_flops", 8, 0, 4096);
+  p.num_gates = u64_field(g, "gates", 100, 1, 50000);
+  p.seed = u64_field(g, "seed", 1, 0, UINT64_MAX);
+  p.pi_mux_fraction = double_field(g, "pi_mux_fraction", 0.7, 0.0, 1.0);
+  return p;
+}
+
+}  // namespace
+
+JobSpec parse_job_spec(const Json& spec) {
+  if (!spec.is_object()) bad("spec must be an object");
+  static constexpr const char* kKeys[] = {
+      "id",          "kind",       "circuit",          "gen",
+      "seed",        "t0_length",  "fault_model",      "chains",
+      "threads",     "priority",   "deadline_seconds", "dynamic_baseline"};
+  check_known_keys(spec, kKeys, "spec");
+
+  JobSpec out;
+  out.id = string_field(spec, "id");
+  if (!valid_id(out.id)) bad("spec.id must match [A-Za-z0-9._-]{1,64}");
+
+  const std::string kind = string_field(spec, "kind");
+  if (kind == "suite") {
+    out.kind = JobSpec::Kind::Suite;
+    out.circuit = string_field(spec, "circuit");
+    if (spec.find("gen") != nullptr) bad("\"gen\" invalid for kind \"suite\"");
+  } else if (kind == "gen") {
+    out.kind = JobSpec::Kind::Gen;
+    out.gen = parse_gen(require(spec, "gen"));
+    if (spec.find("circuit") != nullptr) {
+      bad("\"circuit\" invalid for kind \"gen\"");
+    }
+  } else {
+    bad("spec.kind must be \"suite\" or \"gen\"");
+  }
+
+  out.seed = u64_field(spec, "seed", 1, 0, UINT64_MAX);
+  out.random_t0_length = u64_field(spec, "t0_length", 1000, 1, 100000);
+
+  if (const Json* fm = spec.find("fault_model")) {
+    std::string name;
+    try {
+      name = fm->as_string();
+    } catch (const JsonError&) {
+      bad("spec.fault_model must be a string");
+    }
+    if (name == "stuck") {
+      out.fault_model = fault::FaultModelKind::StuckAt;
+    } else if (name == "transition") {
+      out.fault_model = fault::FaultModelKind::Transition;
+    } else {
+      bad("spec.fault_model must be \"stuck\" or \"transition\"");
+    }
+  }
+
+  out.num_chains = u64_field(spec, "chains", 1, 1, 1024);
+  out.num_threads = u64_field(spec, "threads", 1, 0, 32);
+  out.priority = static_cast<int>(u64_field(spec, "priority", 1, 0, 9));
+  out.deadline_seconds =
+      double_field(spec, "deadline_seconds", 0.0, 0.0, 86400.0);
+  out.run_dynamic_baseline = bool_field(spec, "dynamic_baseline", false);
+  return out;
+}
+
+Json job_spec_json(const JobSpec& spec) {
+  Json j = Json::object();
+  j.set("id", Json::string(spec.id));
+  if (spec.kind == JobSpec::Kind::Suite) {
+    j.set("kind", Json::string("suite"));
+    j.set("circuit", Json::string(spec.circuit));
+  } else {
+    j.set("kind", Json::string("gen"));
+    Json g = Json::object();
+    g.set("name", Json::string(spec.gen.name));
+    g.set("inputs", Json::integer(spec.gen.num_inputs));
+    g.set("outputs", Json::integer(spec.gen.num_outputs));
+    g.set("flip_flops", Json::integer(spec.gen.num_flip_flops));
+    g.set("gates", Json::integer(spec.gen.num_gates));
+    g.set("seed", Json::integer(spec.gen.seed));
+    g.set("pi_mux_fraction", Json::number(spec.gen.pi_mux_fraction));
+    j.set("gen", std::move(g));
+  }
+  j.set("seed", Json::integer(spec.seed));
+  j.set("t0_length", Json::integer(spec.random_t0_length));
+  j.set("fault_model",
+        Json::string(fault::FaultModel::get(spec.fault_model).name()));
+  j.set("chains", Json::integer(spec.num_chains));
+  j.set("threads", Json::integer(spec.num_threads));
+  j.set("priority", Json::integer(static_cast<std::uint64_t>(spec.priority)));
+  j.set("deadline_seconds", Json::number(spec.deadline_seconds));
+  j.set("dynamic_baseline", Json::boolean(spec.run_dynamic_baseline));
+  return j;
+}
+
+gen::SuiteEntry job_entry(const JobSpec& spec) {
+  if (spec.kind == JobSpec::Kind::Suite) {
+    const std::optional<gen::SuiteEntry> entry =
+        gen::find_suite_entry(spec.circuit);
+    if (!entry) bad("unknown suite circuit \"" + spec.circuit + '"');
+    return *entry;
+  }
+  gen::SuiteEntry entry;
+  entry.params = spec.gen;
+  return entry;
+}
+
+std::string circuit_key(const JobSpec& spec) {
+  if (spec.kind == JobSpec::Kind::Suite) return "suite:" + spec.circuit;
+  const gen::GenParams& g = spec.gen;
+  char frac[32];
+  std::snprintf(frac, sizeof(frac), "%.6g", g.pi_mux_fraction);
+  return "gen:" + g.name + ':' + std::to_string(g.num_inputs) + ':' +
+         std::to_string(g.num_outputs) + ':' +
+         std::to_string(g.num_flip_flops) + ':' +
+         std::to_string(g.num_gates) + ':' + std::to_string(g.seed) + ':' +
+         frac;
+}
+
+// ---------------------------------------------------------------------
+// Result serialization.
+
+namespace {
+
+Json variant_json(const expt::VariantResult& v) {
+  Json j = Json::object();
+  j.set("det_t0", Json::integer(v.det_t0));
+  j.set("det_scan", Json::integer(v.det_scan));
+  j.set("det_final", Json::integer(v.det_final));
+  j.set("len_t0", Json::integer(v.len_t0));
+  j.set("len_scan", Json::integer(v.len_scan));
+  j.set("added", Json::integer(v.added));
+  j.set("cyc_init", Json::integer(v.cyc_init));
+  j.set("cyc_comp", Json::integer(v.cyc_comp));
+  j.set("atspeed_ave", Json::number(v.atspeed_ave));
+  j.set("atspeed_min", Json::integer(v.atspeed_min));
+  j.set("atspeed_max", Json::integer(v.atspeed_max));
+  j.set("tests_final", Json::integer(v.tests_final));
+  j.set("vectors_final", Json::integer(v.vectors_final));
+  return j;
+}
+
+}  // namespace
+
+Json run_json(const expt::CircuitRun& run) {
+  Json j = Json::object();
+  j.set("name", Json::string(run.name));
+  j.set("flip_flops", Json::integer(run.flip_flops));
+  j.set("comb_tests", Json::integer(run.comb_tests));
+  j.set("faults", Json::integer(run.faults));
+  j.set("detectable", Json::integer(run.detectable));
+  j.set("atpg", variant_json(run.atpg));
+  j.set("random", variant_json(run.random));
+  j.set("cyc_dyn", Json::integer(run.cyc_dyn));
+  j.set("cyc_4_init", Json::integer(run.cyc_4_init));
+  j.set("cyc_4_comp", Json::integer(run.cyc_4_comp));
+  j.set("atspeed_ave_4", Json::number(run.atspeed_ave_4));
+  j.set("atspeed_min_4", Json::integer(run.atspeed_min_4));
+  j.set("atspeed_max_4", Json::integer(run.atspeed_max_4));
+  // Wall-clock: the one nondeterministic field.  Clients comparing
+  // results for bit-identity (the resume test) zero it first.
+  j.set("seconds", Json::number(run.seconds));
+  return j;
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+
+expt::CircuitRun execute_job(const JobSpec& spec, const ExecHooks& hooks) {
+  const gen::SuiteEntry entry = job_entry(spec);
+
+  expt::RunnerOptions opt;
+  opt.seed = spec.seed;
+  opt.random_t0_length = spec.random_t0_length;
+  opt.num_threads = spec.num_threads;
+  opt.fault_model = spec.fault_model;
+  opt.num_chains = spec.num_chains;
+  opt.run_dynamic_baseline = spec.run_dynamic_baseline;
+  opt.cache_path = hooks.cache_path;
+  opt.shared_inputs = hooks.shared_inputs;
+  opt.simulator = hooks.simulator;
+  opt.progress = hooks.progress;
+  opt.cancel = hooks.cancel;
+
+  expt::CircuitRun run;
+  try {
+    run = expt::run_circuit(entry, opt);
+  } catch (const JobError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw JobError(JobErrorKind::Internal, e.what());
+  } catch (...) {
+    throw JobError(JobErrorKind::Internal, "unknown exception");
+  }
+  if (!run.completed) {
+    // The attempt's finished phases are journaled under hooks.cache_path;
+    // a retried or resumed attempt picks them up.
+    throw JobError(JobErrorKind::DeadlineExceeded,
+                   "cancelled during " + run.stopped_at);
+  }
+  return run;
+}
+
+}  // namespace scanc::svc

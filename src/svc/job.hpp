@@ -1,0 +1,134 @@
+// Service jobs: the validated spec, the lifecycle state machine, typed
+// failure classification, and the glue that runs one job through the
+// experiment runner.
+//
+// Lifecycle (docs/service.md):
+//
+//   Queued -> Running -> Done
+//                     -> Failed       (typed error, no more attempts)
+//                     -> Queued       (transient failure, retry w/ backoff;
+//                                      also drain: Running jobs re-queue)
+//                     -> Quarantined  (retries exhausted — poisoned job)
+//   Queued -> Shed                    (evicted for higher-priority work)
+//
+// Every failure carries a JobErrorKind; nothing escapes a job boundary
+// as an untyped exception (the executor's barrier converts stragglers
+// to Kind::Internal).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "expt/runner.hpp"
+#include "fault/model.hpp"
+#include "gen/circuit_gen.hpp"
+#include "gen/suite.hpp"
+#include "svc/json.hpp"
+#include "util/cancel.hpp"
+
+namespace scanc::svc {
+
+enum class JobState : std::uint8_t {
+  Queued,
+  Running,
+  Done,
+  Failed,
+  Shed,
+  Quarantined,
+};
+
+[[nodiscard]] const char* to_string(JobState s) noexcept;
+[[nodiscard]] constexpr bool is_terminal(JobState s) noexcept {
+  return s == JobState::Done || s == JobState::Failed ||
+         s == JobState::Shed || s == JobState::Quarantined;
+}
+
+enum class JobErrorKind : std::uint8_t {
+  BadRequest,        ///< malformed / out-of-bounds spec (permanent)
+  DeadlineExceeded,  ///< watchdog or per-job deadline cut (permanent)
+  Internal,          ///< unexpected execution failure (transient: retried)
+};
+
+[[nodiscard]] const char* to_string(JobErrorKind k) noexcept;
+
+class JobError : public std::runtime_error {
+ public:
+  JobError(JobErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] JobErrorKind kind() const noexcept { return kind_; }
+
+  /// Transient errors are retried with backoff; permanent ones fail the
+  /// job on the first attempt.
+  [[nodiscard]] bool transient() const noexcept {
+    return kind_ == JobErrorKind::Internal;
+  }
+
+ private:
+  JobErrorKind kind_;
+};
+
+/// A validated job specification.  Parsed from the wire with hard caps
+/// on every size knob, so an accepted job is always one the daemon can
+/// execute in bounded memory.
+struct JobSpec {
+  enum class Kind : std::uint8_t { Suite, Gen };
+
+  std::string id;          ///< client idempotency key, [A-Za-z0-9._-]{1,64}
+  Kind kind = Kind::Suite;
+  std::string circuit;     ///< suite circuit name (Kind::Suite)
+  gen::GenParams gen;      ///< custom circuit (Kind::Gen)
+
+  std::uint64_t seed = 1;
+  std::size_t random_t0_length = 1000;
+  fault::FaultModelKind fault_model = fault::FaultModelKind::StuckAt;
+  std::size_t num_chains = 1;
+  std::size_t num_threads = 1;
+  bool run_dynamic_baseline = false;
+
+  int priority = 1;                ///< 0 (sheddable) .. 9 (urgent)
+  double deadline_seconds = 0.0;   ///< per-job run budget; 0 = none
+};
+
+/// Parses and validates a submit request's "spec" object.  Throws
+/// JobError(BadRequest) on any missing/malformed/out-of-range field or
+/// unknown key (the protocol is strict — see docs/service.md).
+[[nodiscard]] JobSpec parse_job_spec(const Json& spec);
+
+/// The spec as JSON, in the exact shape parse_job_spec accepts (the
+/// drain snapshot round-trips specs through this).
+[[nodiscard]] Json job_spec_json(const JobSpec& spec);
+
+/// Resolves the spec's circuit to a runnable suite entry.  Throws
+/// JobError(BadRequest) for an unknown suite circuit name.
+[[nodiscard]] gen::SuiteEntry job_entry(const JobSpec& spec);
+
+/// Stable registry key for the spec's circuit (all specs generating the
+/// same circuit share one key, and thus one parsed circuit).
+[[nodiscard]] std::string circuit_key(const JobSpec& spec);
+
+/// CircuitRun -> JSON result payload (docs/service.md "result" schema).
+[[nodiscard]] Json run_json(const expt::CircuitRun& run);
+
+/// Host-injected execution context for one attempt: cancellation, the
+/// shared-state registry hooks, and the per-job checkpoint journal
+/// location.
+struct ExecHooks {
+  util::CancelToken cancel;
+  std::string cache_path;  ///< per-job journal prefix; empty = no journal
+  std::function<expt::SharedInputs(const gen::SuiteEntry&,
+                                   fault::FaultModelKind)>
+      shared_inputs;
+  fault::FaultSimulator* simulator = nullptr;
+  std::function<void(const char*)> progress;
+};
+
+/// Runs one attempt of `spec` to completion.  Throws JobError:
+/// DeadlineExceeded when the attempt was cancelled mid-run (the partial
+/// phases are checkpointed under hooks.cache_path for the next attempt),
+/// Internal for any other failure.
+[[nodiscard]] expt::CircuitRun execute_job(const JobSpec& spec,
+                                           const ExecHooks& hooks);
+
+}  // namespace scanc::svc

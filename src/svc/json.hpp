@@ -1,0 +1,100 @@
+// Minimal JSON for the service wire protocol (docs/service.md).
+//
+// A small, hostile-input-hardened JSON value type: strict recursive
+// descent parsing with depth and size limits, typed errors (JsonError,
+// never a crash or an unbounded allocation), insertion-ordered objects,
+// and exact unsigned-integer round-tripping for the 64-bit seeds job
+// specs carry.  This is deliberately not a general JSON library — it
+// supports exactly what the length-prefixed protocol needs, with no
+// external dependency.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scanc::svc {
+
+/// Parse or access failure.  Every malformed input degrades to this
+/// typed error at the protocol boundary — a hostile frame fails the
+/// request, never the daemon.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  /// null
+  Json() = default;
+
+  [[nodiscard]] static Json boolean(bool v);
+  [[nodiscard]] static Json number(double v);
+  /// Exact unsigned integer (round-trips 64-bit seeds losslessly).
+  [[nodiscard]] static Json integer(std::uint64_t v);
+  [[nodiscard]] static Json string(std::string v);
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  /// Typed accessors: throw JsonError on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// The value as an exact non-negative integer; throws JsonError if the
+  /// number is negative, fractional, or does not fit 64 bits.
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Object field insert/replace (must be an object).
+  Json& set(std::string key, Json value);
+  /// Array append (must be an array).
+  Json& push_back(Json value);
+
+  /// Compact serialization (no whitespace, escaped strings).
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete JSON document.  Throws JsonError on any
+  /// syntax error, trailing garbage, depth beyond `max_depth`, or a
+  /// document over `max_bytes`.
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  std::size_t max_depth = 32,
+                                  std::size_t max_bytes = 8u << 20);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  /// Set when the number was written/parsed as a plain non-negative
+  /// integer that fits 64 bits: as_u64 then returns this exact value.
+  bool num_exact_ = false;
+  std::uint64_t uint_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace scanc::svc

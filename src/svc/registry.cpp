@@ -1,0 +1,138 @@
+#include "svc/registry.hpp"
+
+#include <algorithm>
+
+#include "util/telemetry.hpp"
+
+namespace scanc::svc {
+
+struct SharedRegistry::SimLease::Slot {
+  std::string key;  // "<circuit_key>#<model>"
+  expt::SharedInputs inputs;
+  std::unique_ptr<fault::FaultSimulator> sim;
+  std::uint64_t last_used = 0;
+};
+
+namespace {
+
+std::string full_key(const std::string& key, fault::FaultModelKind model) {
+  return key + '#' + fault::FaultModel::get(model).name();
+}
+
+expt::SharedInputs build_inputs(const gen::SuiteEntry& entry,
+                                fault::FaultModelKind model) {
+  expt::SharedInputs si;
+  si.circuit = std::make_shared<const netlist::Circuit>(
+      gen::build_suite_circuit(entry));
+  si.faults = std::make_shared<const fault::FaultList>(
+      fault::FaultList::build(*si.circuit, fault::FaultModel::get(model)));
+  return si;
+}
+
+}  // namespace
+
+expt::SharedInputs SharedRegistry::inputs_locked(
+    const std::string& fkey, const gen::SuiteEntry& entry,
+    fault::FaultModelKind model, std::unique_lock<std::mutex>& lock) {
+  for (InputsEntry& e : inputs_) {
+    if (e.key == fkey) {
+      e.last_used = ++tick_;
+      obs::add(obs::Counter::RegistryCircuitHits);
+      return e.inputs;
+    }
+  }
+  obs::add(obs::Counter::RegistryCircuitMisses);
+  // Build outside the lock: circuit generation + fault collapsing is the
+  // expensive part and must not serialize unrelated jobs.  Two racing
+  // builders both succeed; the second publish wins and the loser's copy
+  // dies with its last job.
+  lock.unlock();
+  expt::SharedInputs built = build_inputs(entry, model);
+  lock.lock();
+  for (InputsEntry& e : inputs_) {
+    if (e.key == fkey) {  // somebody else published while we built
+      e.last_used = ++tick_;
+      return e.inputs;
+    }
+  }
+  if (inputs_.size() >= limits_.max_circuits) {
+    auto victim = std::min_element(
+        inputs_.begin(), inputs_.end(),
+        [](const InputsEntry& a, const InputsEntry& b) {
+          return a.last_used < b.last_used;
+        });
+    inputs_.erase(victim);
+  }
+  inputs_.push_back(InputsEntry{fkey, built, ++tick_});
+  return built;
+}
+
+expt::SharedInputs SharedRegistry::inputs(const std::string& key,
+                                          const gen::SuiteEntry& entry,
+                                          fault::FaultModelKind model) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return inputs_locked(full_key(key, model), entry, model, lock);
+}
+
+SharedRegistry::SimLease SharedRegistry::lease_simulator(
+    const std::string& key, const gen::SuiteEntry& entry,
+    fault::FaultModelKind model) {
+  const std::string fkey = full_key(key, model);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+    if ((*it)->key == fkey) {
+      std::shared_ptr<SimLease::Slot> slot = std::move(*it);
+      idle_.erase(it);
+      obs::add(obs::Counter::RegistrySimReuses);
+      SimLease lease;
+      lease.registry_ = this;
+      lease.slot_ = std::move(slot);
+      return lease;
+    }
+  }
+  expt::SharedInputs si = inputs_locked(fkey, entry, model, lock);
+  lock.unlock();
+  auto slot = std::make_shared<SimLease::Slot>();
+  slot->key = fkey;
+  slot->inputs = si;
+  slot->sim =
+      std::make_unique<fault::FaultSimulator>(*si.circuit, *si.faults);
+  SimLease lease;
+  lease.registry_ = this;
+  lease.slot_ = std::move(slot);
+  return lease;
+}
+
+void SharedRegistry::release(std::shared_ptr<SimLease::Slot> slot) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  slot->last_used = ++tick_;
+  if (idle_.size() >= limits_.max_idle_sims) {
+    auto victim = std::min_element(
+        idle_.begin(), idle_.end(),
+        [](const std::shared_ptr<SimLease::Slot>& a,
+           const std::shared_ptr<SimLease::Slot>& b) {
+          return a->last_used < b->last_used;
+        });
+    // Drop the coldest pooled simulator (possibly the one coming back).
+    if ((*victim)->last_used >= slot->last_used) return;
+    idle_.erase(victim);
+  }
+  idle_.push_back(std::move(slot));
+}
+
+SharedRegistry::SimLease::~SimLease() {
+  if (registry_ != nullptr && slot_ != nullptr) {
+    registry_->release(std::move(slot_));
+  }
+}
+
+fault::FaultSimulator* SharedRegistry::SimLease::get() const noexcept {
+  return slot_ ? slot_->sim.get() : nullptr;
+}
+
+SharedRegistry::Stats SharedRegistry::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return Stats{inputs_.size(), idle_.size()};
+}
+
+}  // namespace scanc::svc

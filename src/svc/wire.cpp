@@ -1,0 +1,204 @@
+#include "svc/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/telemetry.hpp"
+
+namespace scanc::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(WireError::Kind kind, const std::string& what) {
+  throw WireError(kind, what + ": " + std::strerror(errno));
+}
+
+/// Polls `fd` for `events` until ready or the deadline expires.
+/// Returns true when ready, false on expiry.
+bool wait_ready(int fd, short events, const util::Deadline& deadline) {
+  while (true) {
+    int timeout_ms = -1;
+    if (!deadline.never()) {
+      const double rem = deadline.remaining_seconds();
+      if (rem <= 0.0) return false;
+      // Round up so a 0.4ms remainder still waits rather than spins.
+      timeout_ms = static_cast<int>(rem * 1000.0) + 1;
+    }
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno(WireError::Kind::Io, "poll");
+  }
+}
+
+/// Reads exactly `len` bytes.  Returns the byte count read before a
+/// clean EOF (so 0 = EOF at the boundary, < len = truncated frame).
+std::size_t read_exact(int fd, char* buf, std::size_t len,
+                       const util::Deadline& deadline) {
+  std::size_t got = 0;
+  while (got < len) {
+    if (!wait_ready(fd, POLLIN, deadline)) {
+      throw WireError(WireError::Kind::Timeout, "read timed out");
+    }
+    const ssize_t n = ::read(fd, buf + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return got;  // peer closed
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_errno(WireError::Kind::Io, "read");
+  }
+  return got;
+}
+
+void write_exact(int fd, const char* buf, std::size_t len,
+                 const util::Deadline& deadline) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    if (!wait_ready(fd, POLLOUT, deadline)) {
+      throw WireError(WireError::Kind::Timeout, "write timed out");
+    }
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_errno(WireError::Kind::Io, "write");
+  }
+}
+
+}  // namespace
+
+bool poll_readable(int fd, double seconds) {
+  return wait_ready(fd, POLLIN, util::Deadline::after(seconds));
+}
+
+bool read_frame(int fd, std::string& payload, const util::Deadline& deadline) {
+  unsigned char hdr[4];
+  const std::size_t got =
+      read_exact(fd, reinterpret_cast<char*>(hdr), sizeof(hdr), deadline);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(hdr)) {
+    throw WireError(WireError::Kind::Eof, "truncated length prefix");
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len > kMaxFrameBytes) {
+    throw WireError(WireError::Kind::TooLarge,
+                    "frame length " + std::to_string(len) + " exceeds cap " +
+                        std::to_string(kMaxFrameBytes));
+  }
+  payload.resize(len);
+  if (len != 0 && read_exact(fd, payload.data(), len, deadline) < len) {
+    throw WireError(WireError::Kind::Eof, "truncated frame payload");
+  }
+  obs::add(obs::Counter::SvcFramesRead);
+  obs::add(obs::Counter::SvcBytesRead, len);
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload,
+                 const util::Deadline& deadline) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw WireError(WireError::Kind::TooLarge, "outgoing frame too large");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.push_back(static_cast<char>((len >> 24) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 8) & 0xFF));
+  buf.push_back(static_cast<char>(len & 0xFF));
+  buf.append(payload);
+  write_exact(fd, buf.data(), buf.size(), deadline);
+  obs::add(obs::Counter::SvcFramesWritten);
+  obs::add(obs::Counter::SvcBytesWritten, payload.size());
+}
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw WireError(WireError::Kind::Io, "socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno(WireError::Kind::Io, "socket");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(WireError::Kind::Io, "bind");
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(WireError::Kind::Io, "listen");
+  }
+  return fd;
+}
+
+int accept_unix(int listen_fd, const util::Deadline& deadline) {
+  if (!wait_ready(listen_fd, POLLIN, deadline)) return -1;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      return -1;
+    }
+    throw_errno(WireError::Kind::Io, "accept");
+  }
+  obs::add(obs::Counter::SvcConnections);
+  return fd;
+}
+
+int connect_unix(const std::string& path, const util::Deadline& deadline) {
+  const sockaddr_un addr = make_addr(path);
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno(WireError::Kind::Io, "socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    if (saved == EINTR) continue;
+    if ((saved == ECONNREFUSED || saved == ENOENT) && !deadline.never() &&
+        !deadline.expired()) {
+      // Daemon not up yet: the client-side retry loop for test/CI
+      // startup races.  Cheap linear backoff within the deadline.
+      struct timespec ts{0, 20'000'000};  // 20ms
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    errno = saved;
+    throw_errno(WireError::Kind::Io, "connect " + path);
+  }
+}
+
+}  // namespace scanc::svc

@@ -1,0 +1,77 @@
+// Length-prefixed framing over AF_UNIX stream sockets.
+//
+// One frame = a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON (docs/service.md).  Reads and writes are
+// poll(2)-driven so every blocking call honours a util::Deadline, and
+// the length prefix is validated against kMaxFrameBytes *before* any
+// allocation — an oversized or garbage prefix costs the hostile client
+// its connection, never the daemon its memory.
+//
+// All failures are the typed WireError; clean EOF between frames is the
+// one non-error end state (read_frame returns false).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/cancel.hpp"
+
+namespace scanc::svc {
+
+/// Largest accepted frame payload.  Big enough for any real job spec or
+/// result; small enough that a hostile length prefix cannot make the
+/// daemon allocate unboundedly.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;  // 1 MiB
+
+class WireError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    Io,        ///< syscall failure / connection reset
+    Eof,       ///< peer closed mid-frame (truncated frame)
+    TooLarge,  ///< length prefix beyond kMaxFrameBytes
+    Timeout,   ///< deadline expired mid-read or mid-write
+  };
+
+  WireError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// True when `fd` becomes readable (data or EOF) within `seconds`.
+/// Lets a server loop poll for the *start* of a frame cheaply, then read
+/// the whole frame under a real per-frame deadline — so an idle client
+/// costs nothing but a slow-loris client cannot hold a frame open
+/// forever.
+[[nodiscard]] bool poll_readable(int fd, double seconds);
+
+/// Reads one complete frame into `payload`.  Returns false on a clean
+/// EOF at a frame boundary (the peer hung up between requests); throws
+/// WireError for everything else.  Bumps SvcFramesRead/SvcBytesRead.
+bool read_frame(int fd, std::string& payload,
+                const util::Deadline& deadline = {});
+
+/// Writes one complete frame.  Throws WireError on failure.  Bumps
+/// SvcFramesWritten/SvcBytesWritten.
+void write_frame(int fd, std::string_view payload,
+                 const util::Deadline& deadline = {});
+
+/// Creates, binds, and listens on an AF_UNIX stream socket at `path`
+/// (an existing socket file is unlinked first).  Throws WireError.
+[[nodiscard]] int listen_unix(const std::string& path, int backlog = 64);
+
+/// Accepts one connection; -1 on deadline expiry or EINTR with no
+/// connection (callers poll in a loop).  Throws WireError on a real
+/// accept failure.
+[[nodiscard]] int accept_unix(int listen_fd, const util::Deadline& deadline);
+
+/// Connects to the daemon socket at `path`.  Throws WireError.
+[[nodiscard]] int connect_unix(const std::string& path,
+                               const util::Deadline& deadline = {});
+
+}  // namespace scanc::svc

@@ -18,6 +18,30 @@ double seconds_since(PhaseClock::time_point start) {
   return std::chrono::duration<double>(PhaseClock::now() - start).count();
 }
 
+/// Restores a simulator's cancel token and thread count on scope exit.
+/// run_pipeline installs the pipeline's own token/threads at entry; a
+/// simulator shared across jobs (the service's pooled simulators) must
+/// not carry one job's raised token or thread setting into the next —
+/// including when a query throws through the pipeline.
+class SimStateGuard {
+ public:
+  explicit SimStateGuard(FaultSimulator& fsim)
+      : fsim_(fsim),
+        cancel_(fsim.cancel()),
+        num_threads_(fsim.num_threads()) {}
+  ~SimStateGuard() {
+    fsim_.set_cancel(cancel_);
+    fsim_.set_num_threads(num_threads_);
+  }
+  SimStateGuard(const SimStateGuard&) = delete;
+  SimStateGuard& operator=(const SimStateGuard&) = delete;
+
+ private:
+  FaultSimulator& fsim_;
+  util::CancelToken cancel_;
+  std::size_t num_threads_;
+};
+
 }  // namespace
 
 const char* to_string(PipelinePhase phase) noexcept {
@@ -48,6 +72,9 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.compacted_cycles = clock_cycles(result.compacted, nsv, chains);
     return result;
   };
+  // The caller's token/threads are restored on every exit path (see
+  // SimStateGuard) so a pooled simulator comes back clean.
+  const SimStateGuard guard(fsim);
   if (options.num_threads != 0) fsim.set_num_threads(options.num_threads);
   fsim.set_cancel(options.cancel);
 

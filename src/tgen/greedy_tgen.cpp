@@ -52,7 +52,8 @@ GreedyTgenResult generate_test_sequence(const netlist::Circuit& circuit,
 
   std::size_t stalled = 0;
   while (result.sequence.length() < options.max_length &&
-         stalled < options.stall_rounds) {
+         stalled < options.stall_rounds &&
+         !options.cancel.stop_requested()) {
     const auto base = session.snapshot();
     const Vector3* prev = result.sequence.empty()
                               ? nullptr

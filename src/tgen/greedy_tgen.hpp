@@ -19,6 +19,7 @@
 #include "fault/fault_sim.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/sequence.hpp"
+#include "util/cancel.hpp"
 
 namespace scanc::tgen {
 
@@ -34,6 +35,11 @@ struct GreedyTgenOptions {
   /// Probability (percent) that a candidate vector repeats the previous
   /// one per bit — creates the hold/walk patterns sequential faults need.
   std::uint32_t hold_percent = 35;
+  /// Cooperative cancellation, polled once per greedy round.  A
+  /// cancelled run returns the sequence built so far; callers that
+  /// observe the raised token must discard it (the experiment runner
+  /// does; see its phase checks).
+  util::CancelToken cancel;
 };
 
 /// Result: the generated sequence and the classes it detects without

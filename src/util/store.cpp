@@ -1,11 +1,15 @@
 #include "util/store.hpp"
 
 #include <array>
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace scanc::util {
@@ -47,6 +51,54 @@ std::uint32_t crc32(std::string_view data) noexcept {
   return c ^ 0xFFFFFFFFu;
 }
 
+namespace {
+
+/// Writes all of `data` to `fd`, retrying short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsyncs the directory containing `path`, so the rename that just
+/// landed there is durable.  Best-effort: some filesystems reject
+/// directory fsync; only a real I/O error fails the commit.
+bool sync_parent_dir(const std::string& path) noexcept {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0 || errno == EINVAL || errno == ENOTSUP;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+// Crash-atomicity contract: after store_write returns true, a reader —
+// in this process, another process, or one started after a crash *or
+// power loss* — sees either the complete new envelope or whatever was
+// at `path` before; never a torn mix, and never nothing where the
+// journal says a blob was committed.  The sequence that guarantees it:
+//   1. write the envelope to a unique temp file in the same directory,
+//   2. fsync the temp file (data hits stable storage before the rename
+//      can make it visible),
+//   3. rename(2) onto `path` (atomic replacement within a filesystem),
+//   4. fsync the parent directory (the rename's directory entry itself
+//      is durable — without this, power loss after rename can resurface
+//      the old file or an empty slot even though the caller was told
+//      the write committed).
+// A false return means nothing is promised about `path` beyond "the old
+// content, if any, is still intact".
 bool store_write(const std::string& path, std::string_view payload) noexcept {
   try {
     char header[64];
@@ -56,24 +108,22 @@ bool store_write(const std::string& path, std::string_view payload) noexcept {
     // is atomic and concurrent writers never share a temp file.
     const std::string tmp =
         path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) return false;
-      out << header;
-      out.write(payload.data(),
-                static_cast<std::streamsize>(payload.size()));
-      out.flush();
-      if (!out) {
-        out.close();
-        std::remove(tmp.c_str());
-        return false;
-      }
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    const bool wrote = write_all(fd, header, std::strlen(header)) &&
+                       write_all(fd, payload.data(), payload.size()) &&
+                       ::fsync(fd) == 0;
+    ::close(fd);
+    if (!wrote) {
+      std::remove(tmp.c_str());
+      return false;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
       std::remove(tmp.c_str());
       return false;
     }
-    return true;
+    return sync_parent_dir(path);
   } catch (...) {
     return false;
   }

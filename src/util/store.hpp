@@ -1,9 +1,12 @@
 // Crash-safe on-disk blob store: atomic replacement + checksummed
 // envelope.
 //
-// Writes go to a temporary file in the same directory followed by
-// rename(2), so a reader (or a crash) never observes a half-written
-// file — it sees either the old content or the new content.  Payloads
+// Writes go to a temporary file in the same directory — fsync'd before
+// the rename(2) that publishes it, with the parent directory fsync'd
+// after — so a reader (even after a crash or power loss) never observes
+// a half-written or missing-but-committed file: it sees either the old
+// content or the new content (the full contract is documented at
+// store_write's definition).  Payloads
 // are wrapped in a one-line envelope carrying a CRC32 and the payload
 // size:
 //

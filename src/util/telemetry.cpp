@@ -171,6 +171,27 @@ const char* counter_name(Counter c) noexcept {
     case Counter::CheckQueriesCompared: return "check_queries_compared";
     case Counter::CheckDivergences: return "check_divergences";
     case Counter::CheckShrinkSteps: return "check_shrink_steps";
+    case Counter::CheckCaseTimeouts: return "check_case_timeouts";
+    case Counter::JobsSubmitted: return "jobs_submitted";
+    case Counter::JobsAccepted: return "jobs_accepted";
+    case Counter::JobsRejected: return "jobs_rejected";
+    case Counter::JobsShed: return "jobs_shed";
+    case Counter::JobsStarted: return "jobs_started";
+    case Counter::JobsDone: return "jobs_done";
+    case Counter::JobsFailed: return "jobs_failed";
+    case Counter::JobsRetried: return "jobs_retried";
+    case Counter::JobsQuarantined: return "jobs_quarantined";
+    case Counter::JobsDeadlineCut: return "jobs_deadline_cut";
+    case Counter::JobsResumed: return "jobs_resumed";
+    case Counter::SvcConnections: return "svc_connections";
+    case Counter::SvcFramesRead: return "svc_frames_read";
+    case Counter::SvcFramesWritten: return "svc_frames_written";
+    case Counter::SvcBytesRead: return "svc_bytes_read";
+    case Counter::SvcBytesWritten: return "svc_bytes_written";
+    case Counter::SvcProtocolErrors: return "svc_protocol_errors";
+    case Counter::RegistryCircuitHits: return "registry_circuit_hits";
+    case Counter::RegistryCircuitMisses: return "registry_circuit_misses";
+    case Counter::RegistrySimReuses: return "registry_sim_reuses";
     case Counter::kCount: break;
   }
   return "?";
@@ -214,6 +235,8 @@ const char* gauge_name(Gauge g) noexcept {
   switch (g) {
     case Gauge::TraceCacheSize: return "trace_cache_size";
     case Gauge::ThreadsConfigured: return "threads_configured";
+    case Gauge::SvcQueueDepth: return "svc_queue_depth";
+    case Gauge::SvcJobsRunning: return "svc_jobs_running";
     case Gauge::kCount: break;
   }
   return "?";
@@ -237,6 +260,9 @@ const char* histogram_name(Histogram h) noexcept {
     case Histogram::QueueWaitNanos: return "queue_wait_ns";
     case Histogram::TaskRunNanos: return "task_run_ns";
     case Histogram::QueryNanos: return "query_ns";
+    case Histogram::JobQueueNanos: return "job_queue_ns";
+    case Histogram::JobRunNanos: return "job_run_ns";
+    case Histogram::JobLatencyNanos: return "job_latency_ns";
     case Histogram::kCount: break;
   }
   return "?";

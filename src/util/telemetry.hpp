@@ -75,6 +75,30 @@ enum class Counter : std::uint16_t {
   CheckQueriesCompared, ///< cross-kernel / oracle comparisons performed
   CheckDivergences,     ///< divergences detected (should stay 0)
   CheckShrinkSteps,     ///< shrinker reduction attempts
+  CheckCaseTimeouts,    ///< cases cut by the per-case watchdog
+  // Compaction service (svc/daemon.cpp) — job lifecycle.
+  JobsSubmitted,        ///< submit requests that parsed to a valid spec
+  JobsAccepted,         ///< jobs admitted to the queue
+  JobsRejected,         ///< jobs refused at admission (queue saturated)
+  JobsShed,             ///< queued jobs evicted for higher-priority work
+  JobsStarted,          ///< job attempts begun by an executor
+  JobsDone,             ///< jobs that reached Done
+  JobsFailed,           ///< jobs that reached Failed (typed error)
+  JobsRetried,          ///< attempts re-queued after a transient failure
+  JobsQuarantined,      ///< jobs poisoned after exhausting retries
+  JobsDeadlineCut,      ///< running jobs cancelled by the watchdog
+  JobsResumed,          ///< jobs re-enqueued from a drain snapshot
+  // Compaction service — wire protocol and connections.
+  SvcConnections,       ///< client connections accepted
+  SvcFramesRead,        ///< well-formed frames received
+  SvcFramesWritten,     ///< frames sent
+  SvcBytesRead,         ///< payload bytes received
+  SvcBytesWritten,      ///< payload bytes sent
+  SvcProtocolErrors,    ///< malformed frames / requests (connection dropped)
+  // Compaction service — shared-state registry.
+  RegistryCircuitHits,  ///< parsed-circuit reuses across jobs
+  RegistryCircuitMisses,///< circuits parsed/generated fresh
+  RegistrySimReuses,    ///< pooled simulators (warm TraceCache) reused
   kCount
 };
 
@@ -115,6 +139,8 @@ void reset();
 enum class Gauge : std::uint16_t {
   TraceCacheSize,     ///< live entries in the fault-free trace cache
   ThreadsConfigured,  ///< last worker-thread count installed
+  SvcQueueDepth,      ///< jobs currently queued in the service
+  SvcJobsRunning,     ///< jobs currently executing
   kCount
 };
 
@@ -133,6 +159,9 @@ enum class Histogram : std::uint16_t {
   QueueWaitNanos,  ///< thread-pool submit -> dequeue latency
   TaskRunNanos,    ///< thread-pool task execution time
   QueryNanos,      ///< FaultSimulator query wall time
+  JobQueueNanos,   ///< service job admission -> first execution
+  JobRunNanos,     ///< service job execution time (final attempt)
+  JobLatencyNanos, ///< service job admission -> terminal state
   kCount
 };
 

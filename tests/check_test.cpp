@@ -373,6 +373,35 @@ TEST(TraceCacheCow, UnsharedEntryExtendsInPlace) {
   EXPECT_EQ(extended->length(), 4u);
 }
 
+// --- Per-case watchdog -------------------------------------------------
+
+TEST(CheckWatchdog, ExpiredBudgetCutsCaseAsTimeoutNotDivergence) {
+  // A watchdog that fires immediately must cut the case at the first
+  // comparison boundary: the report says timed_out, and the cut itself
+  // contributes no divergence (a slow case is not a wrong case).
+  CheckConfig cfg;
+  cfg.threads = 2;
+  cfg.max_case_seconds = 1e-9;
+  const check::CaseReport r = check_case(check::make_workload(12345), cfg);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.divergences.empty());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(CheckWatchdog, GenerousBudgetRunsTheFullMatrix) {
+  // With a budget the case cannot exhaust, the watchdog must be
+  // invisible: same comparison count as a run with no watchdog at all.
+  CheckConfig plain;
+  plain.threads = 2;
+  const check::CaseReport base = check_case(check::make_workload(777), plain);
+  CheckConfig guarded = plain;
+  guarded.max_case_seconds = 3600.0;
+  const check::CaseReport r = check_case(check::make_workload(777), guarded);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.comparisons, base.comparisons);
+  EXPECT_EQ(r.divergences, base.divergences);
+}
+
 // --- Shrinker output ---------------------------------------------------
 
 TEST(CheckShrink, ReproIsStandalone) {

@@ -341,6 +341,15 @@ expt::RunnerOptions tiny_runner(const std::string& cache_path) {
   return opt;
 }
 
+/// Same, but under the transition-delay fault model: the interrupt and
+/// resume machinery must be model-agnostic (the journal keys on the
+/// model, and frame-gated coverage bookkeeping resumes identically).
+expt::RunnerOptions tiny_transition_runner(const std::string& cache_path) {
+  expt::RunnerOptions opt = tiny_runner(cache_path);
+  opt.fault_model = fault::FaultModelKind::Transition;
+  return opt;
+}
+
 /// serialize_run minus wall-clock (`seconds` accumulates across resumed
 /// attempts and legitimately differs; every measured number must not).
 std::string measured_numbers(const expt::CircuitRun& run) {
@@ -472,6 +481,36 @@ TEST(RunnerResilience, PartialRunReportsPhaseAndIsNeverCached) {
   EXPECT_FALSE(fs::exists(expt::cache_entry_path(opt, "b02")));
 }
 
+TEST(RunnerResilience,
+     TransitionDeadlineInterruptsThenResumeIsBitIdentical) {
+  // The deadline-cut schedule under the transition-delay model: cuts
+  // land in frame-gated simulation phases the stuck-at sweep never
+  // exercises, and resume must still be bit-identical.
+  const auto entry = gen::find_suite_entry("b02");
+  ASSERT_TRUE(entry.has_value());
+
+  ScratchDir dir("tdf_deadline_resume");
+  const expt::RunnerOptions base_opt =
+      tiny_transition_runner(dir.path + "/base");
+  const expt::CircuitRun baseline = expt::run_circuit(*entry, base_opt);
+  ASSERT_TRUE(baseline.completed);
+  const std::string want = measured_numbers(baseline);
+
+  const double budgets[] = {1e-4, 8e-4, 4e-3, 1e-2, 3e-2, 8e-2};
+  int total_partials = 0;
+  int point = 0;
+  for (const double budget : budgets) {
+    const expt::RunnerOptions opt =
+        tiny_transition_runner(dir.path + "/cut" + std::to_string(point++));
+    int partials = 0;
+    const expt::CircuitRun resumed =
+        run_with_deadline_cuts(*entry, opt, budget, &partials);
+    total_partials += partials;
+    EXPECT_EQ(measured_numbers(resumed), want) << "budget " << budget;
+  }
+  EXPECT_GE(total_partials, 6);
+}
+
 // ---------------------------------------------------------------------
 // SIGKILL injection: a child process is killed at randomized points;
 // the surviving cache directory must resume to bit-identical numbers.
@@ -521,6 +560,47 @@ TEST(RunnerResilience, SigkillAtRandomPointsThenResumeIsBitIdentical) {
   ASSERT_TRUE(resumed.completed);
   EXPECT_EQ(measured_numbers(resumed), want);
   // Completion retires the journal.
+  EXPECT_FALSE(
+      fs::exists(expt::cache_entry_path(opt, "b02") + ".journal"));
+}
+
+TEST(RunnerResilience, TransitionSigkillThenResumeIsBitIdentical) {
+  // The SIGKILL sweep under the transition-delay model.
+  const auto entry = gen::find_suite_entry("b02");
+  ASSERT_TRUE(entry.has_value());
+
+  ScratchDir dir("tdf_kill_resume");
+  const expt::RunnerOptions base_opt =
+      tiny_transition_runner(dir.path + "/base");
+  const expt::CircuitRun baseline = expt::run_circuit(*entry, base_opt);
+  ASSERT_TRUE(baseline.completed);
+  const std::string want = measured_numbers(baseline);
+
+  const expt::RunnerOptions opt = tiny_transition_runner(dir.path + "/kill");
+  const useconds_t delays[] = {300, 1500, 4000, 9000, 20000, 40000};
+  for (const useconds_t delay : delays) {
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      try {
+        const expt::CircuitRun run = expt::run_circuit(*entry, opt);
+        _exit(run.completed ? 0 : 3);
+      } catch (...) {
+        _exit(2);
+      }
+    }
+    usleep(delay);
+    kill(child, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    if (WIFEXITED(status)) {
+      EXPECT_NE(WEXITSTATUS(status), 2);
+    }
+  }
+
+  const expt::CircuitRun resumed = expt::run_circuit(*entry, opt);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(measured_numbers(resumed), want);
   EXPECT_FALSE(
       fs::exists(expt::cache_entry_path(opt, "b02") + ".journal"));
 }
