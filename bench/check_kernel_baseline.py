@@ -18,6 +18,13 @@ frame-gated transition kernel (BM_KernelTDF): tdf_skip_ratio pins the
 activation-aware whole-frame skipping, cache_hit_ratio the shared
 fault-free trace reuse.
 
+A ``simd`` section gates the wide-kernel speedups the same way:
+``simd.wide`` holds per-tile-count floors for BM_KernelFull/N over
+BM_KernelWide/N (the SIMD fault-parallel widening gain) and
+``simd.ppsfp`` for BM_KernelPerTest/N over BM_KernelPPSFP/N (the
+pattern-parallel batch gain).  These ratios compare two measurements
+from the same run, so they are noise-robust like the cone speedups.
+
 Every missing benchmark, field, or baseline key is reported by name
 instead of surfacing as a traceback.
 """
@@ -82,18 +89,32 @@ def speedups(benchmarks, path):
     return out
 
 
-def check_speedups(measured, baseline, tolerance):
+def ratio_speedups(benchmarks, path, slow_name, fast_name):
+    """{arg: slow_time / fast_time} for args where both exist."""
+    out = {}
+    for name in benchmarks:
+        kind, arg = name.split("/", 1)
+        if kind != fast_name or f"{slow_name}/{arg}" not in benchmarks:
+            continue
+        fast = real_time(benchmarks, name, path)
+        if fast <= 0.0:
+            fail(f"benchmark '{name}' in {path} has non-positive real_time")
+        out[arg] = real_time(benchmarks, f"{slow_name}/{arg}", path) / fast
+    return out
+
+
+def check_speedups(measured, baseline, tolerance, label="cone"):
     ok = True
     for arg, base in sorted(baseline.items(), key=lambda kv: int(kv[0])):
         got = measured.get(arg)
         if got is None:
-            print(f"tiles={arg}: MISSING measurement")
+            print(f"tiles={arg}: MISSING {label} measurement")
             ok = False
             continue
         floor = base * tolerance
         status = "ok" if got >= floor else "REGRESSION"
         print(
-            f"tiles={arg}: cone speedup {got:.2f}x "
+            f"tiles={arg}: {label} speedup {got:.2f}x "
             f"(baseline {base:.2f}x, floor {floor:.2f}x) {status}"
         )
         ok = ok and got >= floor
@@ -155,6 +176,17 @@ def main():
             ok = check_efficiency(
                 benchmarks, baseline[section], args.tolerance,
                 args.measured) and ok
+    simd = baseline.get("simd", {})
+    if "wide" in simd:
+        ok = check_speedups(
+            ratio_speedups(benchmarks, args.measured,
+                           "BM_KernelFull", "BM_KernelWide"),
+            simd["wide"], args.tolerance, label="wide") and ok
+    if "ppsfp" in simd:
+        ok = check_speedups(
+            ratio_speedups(benchmarks, args.measured,
+                           "BM_KernelPerTest", "BM_KernelPPSFP"),
+            simd["ppsfp"], args.tolerance, label="ppsfp") and ok
     sys.exit(0 if ok else 1)
 
 

@@ -20,7 +20,8 @@ import sys
 EXPECTED_COUNTERS = [
     "frames_simulated", "frames_skipped", "cone_passes", "full_passes",
     "cone_gates_scheduled", "cone_gates_dropped", "tdf_activations",
-    "tdf_frames_skipped", "trace_cache_hits",
+    "tdf_frames_skipped", "ppsfp_batches", "ppsfp_tests_packed",
+    "wide_fp_passes", "trace_cache_hits",
     "trace_cache_misses", "trace_cache_extensions",
     "trace_cache_partial_reuses", "trace_cache_evictions", "pool_tasks_run",
     "pool_queue_wait_ns", "pool_busy_ns", "groups_executed", "queries_run",
@@ -36,8 +37,8 @@ EXPECTED_COUNTERS = [
     "registry_sim_reuses",
 ]
 EXPECTED_GAUGES = [
-    "trace_cache_size", "threads_configured", "svc_queue_depth",
-    "svc_jobs_running",
+    "trace_cache_size", "threads_configured", "simd_lane_width",
+    "ppsfp_tests_per_pass", "svc_queue_depth", "svc_jobs_running",
 ]
 EXPECTED_DERIVED = [
     "frame_skip_ratio", "trace_cache_hit_ratio", "cone_pass_ratio",

@@ -19,6 +19,7 @@
 #include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
 #include "sim/seq_sim.hpp"
+#include "sim/simd.hpp"
 #include "tgen/random_seq.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
@@ -188,12 +189,14 @@ netlist::Circuit tiled_circuit(std::size_t tiles) {
 
 void run_kernel_bench(benchmark::State& state, fault::KernelMode mode,
                       const fault::FaultModel& model =
-                          fault::FaultModel::stuck_at()) {
+                          fault::FaultModel::stuck_at(),
+                      sim::LaneWidth lanes = sim::LaneWidth::W64) {
   const netlist::Circuit c = tiled_circuit(
       static_cast<std::size_t>(state.range(0)));
   const fault::FaultList fl = fault::FaultList::build(c, model);
   fault::FaultSimulator fsim(c, fl);
   fsim.set_kernel(mode);
+  fsim.set_lane_width(lanes);
   const sim::Sequence seq = tgen::random_test_sequence(c, 32, 11);
   util::Rng rng(3);
   const sim::Vector3 si = sim::random_vector(c.num_flip_flops(), rng);
@@ -262,6 +265,93 @@ void BM_KernelTDF(benchmark::State& state) {
 BENCHMARK(BM_KernelTDF)->Arg(2)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+// Wide fault-parallel engine on the same tiled circuit and query as
+// BM_KernelFull (which pins the scalar 64-bit kernels): the ratio
+// full/wide is the SIMD widening gain, gated by the baseline's "simd"
+// section.
+void BM_KernelWide(benchmark::State& state) {
+  run_kernel_bench(state, fault::KernelMode::Full,
+                   fault::FaultModel::stuck_at(), sim::LaneWidth::Auto);
+  const sim::SimdConfig simd = sim::resolve_simd(sim::LaneWidth::Auto);
+  state.counters["lane_bits"] =
+      benchmark::Counter(static_cast<double>(simd.bits));
+}
+BENCHMARK(BM_KernelWide)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Pattern-parallel (PPSFP) batch scoring vs per-test scoring: the same
+// 16 scan tests on the tiled circuit, scored one detect_scan_test at a
+// time on the scalar Full kernel (BM_KernelPerTest) and in one
+// detect_batch call that packs lanes() tests per wide pass
+// (BM_KernelPPSFP).  Their ratio is the PPSFP gain the baseline gates.
+struct PpsfpMaterial {
+  netlist::Circuit circuit;
+  fault::FaultList faults;
+  std::vector<sim::Vector3> scan_ins;
+  std::vector<sim::Sequence> seqs;
+  std::vector<fault::FaultSimulator::BatchTest> batch;
+};
+
+PpsfpMaterial ppsfp_material(std::size_t tiles) {
+  constexpr std::size_t kTests = 16;
+  PpsfpMaterial m{tiled_circuit(tiles), {}, {}, {}, {}};
+  m.faults = fault::FaultList::build(m.circuit);
+  util::Rng rng(29);
+  for (std::size_t i = 0; i < kTests; ++i) {
+    m.scan_ins.push_back(
+        sim::random_vector(m.circuit.num_flip_flops(), rng));
+    m.seqs.push_back(
+        tgen::random_test_sequence(m.circuit, 32, 500 + i));
+  }
+  m.batch.resize(kTests);
+  for (std::size_t i = 0; i < kTests; ++i) {
+    m.batch[i] = {&m.scan_ins[i], &m.seqs[i]};
+  }
+  return m;
+}
+
+void BM_KernelPerTest(benchmark::State& state) {
+  const PpsfpMaterial m =
+      ppsfp_material(static_cast<std::size_t>(state.range(0)));
+  fault::FaultSimulator fsim(m.circuit, m.faults);
+  fsim.set_kernel(fault::KernelMode::Full);
+  fsim.set_lane_width(sim::LaneWidth::W64);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < m.batch.size(); ++i) {
+      benchmark::DoNotOptimize(
+          fsim.detect_scan_test(m.scan_ins[i], m.seqs[i]));
+    }
+  }
+  state.counters["tests/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * m.batch.size()),
+      benchmark::Counter::kIsRate);
+}
+// Arg(16) is deliberately absent: the per-test leg costs ~35 s there
+// and adds nothing the 2- and 8-tile ratios don't already gate.
+BENCHMARK(BM_KernelPerTest)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelPPSFP(benchmark::State& state) {
+  const PpsfpMaterial m =
+      ppsfp_material(static_cast<std::size_t>(state.range(0)));
+  fault::FaultSimulator fsim(m.circuit, m.faults);
+  fsim.set_kernel(fault::KernelMode::Full);
+  fsim.set_lane_width(sim::LaneWidth::Auto);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.detect_batch(m.batch));
+  }
+  const sim::SimdConfig simd = fsim.simd_config();
+  state.counters["tests/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * m.batch.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["ppsfp_w"] =
+      benchmark::Counter(static_cast<double>(simd.lanes()));
+  state.counters["lane_bits"] =
+      benchmark::Counter(static_cast<double>(simd.bits));
+}
+BENCHMARK(BM_KernelPPSFP)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PodemPerFault(benchmark::State& state) {
   const netlist::Circuit c = mid_circuit();
   const fault::FaultList fl = fault::FaultList::build(c);
@@ -290,4 +380,19 @@ BENCHMARK(BM_BenchParseRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: stamp the detected SIMD configuration into the JSON
+// context (the "simd" section of the BENCH_kernel.json artifact) before
+// running — detected ISA, resolved lane width, and the PPSFP batch
+// width (tests packed per wide pass).
+int main(int argc, char** argv) {
+  const sim::SimdConfig simd = sim::resolve_simd(sim::LaneWidth::Auto);
+  benchmark::AddCustomContext("simd_isa", sim::isa_name(simd.isa));
+  benchmark::AddCustomContext("simd_lane_bits", std::to_string(simd.bits));
+  benchmark::AddCustomContext("simd_ppsfp_tests_per_pass",
+                              std::to_string(simd.lanes()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

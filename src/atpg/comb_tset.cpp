@@ -19,6 +19,18 @@ fault::FaultSet detect_comb_test(FaultSimulator& fsim, const CombTest& test,
   return fsim.detect_scan_test(test.state, seq, targets);
 }
 
+std::vector<fault::FaultSet> detect_comb_tests(FaultSimulator& fsim,
+                                               std::span<const CombTest> tests,
+                                               const FaultSet* targets) {
+  std::vector<sim::Sequence> seqs(tests.size());
+  std::vector<FaultSimulator::BatchTest> batch(tests.size());
+  for (std::size_t j = 0; j < tests.size(); ++j) {
+    seqs[j].frames.push_back(tests[j].inputs);
+    batch[j] = {&tests[j].state, &seqs[j]};
+  }
+  return fsim.detect_batch(batch, targets);
+}
+
 namespace {
 
 /// Fills X positions with random binary values, except at unscanned
@@ -68,11 +80,7 @@ void consume(const FaultSet& det, Needs& needs) {
 /// needs it.  Preserves min(N, achievable) detections per fault.
 void reverse_compact(FaultSimulator& fsim, std::vector<CombTest>& tests,
                      std::size_t num_classes, std::size_t n_detect) {
-  std::vector<FaultSet> det;
-  det.reserve(tests.size());
-  for (const CombTest& t : tests) {
-    det.push_back(detect_comb_test(fsim, t));
-  }
+  const std::vector<FaultSet> det = detect_comb_tests(fsim, tests);
   Needs needs = requirement_counts(det, num_classes, n_detect);
   std::vector<CombTest> kept;
   for (std::size_t j = tests.size(); j-- > 0;) {
@@ -92,11 +100,7 @@ void reverse_compact(FaultSimulator& fsim, std::vector<CombTest>& tests,
 void greedy_cover_compact(FaultSimulator& fsim,
                           std::vector<CombTest>& tests,
                           std::size_t num_classes, std::size_t n_detect) {
-  std::vector<FaultSet> det;
-  det.reserve(tests.size());
-  for (const CombTest& t : tests) {
-    det.push_back(detect_comb_test(fsim, t));
-  }
+  const std::vector<FaultSet> det = detect_comb_tests(fsim, tests);
   Needs needs = requirement_counts(det, num_classes, n_detect);
   std::vector<CombTest> kept;
   std::vector<char> used(tests.size(), 0);

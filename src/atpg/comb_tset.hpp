@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "atpg/dalg.hpp"
@@ -101,6 +102,13 @@ struct CombTestSetOptions {
 /// the classes it detects among `targets`.
 [[nodiscard]] fault::FaultSet detect_comb_test(
     fault::FaultSimulator& fsim, const CombTest& test,
+    const fault::FaultSet* targets = nullptr);
+
+/// Batch form of detect_comb_test: one detection set per test, in
+/// order, routed through the simulator's pattern-parallel (PPSFP) path
+/// — bit-identical to calling detect_comb_test on each.
+[[nodiscard]] std::vector<fault::FaultSet> detect_comb_tests(
+    fault::FaultSimulator& fsim, std::span<const CombTest> tests,
     const fault::FaultSet* targets = nullptr);
 
 }  // namespace scanc::atpg

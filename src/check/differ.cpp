@@ -28,6 +28,7 @@ struct Config {
   KernelMode kernel;
   std::size_t threads;
   bool fresh_per_query;  ///< new simulator per query: every trace misses
+  sim::LaneWidth lanes = sim::LaneWidth::W64;
 };
 
 /// First few elements of the symmetric difference, for messages.
@@ -54,12 +55,18 @@ class CaseChecker {
                             util::Deadline::after(cfg.max_case_seconds))
                       : util::CancelToken{}) {
     ref_.set_kernel(KernelMode::Full);
+    // The reference stays on the scalar 64-bit kernels: every wide or
+    // pattern-parallel result is judged against it.
+    ref_.set_lane_width(sim::LaneWidth::W64);
     configs_ = {
         Config{"full/N", KernelMode::Full, cfg.threads, false},
         Config{"cone/cold", KernelMode::Cone, 1, true},
         Config{"cone/warm", KernelMode::Cone, 1, false},
         Config{"cone/N", KernelMode::Cone, cfg.threads, false},
         Config{"auto/warm", KernelMode::Auto, 1, false},
+        Config{"full/wide", KernelMode::Full, 1, false, cfg.lane_width},
+        Config{"full/wide/N", KernelMode::Full, cfg.threads, false,
+               cfg.lane_width},
     };
     for (const Config& c : configs_) {
       shared_.push_back(c.fresh_per_query ? nullptr : make_sim(c));
@@ -71,6 +78,7 @@ class CaseChecker {
       check_scan_test(i);
     }
     if (!cut()) check_no_scan();
+    if (!cut()) check_batch();
     if (cfg_->run_metamorphic && !cut()) {
       check_session_resume();
       check_cycles();
@@ -93,6 +101,7 @@ class CaseChecker {
                                               w_->scan_mask);
     s->set_kernel(c.kernel);
     s->set_num_threads(c.threads);
+    s->set_lane_width(c.lanes);
     return s;
   }
 
@@ -346,6 +355,82 @@ class CaseChecker {
       });
     }
     no_scan_base_ = base;
+  }
+
+  void check_batch() {
+    // Pattern-parallel batch queries against the per-test scalar
+    // answers, at every distinct lane width: W64 exercises the per-test
+    // fallback inside detect_batch/times_batch, the wide widths the
+    // packed PPSFP engine (intrinsic where the CPU has it, portable
+    // wide words otherwise — both must be bit-identical).
+    if (w_->tests.empty()) return;
+    std::vector<FaultSimulator::BatchTest> batch(w_->tests.size());
+    std::vector<FaultSet> base;
+    std::vector<FaultSimulator::DetectionTimes> base_times;
+    base.reserve(batch.size());
+    base_times.reserve(batch.size());
+    for (std::size_t i = 0; i < w_->tests.size(); ++i) {
+      const tcomp::ScanTest& t = w_->tests[i];
+      batch[i] = {&t.scan_in, &t.seq};
+      base.push_back(ref_.detect_scan_test(t.scan_in, t.seq, &targets_));
+      base_times.push_back(ref_.detection_times(t.scan_in, t.seq, targets_));
+    }
+
+    // Ragged no-scan batch: the full sequence, a prefix, and an empty
+    // sequence share one pass (no-scan tests pack like scan tests, with
+    // lanes of different lengths going idle at different frames).
+    std::vector<Sequence> ns_seqs;
+    ns_seqs.push_back(w_->no_scan_seq);
+    if (w_->no_scan_seq.length() >= 2) {
+      ns_seqs.push_back(
+          w_->no_scan_seq.subsequence(0, w_->no_scan_seq.length() / 2 - 1));
+    }
+    ns_seqs.emplace_back();
+    std::vector<FaultSimulator::BatchTest> ns_batch(ns_seqs.size());
+    std::vector<FaultSet> ns_base;
+    ns_base.reserve(ns_seqs.size());
+    for (std::size_t i = 0; i < ns_seqs.size(); ++i) {
+      ns_batch[i] = {nullptr, &ns_seqs[i]};
+      ns_base.push_back(ref_.detect_no_scan(ns_seqs[i], &targets_));
+    }
+
+    std::vector<sim::LaneWidth> widths = {
+        sim::LaneWidth::W64, sim::LaneWidth::W256, sim::LaneWidth::W512};
+    bool dup = false;
+    for (const sim::LaneWidth lw : widths) {
+      dup = dup || sim::resolve_simd(lw) == sim::resolve_simd(cfg_->lane_width);
+    }
+    if (!dup) widths.push_back(cfg_->lane_width);
+
+    for (const sim::LaneWidth lw : widths) {
+      if (cut()) return;
+      FaultSimulator s(w_->circuit, w_->faults, w_->scan_mask);
+      s.set_lane_width(lw);
+      const std::string where =
+          std::string("batch lw=") + sim::lane_width_name(lw);
+      const std::vector<FaultSet> det = s.detect_batch(batch, &targets_);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        expect_sets_equal(where + " detect test=" + std::to_string(i),
+                          base[i], det[i]);
+      }
+      if (cut()) return;
+      const auto times = s.times_batch(batch, targets_);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::string tw = where + " times test=" + std::to_string(i);
+        expect_true(tw, times[i].targets == base_times[i].targets,
+                    "target order differs");
+        expect_true(tw, times[i].first_po == base_times[i].first_po,
+                    "first_po differs");
+        expect_true(tw, times[i].state_diff == base_times[i].state_diff,
+                    "state_diff differs");
+      }
+      if (cut()) return;
+      const std::vector<FaultSet> nsd = s.detect_batch(ns_batch, &targets_);
+      for (std::size_t i = 0; i < ns_batch.size(); ++i) {
+        expect_sets_equal(where + " no_scan test=" + std::to_string(i),
+                          ns_base[i], nsd[i]);
+      }
+    }
   }
 
   void check_session_resume() {

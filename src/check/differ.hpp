@@ -3,7 +3,7 @@
 // Every FaultSimulator query is executed under a matrix of
 // configurations that must be bit-identical by contract:
 //
-//   reference   KernelMode::Full, 1 thread, fresh simulator
+//   reference   KernelMode::Full, 1 thread, 64-bit lanes, fresh simulator
 //   full/N      KernelMode::Full, N threads, shared simulator
 //   cone/cold   KernelMode::Cone, 1 thread, fresh simulator per query
 //               (every trace is a cache miss)
@@ -12,6 +12,15 @@
 //               copy-on-write, partial prefix reuse)
 //   cone/N      KernelMode::Cone, N threads, shared simulator
 //   auto/warm   KernelMode::Auto, 1 thread, shared simulator
+//   full/wide   KernelMode::Full, 1 thread, CheckConfig::lane_width lanes
+//               (the SIMD-or-portable wide fault-parallel engine)
+//   full/wide/N KernelMode::Full, N threads, wide lanes
+//
+// and the pattern-parallel batch queries (check_batch): detect_batch /
+// times_batch over all of the workload's scan tests plus a ragged
+// no-scan batch, at every distinct lane width (64 = per-test fallback,
+// 256/512 = packed PPSFP engine), each element compared against the
+// scalar per-test reference answer,
 //
 // plus the scalar single-fault oracle (check/oracle_sim.hpp), and the
 // metamorphic properties the paper's accounting guarantees:
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "check/workload.hpp"
+#include "sim/simd.hpp"
 
 namespace scanc::check {
 
@@ -50,6 +60,12 @@ struct CheckConfig {
   std::size_t oracle_fault_cap = 128;
   bool run_oracle = true;
   bool run_metamorphic = true;
+  /// Lane width for the wide configurations (full/wide, full/wide/N)
+  /// and the batch checks.  The reference always runs 64-bit scalar
+  /// lanes; Auto picks the widest implementation this build + CPU has
+  /// (portable wide words where intrinsics are missing, so the matrix
+  /// is meaningful on any host).
+  sim::LaneWidth lane_width = sim::LaneWidth::Auto;
   /// Per-case watchdog: a case still running after this many seconds is
   /// cut at the next comparison boundary and reported with timed_out
   /// set (obs.check_case_timeouts).  A timeout is NOT a divergence —

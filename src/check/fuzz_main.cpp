@@ -2,6 +2,7 @@
 //
 //   fuzz_check [--seed=N] [--iters=N] [--time-budget=SECS] [--threads=N]
 //              [--fault-model=stuck|transition] [--no-oracle]
+//              [--lane-width=64|256|512|auto]
 //              [--max-case-seconds=SECS] [--repro-out=PATH] [--quiet]
 //
 // Expands case seeds derived from --seed into workloads and runs each
@@ -27,6 +28,7 @@
 #include "check/shrink.hpp"
 #include "check/workload.hpp"
 #include "fault/model.hpp"
+#include "sim/simd.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
 
@@ -39,6 +41,7 @@ struct Options {
   double max_case_seconds = 0.0;  // per-case watchdog; 0 = disabled
   std::size_t threads = 8;
   scanc::fault::FaultModelKind model = scanc::fault::FaultModelKind::StuckAt;
+  scanc::sim::LaneWidth lane_width = scanc::sim::LaneWidth::Auto;
   bool oracle = true;
   bool quiet = false;
   std::string repro_out;
@@ -80,6 +83,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::cerr << "fuzz_check: unknown fault model: " << m << "\n";
         return false;
       }
+    } else if (a.rfind("--lane-width=", 0) == 0) {
+      const auto lw = scanc::sim::parse_lane_width(value("--lane-width="));
+      if (!lw) {
+        std::cerr << "fuzz_check: unknown lane width: "
+                  << value("--lane-width=") << "\n";
+        return false;
+      }
+      opt.lane_width = *lw;
     } else if (a == "--no-oracle") {
       opt.oracle = false;
     } else if (a == "--quiet") {
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
   scanc::check::CheckConfig cfg;
   cfg.threads = opt.threads;
   cfg.run_oracle = opt.oracle;
+  cfg.lane_width = opt.lane_width;
   cfg.max_case_seconds = opt.max_case_seconds;
 
   const auto start = std::chrono::steady_clock::now();

@@ -85,12 +85,18 @@ DiagnosisResult diagnose(FaultSimulator& fsim,
   // Rank: how many failing tests does each surviving candidate predict
   // (i.e. the fault is detected by that test)?
   std::vector<std::size_t> explained(fsim.num_classes(), 0);
-  for (std::size_t t = 0; t < set.size(); ++t) {
-    if (!failing[t] || candidates.none()) continue;
-    const FaultSet det = fsim.detect_scan_test(set.tests[t].scan_in,
-                                               set.tests[t].seq,
-                                               &candidates);
-    det.for_each([&](std::size_t f) { ++explained[f]; });
+  if (!candidates.none()) {
+    // One pattern-parallel batch over the failing tests: the candidate
+    // set is fixed here, so the batch is bit-identical to per-test runs.
+    std::vector<fault::FaultSimulator::BatchTest> batch;
+    batch.reserve(set.size());
+    for (std::size_t t = 0; t < set.size(); ++t) {
+      if (!failing[t]) continue;
+      batch.push_back({&set.tests[t].scan_in, &set.tests[t].seq});
+    }
+    for (const FaultSet& det : fsim.detect_batch(batch, &candidates)) {
+      det.for_each([&](std::size_t f) { ++explained[f]; });
+    }
   }
   candidates.for_each([&](std::size_t f) {
     result.candidates.push_back(

@@ -1,0 +1,18 @@
+// AVX2 batch-engine instantiation.  This TU (alone) is compiled with
+// -mavx2 when the compiler supports it; it deliberately instantiates
+// only Avx2Word templates so no other symbol the linker might prefer is
+// built with wide codegen.  Callers reach it through make_batch_engine,
+// which consults __builtin_cpu_supports before selecting this path.
+#include "fault/batch_engine_impl.hpp"
+#include "fault/batch_engine_isa.hpp"
+
+namespace scanc::fault {
+
+std::unique_ptr<BatchEngine> make_batch_engine_avx2(
+    const netlist::Circuit& circuit, const FaultList& faults,
+    util::Bitset scan_mask) {
+  return make_batch_engine_impl<sim::Avx2Word>(circuit, faults,
+                                               std::move(scan_mask));
+}
+
+}  // namespace scanc::fault

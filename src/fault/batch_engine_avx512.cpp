@@ -1,0 +1,17 @@
+// AVX-512 batch-engine instantiation (compiled with -mavx512f when
+// available; foundation subset only — the kernels need nothing beyond
+// 512-bit and/or/xor/sub/test/compare).  See batch_engine_avx2.cpp for
+// the TU-isolation rationale.
+#include "fault/batch_engine_impl.hpp"
+#include "fault/batch_engine_isa.hpp"
+
+namespace scanc::fault {
+
+std::unique_ptr<BatchEngine> make_batch_engine_avx512(
+    const netlist::Circuit& circuit, const FaultList& faults,
+    util::Bitset scan_mask) {
+  return make_batch_engine_impl<sim::Avx512Word>(circuit, faults,
+                                                 std::move(scan_mask));
+}
+
+}  // namespace scanc::fault

@@ -1,0 +1,545 @@
+// BatchEngine implementation template, instantiated once per word type
+// by the per-ISA translation units (batch_engine.cpp and the
+// -mavx2/-mavx512f TUs).  Include this header only from those TUs.
+//
+// Bit-identity discipline: every pass below replicates the control flow
+// of the corresponding GroupWorker full-kernel pass lane by lane.
+// Observations (PO detections, scan-out detections, detection-time
+// records) are always masked with the set of lanes the per-test pass
+// would observe *this frame*:
+//
+//   stuck-at   lanes whose test is still running (t < length)
+//   TDF        lanes with an active launch this frame — inactive lanes
+//              carry stale diverged values (their state is only reloaded
+//              on active frames) and must never be observed
+//
+// Dead / inactive lanes keep evolving on all-X inputs; that is garbage
+// by design and harmless because the masks above keep it unobserved.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "fault/batch_engine.hpp"
+#include "fault/group_exec.hpp"
+#include "fault/group_worker.hpp"
+#include "sim/wide_sim.hpp"
+#include "util/telemetry.hpp"
+
+namespace scanc::fault {
+
+namespace batch_detail {
+
+/// Mirror of group_worker.cpp's FrameTally: batches kernel counters into
+/// locals and publishes once per pass.  Wide passes count *lane-frames*
+/// (one unit per observed lane per frame) so FramesSimulated stays
+/// comparable with the per-test kernels.
+struct WideFrameTally {
+  std::uint64_t simulated = 0;
+  std::uint64_t tdf_activations = 0;
+  std::uint64_t tdf_skipped = 0;
+  ~WideFrameTally() {
+    if (simulated != 0) obs::add(obs::Counter::FramesSimulated, simulated);
+    if (tdf_activations != 0) {
+      obs::add(obs::Counter::TdfActivations, tdf_activations);
+    }
+    if (tdf_skipped != 0) {
+      obs::add(obs::Counter::TdfFramesSkipped, tdf_skipped);
+    }
+  }
+};
+
+}  // namespace batch_detail
+
+template <class W>
+class BatchEngineImpl final : public BatchEngine {
+ public:
+  static constexpr std::size_t kLanes = W::kLanes;
+
+  BatchEngineImpl(const netlist::Circuit& circuit, const FaultList& faults,
+                  util::Bitset scan_mask)
+      : circuit_(&circuit),
+        faults_(&faults),
+        scan_mask_(std::move(scan_mask)),
+        sim_(circuit),
+        inj_(circuit.num_nodes()),
+        state_scratch_(kLanes) {
+    assert(scan_mask_.size() == circuit.num_flip_flops());
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return kLanes;
+  }
+
+  void detect_batch(std::span<const BatchTestRef> tests,
+                    std::span<const FaultClassId> group,
+                    bool observe_scan_out,
+                    std::span<std::uint64_t> det) override {
+    assert(!tests.empty() && tests.size() <= kLanes);
+    assert(det.size() == tests.size());
+    obs::add(obs::Counter::PpsfpBatches);
+    obs::add(obs::Counter::PpsfpTestsPacked, tests.size());
+    if (faults_->model().frame_gated()) {
+      detect_batch_tdf(tests, group, observe_scan_out, det);
+    } else {
+      detect_batch_stuck(tests, group, observe_scan_out, det);
+    }
+  }
+
+  void times_batch(std::span<const BatchTestRef> tests,
+                   std::span<const FaultClassId> group, std::size_t stride,
+                   std::span<std::int64_t> first_po,
+                   std::span<util::Bitset> state_diff) override {
+    assert(!tests.empty() && tests.size() <= kLanes);
+    assert(stride >= group.size());
+    assert(first_po.size() >= (tests.size() - 1) * stride + group.size());
+    assert(state_diff.size() >= (tests.size() - 1) * stride + group.size());
+    obs::add(obs::Counter::PpsfpBatches);
+    obs::add(obs::Counter::PpsfpTestsPacked, tests.size());
+    if (faults_->model().frame_gated()) {
+      times_batch_tdf(tests, group, stride, first_po, state_diff);
+    } else {
+      times_batch_stuck(tests, group, stride, first_po, state_diff);
+    }
+  }
+
+  void detect_groups(const sim::Vector3* scan_in, const sim::Sequence& seq,
+                     std::span<const FaultClassId> list,
+                     std::size_t first_group, std::size_t ngroups,
+                     bool observe_scan_out, bool early_exit,
+                     const std::atomic<bool>* keep_going,
+                     const util::CancelToken* cancel,
+                     std::span<std::uint64_t> det) override;
+
+ private:
+  // --- shared helpers --------------------------------------------------
+
+  /// Word with lane l all-ones iff pred(l); lanes >= n are zero.
+  template <class Pred>
+  [[nodiscard]] static W lane_mask(std::size_t n, Pred pred) {
+    W m = W::zero();
+    for (std::size_t l = 0; l < n; ++l) {
+      if (pred(l)) m.set_lane(l, ~0ULL);
+    }
+    return m;
+  }
+
+  [[nodiscard]] static std::size_t max_length(
+      std::span<const BatchTestRef> tests) {
+    std::size_t n = 0;
+    for (const BatchTestRef& t : tests) {
+      n = std::max(n, t.seq->length());
+    }
+    return n;
+  }
+
+  [[nodiscard]] static bool all_lanes_full(const W& det, const W& full) {
+    return !((det & full) ^ full).any();
+  }
+
+  [[nodiscard]] W wide_po_detections() const {
+    W d = W::zero();
+    for (const netlist::NodeId po : circuit_->primary_outputs()) {
+      d = d | sim::wide_detections(sim_.value(po));
+    }
+    return d;
+  }
+
+  [[nodiscard]] W wide_state_detections() const {
+    W d = W::zero();
+    for (std::size_t i = 0; i < circuit_->num_flip_flops(); ++i) {
+      if (!scan_mask_.test(i)) continue;
+      d = d | sim::wide_detections(sim_.captured(i));
+    }
+    return d;
+  }
+
+  /// Splat injections: the same group in every lane (slot j+1 =
+  /// group[j]), the wide mirror of build_group_injections.
+  void build_splat_injections(std::span<const FaultClassId> group) {
+    inj_.clear();
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      const Fault& f = faults_->representative(group[j]);
+      inj_.add(f.node, f.pin, f.value, W::splat(1ULL << (j + 1)));
+    }
+  }
+
+  /// Records fresh per-lane PO/state bits into the lane-major spans.
+  static void record_lane_bits(std::uint64_t bits, std::size_t base,
+                               std::size_t t,
+                               std::span<std::int64_t> first_po) {
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      first_po[base + static_cast<std::size_t>(bit) - 1] =
+          static_cast<std::int64_t>(t);
+    }
+  }
+  static void record_lane_bits(std::uint64_t bits, std::size_t base,
+                               std::size_t t,
+                               std::span<util::Bitset> state_diff) {
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      state_diff[base + static_cast<std::size_t>(bit) - 1].set(t);
+    }
+  }
+
+  // --- stuck-at PPSFP passes -------------------------------------------
+
+  void detect_batch_stuck(std::span<const BatchTestRef> tests,
+                          std::span<const FaultClassId> group,
+                          bool observe_scan_out,
+                          std::span<std::uint64_t> det_out) {
+    const std::size_t n = tests.size();
+    build_splat_injections(group);
+    obs::add(obs::Counter::FullPasses, n);
+    sim_.reset(&inj_);
+    std::array<const sim::Vector3*, kLanes> ptr{};
+    bool any_state = false;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (tests[l].scan_in != nullptr) {
+        state_scratch_[l] = masked_state(*tests[l].scan_in);
+        ptr[l] = &state_scratch_[l];
+        any_state = true;
+      } else {
+        ptr[l] = nullptr;
+      }
+    }
+    if (any_state) sim_.load_state({ptr.data(), n}, &inj_);
+
+    const W full = W::splat(group_slot_mask(group.size()));
+    const std::size_t max_len = max_length(tests);
+    W det = W::zero();
+    batch_detail::WideFrameTally tally;
+    for (std::size_t t = 0; t < max_len; ++t) {
+      std::size_t live_count = 0;
+      for (std::size_t l = 0; l < n; ++l) {
+        const bool live = t < tests[l].seq->length();
+        ptr[l] = live ? &tests[l].seq->frames[t] : nullptr;
+        live_count += live ? 1 : 0;
+      }
+      const W live = lane_mask(n, [&](std::size_t l) {
+        return t < tests[l].seq->length();
+      });
+      tally.simulated += live_count;
+      sim_.apply_frame({ptr.data(), n}, &inj_);
+      det = det | (wide_po_detections() & live);
+      sim_.latch(&inj_);
+      if (observe_scan_out) {
+        const W finals = lane_mask(n, [&](std::size_t l) {
+          return tests[l].seq->length() == t + 1;
+        });
+        if (finals.any()) {
+          det = det | (wide_state_detections() & finals);
+        }
+      }
+      // All lanes saturated: later frames cannot add detections (per-lane
+      // det is capped at `full`, matching run_detect's early exit).
+      if (all_lanes_full(det, full)) break;
+    }
+    for (std::size_t l = 0; l < n; ++l) det_out[l] = det.lane(l);
+  }
+
+  void times_batch_stuck(std::span<const BatchTestRef> tests,
+                         std::span<const FaultClassId> group,
+                         std::size_t stride,
+                         std::span<std::int64_t> first_po,
+                         std::span<util::Bitset> state_diff) {
+    const std::size_t n = tests.size();
+    build_splat_injections(group);
+    obs::add(obs::Counter::FullPasses, n);
+    sim_.reset(&inj_);
+    std::array<const sim::Vector3*, kLanes> ptr{};
+    for (std::size_t l = 0; l < n; ++l) {
+      assert(tests[l].scan_in != nullptr);
+      state_scratch_[l] = masked_state(*tests[l].scan_in);
+      ptr[l] = &state_scratch_[l];
+    }
+    sim_.load_state({ptr.data(), n}, &inj_);
+
+    const std::size_t max_len = max_length(tests);
+    W det = W::zero();
+    batch_detail::WideFrameTally tally;
+    for (std::size_t t = 0; t < max_len; ++t) {
+      for (std::size_t l = 0; l < n; ++l) {
+        const bool live = t < tests[l].seq->length();
+        ptr[l] = live ? &tests[l].seq->frames[t] : nullptr;
+        tally.simulated += live ? 1 : 0;
+      }
+      const W live = lane_mask(n, [&](std::size_t l) {
+        return t < tests[l].seq->length();
+      });
+      sim_.apply_frame({ptr.data(), n}, &inj_);
+      const W fresh = wide_po_detections() & live & ~det;
+      det = det | fresh;
+      sim_.latch(&inj_);
+      const W state = wide_state_detections() & live;
+      for (std::size_t l = 0; l < n; ++l) {
+        record_lane_bits(fresh.lane(l), l * stride, t, first_po);
+        record_lane_bits(state.lane(l), l * stride, t, state_diff);
+      }
+    }
+  }
+
+  // --- transition-delay (frame-gated) PPSFP passes ---------------------
+
+  /// Caches the group's (node, stale) sites — build_tdf_sites mirror.
+  void build_tdf_sites(std::span<const FaultClassId> group) {
+    tdf_sites_.clear();
+    tdf_sites_.reserve(group.size());
+    for (const FaultClassId id : group) {
+      const Fault& f = faults_->representative(id);
+      assert(f.pin == sim::kStemPin);
+      tdf_sites_.push_back(TdfSite{f.node, f.value});
+    }
+  }
+
+  [[nodiscard]] std::uint64_t tdf_activation(const sim::NodeTrace& trace,
+                                             std::size_t t) const {
+    assert(t >= 1);
+    std::uint64_t act = 0;
+    for (std::size_t j = 0; j < tdf_sites_.size(); ++j) {
+      const TdfSite& s = tdf_sites_[j];
+      const sim::V3 stale = s.stale ? sim::V3::One : sim::V3::Zero;
+      const sim::V3 fresh = s.stale ? sim::V3::Zero : sim::V3::One;
+      if (trace.value(t - 1, s.node) == stale &&
+          trace.value(t, s.node) == fresh) {
+        act |= 1ULL << (j + 1);
+      }
+    }
+    return act;
+  }
+
+  /// Rebuilds inj_ from per-lane activation masks: site j gets one wide
+  /// injection whose lane l mask is slot j+1 iff lane l launches it.
+  void build_tdf_injections(std::span<const std::uint64_t> act,
+                            std::size_t n) {
+    inj_.clear();
+    for (std::size_t j = 0; j < tdf_sites_.size(); ++j) {
+      const std::uint64_t slot = 1ULL << (j + 1);
+      W m = W::zero();
+      bool used = false;
+      for (std::size_t l = 0; l < n; ++l) {
+        if ((act[l] & slot) != 0) {
+          m.set_lane(l, slot);
+          used = true;
+        }
+      }
+      if (used) {
+        const TdfSite& s = tdf_sites_[j];
+        inj_.add(s.node, sim::kStemPin, s.stale, m);
+      }
+    }
+  }
+
+  void detect_batch_tdf(std::span<const BatchTestRef> tests,
+                        std::span<const FaultClassId> group,
+                        bool observe_scan_out,
+                        std::span<std::uint64_t> det_out) {
+    const std::size_t n = tests.size();
+    build_tdf_sites(group);
+    obs::add(obs::Counter::FullPasses, n);
+    sim_.reset(nullptr);
+    const std::size_t max_len = max_length(tests);
+    std::array<const sim::Vector3*, kLanes> state_ptr{};
+    std::array<const sim::Vector3*, kLanes> pi_ptr{};
+    std::array<std::uint64_t, kLanes> act{};
+    W det = W::zero();
+    batch_detail::WideFrameTally tally;
+    // Frame 0 has no launch frame and is never active in any lane.
+    for (std::size_t t = 1; t < max_len; ++t) {
+      bool any_act = false;
+      for (std::size_t l = 0; l < n; ++l) {
+        const bool live = t < tests[l].seq->length();
+        act[l] = live ? tdf_activation(*tests[l].trace, t) : 0;
+        if (live && act[l] == 0) ++tally.tdf_skipped;
+        any_act |= act[l] != 0;
+      }
+      if (!any_act) continue;
+      build_tdf_injections({act.data(), n}, n);
+      for (std::size_t l = 0; l < n; ++l) {
+        if (act[l] != 0) {
+          tally.tdf_activations +=
+              static_cast<std::uint64_t>(std::popcount(act[l]));
+          ++tally.simulated;
+          state_scratch_[l] = tests[l].trace->state_at_start(t);
+          state_ptr[l] = &state_scratch_[l];
+          pi_ptr[l] = &tests[l].seq->frames[t];
+        } else {
+          state_ptr[l] = nullptr;
+          pi_ptr[l] = nullptr;
+        }
+      }
+      sim_.load_state({state_ptr.data(), n}, &inj_);
+      sim_.apply_frame({pi_ptr.data(), n}, &inj_);
+      const W active = lane_mask(n, [&](std::size_t l) {
+        return act[l] != 0;
+      });
+      det = det | (wide_po_detections() & active);
+      if (observe_scan_out) {
+        const W finals = lane_mask(n, [&](std::size_t l) {
+          return act[l] != 0 && tests[l].seq->length() == t + 1;
+        });
+        if (finals.any()) {
+          sim_.latch(&inj_);
+          det = det | (wide_state_detections() & finals);
+        }
+      }
+    }
+    for (std::size_t l = 0; l < n; ++l) det_out[l] = det.lane(l);
+  }
+
+  void times_batch_tdf(std::span<const BatchTestRef> tests,
+                       std::span<const FaultClassId> group,
+                       std::size_t stride,
+                       std::span<std::int64_t> first_po,
+                       std::span<util::Bitset> state_diff) {
+    const std::size_t n = tests.size();
+    build_tdf_sites(group);
+    obs::add(obs::Counter::FullPasses, n);
+    sim_.reset(nullptr);
+    const std::size_t max_len = max_length(tests);
+    std::array<const sim::Vector3*, kLanes> state_ptr{};
+    std::array<const sim::Vector3*, kLanes> pi_ptr{};
+    std::array<std::uint64_t, kLanes> act{};
+    W det = W::zero();
+    batch_detail::WideFrameTally tally;
+    for (std::size_t t = 1; t < max_len; ++t) {
+      bool any_act = false;
+      for (std::size_t l = 0; l < n; ++l) {
+        const bool live = t < tests[l].seq->length();
+        act[l] = live ? tdf_activation(*tests[l].trace, t) : 0;
+        if (live && act[l] == 0) ++tally.tdf_skipped;
+        any_act |= act[l] != 0;
+      }
+      if (!any_act) continue;
+      build_tdf_injections({act.data(), n}, n);
+      for (std::size_t l = 0; l < n; ++l) {
+        if (act[l] != 0) {
+          tally.tdf_activations +=
+              static_cast<std::uint64_t>(std::popcount(act[l]));
+          ++tally.simulated;
+          state_scratch_[l] = tests[l].trace->state_at_start(t);
+          state_ptr[l] = &state_scratch_[l];
+          pi_ptr[l] = &tests[l].seq->frames[t];
+        } else {
+          state_ptr[l] = nullptr;
+          pi_ptr[l] = nullptr;
+        }
+      }
+      sim_.load_state({state_ptr.data(), n}, &inj_);
+      sim_.apply_frame({pi_ptr.data(), n}, &inj_);
+      const W active = lane_mask(n, [&](std::size_t l) {
+        return act[l] != 0;
+      });
+      const W fresh = wide_po_detections() & active & ~det;
+      det = det | fresh;
+      sim_.latch(&inj_);
+      const W state = wide_state_detections() & active;
+      for (std::size_t l = 0; l < n; ++l) {
+        record_lane_bits(fresh.lane(l), l * stride, t, first_po);
+        record_lane_bits(state.lane(l), l * stride, t, state_diff);
+      }
+    }
+  }
+
+  /// masked_state mirror: unscanned positions forced to X.
+  [[nodiscard]] sim::Vector3 masked_state(
+      const sim::Vector3& scan_in) const {
+    if (scan_mask_.all()) return scan_in;
+    sim::Vector3 masked = scan_in;
+    for (std::size_t i = 0; i < masked.size(); ++i) {
+      if (!scan_mask_.test(i)) masked[i] = sim::V3::X;
+    }
+    return masked;
+  }
+
+  struct TdfSite {
+    netlist::NodeId node;
+    bool stale;
+  };
+
+  const netlist::Circuit* circuit_;
+  const FaultList* faults_;
+  util::Bitset scan_mask_;
+  sim::WideSeqSim<W> sim_;
+  sim::WideInjectionMap<W> inj_;
+  std::vector<sim::Vector3> state_scratch_;
+  std::vector<TdfSite> tdf_sites_;
+};
+
+// --- wide fault-parallel pass ------------------------------------------
+
+template <class W>
+void BatchEngineImpl<W>::detect_groups(
+    const sim::Vector3* scan_in, const sim::Sequence& seq,
+    std::span<const FaultClassId> list, std::size_t first_group,
+    std::size_t ngroups, bool observe_scan_out, bool early_exit,
+    const std::atomic<bool>* keep_going, const util::CancelToken* cancel,
+    std::span<std::uint64_t> det_out) {
+  assert(ngroups >= 1 && ngroups <= kLanes);
+  assert(det_out.size() == ngroups);
+  assert(!faults_->model().frame_gated());
+  obs::add(obs::Counter::WideFpPasses);
+  obs::add(obs::Counter::FullPasses, ngroups);
+
+  // Per-lane injections: lane l carries group first_group + l.
+  inj_.clear();
+  W full = W::zero();
+  for (std::size_t l = 0; l < ngroups; ++l) {
+    const std::size_t base = (first_group + l) * kGroupSize;
+    const std::size_t gn = std::min(kGroupSize, list.size() - base);
+    full.set_lane(l, group_slot_mask(gn));
+    for (std::size_t j = 0; j < gn; ++j) {
+      const Fault& f = faults_->representative(list[base + j]);
+      W m = W::zero();
+      m.set_lane(l, 1ULL << (j + 1));
+      inj_.add(f.node, f.pin, f.value, m);
+    }
+  }
+  sim_.reset(&inj_);
+  std::array<const sim::Vector3*, kLanes> ptr{};
+  if (scan_in != nullptr) {
+    state_scratch_[0] = masked_state(*scan_in);
+    for (std::size_t l = 0; l < ngroups; ++l) ptr[l] = &state_scratch_[0];
+    sim_.load_state({ptr.data(), ngroups}, &inj_);
+  }
+
+  W det = W::zero();
+  bool aborted = false;
+  batch_detail::WideFrameTally tally;
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    if ((keep_going != nullptr &&
+         !keep_going->load(std::memory_order_relaxed)) ||
+        (cancel != nullptr && cancel->stop_requested())) {
+      aborted = true;  // partial masks, same contract as run_detect
+      break;
+    }
+    tally.simulated += ngroups;
+    for (std::size_t l = 0; l < ngroups; ++l) ptr[l] = &seq.frames[t];
+    sim_.apply_frame({ptr.data(), ngroups}, &inj_);
+    det = det | wide_po_detections();
+    sim_.latch(&inj_);
+    if (early_exit && t + 1 < seq.length() && all_lanes_full(det, full)) {
+      break;
+    }
+  }
+  if (observe_scan_out && !aborted && !all_lanes_full(det, full)) {
+    det = det | wide_state_detections();
+  }
+  for (std::size_t l = 0; l < ngroups; ++l) det_out[l] = det.lane(l);
+}
+
+template <class W>
+[[nodiscard]] std::unique_ptr<BatchEngine> make_batch_engine_impl(
+    const netlist::Circuit& circuit, const FaultList& faults,
+    util::Bitset scan_mask) {
+  return std::make_unique<BatchEngineImpl<W>>(circuit, faults,
+                                              std::move(scan_mask));
+}
+
+}  // namespace scanc::fault

@@ -1,0 +1,21 @@
+// Internal: factory entry points of the ISA-specific translation units.
+// Each symbol exists only when CMake found the matching compiler flag
+// (SCANC_HAVE_AVX2_TU / SCANC_HAVE_AVX512_TU) — batch_engine.cpp guards
+// every call site with those macros.
+#pragma once
+
+#include <memory>
+
+#include "fault/batch_engine.hpp"
+
+namespace scanc::fault {
+
+std::unique_ptr<BatchEngine> make_batch_engine_avx2(
+    const netlist::Circuit& circuit, const FaultList& faults,
+    util::Bitset scan_mask);
+
+std::unique_ptr<BatchEngine> make_batch_engine_avx512(
+    const netlist::Circuit& circuit, const FaultList& faults,
+    util::Bitset scan_mask);
+
+}  // namespace scanc::fault

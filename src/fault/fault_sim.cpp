@@ -4,9 +4,11 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 
+#include "fault/batch_engine.hpp"
 #include "util/telemetry.hpp"
 
 namespace scanc::fault {
@@ -126,23 +128,59 @@ std::shared_ptr<const sim::NodeTrace> FaultSimulator::acquire_trace(
   return trace_cache_.get(&masked, seq);
 }
 
+bool FaultSimulator::wide_fp_detect(const Vector3* scan_in,
+                                    const Sequence& seq,
+                                    std::span<const FaultClassId> list,
+                                    bool observe_scan_out,
+                                    const std::atomic<bool>* keep_going,
+                                    std::span<std::uint64_t> det) {
+  const sim::SimdConfig cfg = simd_config();
+  const std::size_t ng = det.size();
+  if (cfg.lanes() <= 1 || ng < 2 || kernel_ != KernelMode::Full ||
+      faults_->model().frame_gated()) {
+    return false;
+  }
+  obs::set_gauge(obs::Gauge::SimdLaneWidth, cfg.bits);
+  obs::add(obs::Counter::GroupsExecuted, ng);
+  const std::size_t lanes = cfg.lanes();
+  const std::size_t nchunks = (ng + lanes - 1) / lanes;
+  exec_.for_each_chunk(
+      nchunks, policy(), [&](GroupWorker& w, std::size_t c) {
+        if (cancel_.stop_requested()) return;  // skip chunk
+        if (keep_going != nullptr &&
+            !keep_going->load(std::memory_order_relaxed)) {
+          return;
+        }
+        const std::size_t first = c * lanes;
+        const std::size_t n = std::min(lanes, ng - first);
+        w.batch_engine(cfg).detect_groups(scan_in, seq, list, first, n,
+                                          observe_scan_out,
+                                          /*early_exit=*/true, keep_going,
+                                          &cancel_, det.subspan(first, n));
+      });
+  return true;
+}
+
 FaultSet FaultSimulator::detect_no_scan(const Sequence& seq,
                                         const FaultSet* targets) {
   const QueryScope scope("detect_no_scan");
   const std::vector<FaultClassId> list = collect(targets);
-  const auto trace = acquire_trace(nullptr, seq);
-  const KernelChoice kc = kernel_choice(trace.get());
   std::vector<std::uint64_t> det(num_groups(list.size()), 0);
-  for_each_group(exec_, list, policy(),
-                 [&](GroupWorker& w, std::size_t g,
-                     std::span<const FaultClassId> group) {
-                   if (cancel_.stop_requested()) return;  // skip group
-                   det[g] = w.run_detect(nullptr, seq, group,
-                                         /*observe_scan_out=*/false,
-                                         /*early_exit=*/true,
-                                         /*keep_going=*/nullptr, &cancel_,
-                                         kc);
-                 });
+  if (!wide_fp_detect(nullptr, seq, list, /*observe_scan_out=*/false,
+                      /*keep_going=*/nullptr, det)) {
+    const auto trace = acquire_trace(nullptr, seq);
+    const KernelChoice kc = kernel_choice(trace.get());
+    for_each_group(exec_, list, policy(),
+                   [&](GroupWorker& w, std::size_t g,
+                       std::span<const FaultClassId> group) {
+                     if (cancel_.stop_requested()) return;  // skip group
+                     det[g] = w.run_detect(nullptr, seq, group,
+                                           /*observe_scan_out=*/false,
+                                           /*early_exit=*/true,
+                                           /*keep_going=*/nullptr, &cancel_,
+                                           kc);
+                   });
+  }
   FaultSet detected(num_classes());
   reduce_masks(list, det, detected);
   return detected;
@@ -154,19 +192,22 @@ FaultSet FaultSimulator::detect_scan_test(const Vector3& scan_in,
   check_scan_in(scan_in);
   const QueryScope scope("detect_scan_test");
   const std::vector<FaultClassId> list = collect(targets);
-  const auto trace = acquire_trace(&scan_in, seq);
-  const KernelChoice kc = kernel_choice(trace.get());
   std::vector<std::uint64_t> det(num_groups(list.size()), 0);
-  for_each_group(exec_, list, policy(),
-                 [&](GroupWorker& w, std::size_t g,
-                     std::span<const FaultClassId> group) {
-                   if (cancel_.stop_requested()) return;  // skip group
-                   det[g] = w.run_detect(&scan_in, seq, group,
-                                         /*observe_scan_out=*/true,
-                                         /*early_exit=*/true,
-                                         /*keep_going=*/nullptr, &cancel_,
-                                         kc);
-                 });
+  if (!wide_fp_detect(&scan_in, seq, list, /*observe_scan_out=*/true,
+                      /*keep_going=*/nullptr, det)) {
+    const auto trace = acquire_trace(&scan_in, seq);
+    const KernelChoice kc = kernel_choice(trace.get());
+    for_each_group(exec_, list, policy(),
+                   [&](GroupWorker& w, std::size_t g,
+                       std::span<const FaultClassId> group) {
+                     if (cancel_.stop_requested()) return;  // skip group
+                     det[g] = w.run_detect(&scan_in, seq, group,
+                                           /*observe_scan_out=*/true,
+                                           /*early_exit=*/true,
+                                           /*keep_going=*/nullptr, &cancel_,
+                                           kc);
+                   });
+  }
   FaultSet detected(num_classes());
   reduce_masks(list, det, detected);
   return detected;
@@ -228,14 +269,48 @@ bool FaultSimulator::detects_all(const Vector3& scan_in, const Sequence& seq,
   check_scan_in(scan_in);
   const QueryScope scope("detects_all");
   const std::vector<FaultClassId> list = collect(&required);
-  const auto trace = acquire_trace(&scan_in, seq);
-  const KernelChoice kc = kernel_choice(trace.get());
   // Cooperative early exit: the first group that misses a fault flips
   // the flag; pending groups are skipped and in-flight groups abort at
   // their next frame boundary.  The answer never depends on the races —
   // the flag only ever moves true -> false, and it moves iff some group
   // genuinely fails.
   std::atomic<bool> all_ok{true};
+  const sim::SimdConfig cfg = simd_config();
+  const std::size_t ng = num_groups(list.size());
+  if (cfg.lanes() > 1 && ng >= 2 && kernel_ == KernelMode::Full &&
+      !faults_->model().frame_gated()) {
+    // Wide fault-parallel plan: lanes() groups per pass, each chunk
+    // checking its lanes' masks so later chunks still exit early.
+    obs::set_gauge(obs::Gauge::SimdLaneWidth, cfg.bits);
+    obs::add(obs::Counter::GroupsExecuted, ng);
+    const std::size_t lanes = cfg.lanes();
+    const std::size_t nchunks = (ng + lanes - 1) / lanes;
+    std::vector<std::uint64_t> det(ng, 0);
+    exec_.for_each_chunk(
+        nchunks, policy(), [&](GroupWorker& w, std::size_t c) {
+          if (!all_ok.load(std::memory_order_relaxed)) return;
+          if (cancel_.stop_requested()) {
+            all_ok.store(false, std::memory_order_relaxed);
+            return;
+          }
+          const std::size_t first = c * lanes;
+          const std::size_t n = std::min(lanes, ng - first);
+          w.batch_engine(cfg).detect_groups(
+              &scan_in, seq, list, first, n,
+              /*observe_scan_out=*/true, /*early_exit=*/true, &all_ok,
+              &cancel_, std::span<std::uint64_t>(det).subspan(first, n));
+          for (std::size_t l = 0; l < n; ++l) {
+            const std::size_t base = (first + l) * kGroupSize;
+            const std::size_t gn = std::min(kGroupSize, list.size() - base);
+            if (det[first + l] != group_slot_mask(gn)) {
+              all_ok.store(false, std::memory_order_relaxed);
+            }
+          }
+        });
+    return all_ok.load(std::memory_order_relaxed);
+  }
+  const auto trace = acquire_trace(&scan_in, seq);
+  const KernelChoice kc = kernel_choice(trace.get());
   for_each_group(exec_, list, policy(),
                  [&](GroupWorker& w, std::size_t /*g*/,
                      std::span<const FaultClassId> group) {
@@ -284,6 +359,165 @@ FaultSet FaultSimulator::consistent_faults(
   FaultSet consistent(num_classes());
   reduce_masks(list, mismatch, consistent, /*complement=*/true);
   return consistent;
+}
+
+std::vector<std::shared_ptr<const sim::NodeTrace>>
+FaultSimulator::acquire_traces(std::span<const BatchTest> tests) {
+  if (!faults_->model().frame_gated()) return {};
+  std::vector<sim::TraceCache::Request> reqs(tests.size());
+  // Masked scan-in copies (partial scan) must outlive get_batch; the
+  // reserve keeps their addresses stable.
+  std::vector<sim::Vector3> masked;
+  const bool full_scan = scan_mask_.all();
+  if (!full_scan) masked.reserve(tests.size());
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    reqs[i].seq = tests[i].seq;
+    if (tests[i].scan_in == nullptr) continue;
+    if (full_scan) {
+      reqs[i].scan_in = tests[i].scan_in;
+      continue;
+    }
+    sim::Vector3 m = *tests[i].scan_in;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      if (!scan_mask_.test(k)) m[k] = sim::V3::X;
+    }
+    masked.push_back(std::move(m));
+    reqs[i].scan_in = &masked.back();
+  }
+  return trace_cache_.get_batch(reqs);
+}
+
+std::vector<FaultSet> FaultSimulator::detect_batch(
+    std::span<const BatchTest> tests, const FaultSet* targets) {
+  const std::size_t num_tests = tests.size();
+  std::vector<FaultSet> out;
+  out.reserve(num_tests);
+  if (num_tests == 0) return out;
+  const bool with_scan = tests.front().scan_in != nullptr;
+  for (const BatchTest& t : tests) {
+    assert(t.seq != nullptr);
+    if ((t.scan_in != nullptr) != with_scan) {
+      throw std::invalid_argument(
+          "detect_batch: batch mixes scan and no-scan tests");
+    }
+    if (with_scan) check_scan_in(*t.scan_in);
+  }
+  const sim::SimdConfig cfg = simd_config();
+  if (!use_batch(num_tests, cfg)) {
+    for (const BatchTest& t : tests) {
+      out.push_back(with_scan ? detect_scan_test(*t.scan_in, *t.seq, targets)
+                              : detect_no_scan(*t.seq, targets));
+    }
+    return out;
+  }
+  const QueryScope scope("detect_batch");
+  obs::set_gauge(obs::Gauge::SimdLaneWidth, cfg.bits);
+  obs::set_gauge(obs::Gauge::PpsfpTestsPerPass, cfg.lanes());
+  const std::vector<FaultClassId> list = collect(targets);
+  const auto traces = acquire_traces(tests);
+  std::vector<BatchTestRef> refs(num_tests);
+  for (std::size_t i = 0; i < num_tests; ++i) {
+    refs[i] = BatchTestRef{tests[i].scan_in, tests[i].seq,
+                           traces.empty() ? nullptr : traces[i].get()};
+  }
+  const std::size_t ng = num_groups(list.size());
+  const std::size_t lanes = cfg.lanes();
+  // det[g * num_tests + i] = group g's mask under test i.
+  std::vector<std::uint64_t> det(ng * num_tests, 0);
+  for_each_group(
+      exec_, list, policy(),
+      [&](GroupWorker& w, std::size_t g,
+          std::span<const FaultClassId> group) {
+        BatchEngine& eng = w.batch_engine(cfg);
+        for (std::size_t c = 0; c < num_tests; c += lanes) {
+          if (cancel_.stop_requested()) return;  // skip rest of group
+          const std::size_t n = std::min(lanes, num_tests - c);
+          eng.detect_batch(
+              std::span<const BatchTestRef>(refs).subspan(c, n), group,
+              /*observe_scan_out=*/with_scan,
+              std::span<std::uint64_t>(det).subspan(g * num_tests + c, n));
+        }
+      });
+  std::vector<std::uint64_t> gm(ng);
+  for (std::size_t i = 0; i < num_tests; ++i) {
+    for (std::size_t g = 0; g < ng; ++g) gm[g] = det[g * num_tests + i];
+    FaultSet s(num_classes());
+    reduce_masks(list, gm, s);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<FaultSimulator::DetectionTimes> FaultSimulator::times_batch(
+    std::span<const BatchTest> tests, const FaultSet& targets) {
+  const std::size_t num_tests = tests.size();
+  std::vector<DetectionTimes> out;
+  out.reserve(num_tests);
+  if (num_tests == 0) return out;
+  for (const BatchTest& t : tests) {
+    assert(t.seq != nullptr);
+    if (t.scan_in == nullptr) {
+      throw std::invalid_argument("times_batch: every test needs scan-in");
+    }
+    check_scan_in(*t.scan_in);
+  }
+  const sim::SimdConfig cfg = simd_config();
+  if (!use_batch(num_tests, cfg)) {
+    for (const BatchTest& t : tests) {
+      out.push_back(detection_times(*t.scan_in, *t.seq, targets));
+    }
+    return out;
+  }
+  const QueryScope scope("times_batch");
+  obs::set_gauge(obs::Gauge::SimdLaneWidth, cfg.bits);
+  obs::set_gauge(obs::Gauge::PpsfpTestsPerPass, cfg.lanes());
+  const std::vector<FaultClassId> list = collect(&targets);
+  const auto traces = acquire_traces(tests);
+  std::vector<BatchTestRef> refs(num_tests);
+  for (std::size_t i = 0; i < num_tests; ++i) {
+    refs[i] = BatchTestRef{tests[i].scan_in, tests[i].seq,
+                           traces.empty() ? nullptr : traces[i].get()};
+  }
+  const std::size_t nt = list.size();
+  const std::size_t lanes = cfg.lanes();
+  // Flat test-major records: test i, target j at index i * nt + j.  The
+  // engine's stride parameter lets each (group, chunk) call write its
+  // slice of this buffer directly.
+  std::vector<std::int64_t> flat_po(num_tests * nt, -1);
+  std::vector<util::Bitset> flat_sd(num_tests * nt);
+  for (std::size_t i = 0; i < num_tests; ++i) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      flat_sd[i * nt + j] = util::Bitset(tests[i].seq->length());
+    }
+  }
+  for_each_group(
+      exec_, list, policy(),
+      [&](GroupWorker& w, std::size_t g,
+          std::span<const FaultClassId> group) {
+        BatchEngine& eng = w.batch_engine(cfg);
+        const std::size_t base = g * kGroupSize;
+        for (std::size_t c = 0; c < num_tests; c += lanes) {
+          if (cancel_.stop_requested()) return;  // skip rest of group
+          const std::size_t n = std::min(lanes, num_tests - c);
+          const std::size_t off = c * nt + base;
+          const std::size_t len = (n - 1) * nt + group.size();
+          eng.times_batch(std::span<const BatchTestRef>(refs).subspan(c, n),
+                          group, /*stride=*/nt,
+                          std::span<std::int64_t>(flat_po).subspan(off, len),
+                          std::span<util::Bitset>(flat_sd).subspan(off, len));
+        }
+      });
+  for (std::size_t i = 0; i < num_tests; ++i) {
+    DetectionTimes dt;
+    dt.targets = list;
+    const auto b = static_cast<std::ptrdiff_t>(i * nt);
+    const auto e = static_cast<std::ptrdiff_t>((i + 1) * nt);
+    dt.first_po.assign(flat_po.begin() + b, flat_po.begin() + e);
+    dt.state_diff.assign(std::make_move_iterator(flat_sd.begin() + b),
+                         std::make_move_iterator(flat_sd.begin() + e));
+    out.push_back(std::move(dt));
+  }
+  return out;
 }
 
 FaultSimulator::Session::Session(FaultSimulator& parent,

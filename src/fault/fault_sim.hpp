@@ -44,6 +44,7 @@
 #include "fault/group_exec.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/seq_sim.hpp"
+#include "sim/simd.hpp"
 #include "sim/trace_cache.hpp"
 #include "util/bitset.hpp"
 #include "util/cancel.hpp"
@@ -104,6 +105,22 @@ class FaultSimulator {
   void set_kernel(KernelMode m) noexcept { kernel_ = m; }
   [[nodiscard]] KernelMode kernel() const noexcept { return kernel_; }
 
+  /// SIMD lane width for the wide passes (sim/simd.hpp): batch queries
+  /// pack lanes() tests per pass (PPSFP), and Full-kernel stuck-at
+  /// queries pack lanes() fault groups per pass.  Auto (default) picks
+  /// the widest ISA the CPU supports; W64 disables both wide paths.
+  /// Results are bit-identical across widths.
+  void set_lane_width(sim::LaneWidth w) noexcept { lane_width_ = w; }
+  [[nodiscard]] sim::LaneWidth lane_width() const noexcept {
+    return lane_width_;
+  }
+
+  /// The (width, ISA) configuration lane_width() resolves to on this
+  /// machine.
+  [[nodiscard]] sim::SimdConfig simd_config() const noexcept {
+    return sim::resolve_simd(lane_width_);
+  }
+
   /// The shared fault-free trace cache (exposed for tests/diagnostics).
   [[nodiscard]] const sim::TraceCache& trace_cache() const noexcept {
     return trace_cache_;
@@ -154,6 +171,25 @@ class FaultSimulator {
                                           const sim::Sequence& seq,
                                           const FaultSet* targets = nullptr);
 
+  /// One test of a batch query.  `scan_in == nullptr` means the test
+  /// runs without scan (all-X start, POs only), as detect_no_scan.
+  struct BatchTest {
+    const sim::Vector3* scan_in = nullptr;
+    const sim::Sequence* seq = nullptr;
+  };
+
+  /// Pattern-parallel (PPSFP) batch of detect_scan_test /
+  /// detect_no_scan: one detected-fault set per test, in order,
+  /// bit-identical to running the per-test query on each.  The batch
+  /// must be homogeneous — every test with scan-in, or every test
+  /// without.  Packs simd_config().lanes() tests into the bit-lanes of
+  /// one wide pass per fault group, sharing the per-group setup and
+  /// every gate evaluation across the batch; falls back to the per-test
+  /// query when the batch or the lane width is 1, or under Cone kernel
+  /// mode (the cone kernel is per-test by construction).
+  [[nodiscard]] std::vector<FaultSet> detect_batch(
+      std::span<const BatchTest> tests, const FaultSet* targets = nullptr);
+
   /// Per-fault detection-time records for the scan test (scan_in, seq).
   ///
   /// For each simulated class f:
@@ -183,6 +219,13 @@ class FaultSimulator {
   [[nodiscard]] DetectionTimes detection_times(const sim::Vector3& scan_in,
                                                const sim::Sequence& seq,
                                                const FaultSet& targets);
+
+  /// Pattern-parallel (PPSFP) batch of detection_times: one record per
+  /// test, in order, bit-identical to the per-test query.  Every test
+  /// must have scan-in.  Same packing and fallback rules as
+  /// detect_batch.
+  [[nodiscard]] std::vector<DetectionTimes> times_batch(
+      std::span<const BatchTest> tests, const FaultSet& targets);
 
   /// Lighter variant of detection_times for coverage checking: records
   /// each target's earliest PO detection time and whether the complete
@@ -341,6 +384,31 @@ class FaultSimulator {
   [[nodiscard]] std::shared_ptr<const sim::NodeTrace> acquire_trace(
       const sim::Vector3* scan_in, const sim::Sequence& seq);
 
+  /// Fault-free traces for a batch query: one per test under a
+  /// frame-gated model (the batch passes' activation oracle), empty
+  /// under stuck-at (the wide passes run the full kernel and need no
+  /// trace).  Acquired before the group fan-out — TraceCache is not
+  /// thread-safe.
+  [[nodiscard]] std::vector<std::shared_ptr<const sim::NodeTrace>>
+  acquire_traces(std::span<const BatchTest> tests);
+
+  /// True when a (sub)query should take the wide PPSFP path.
+  [[nodiscard]] bool use_batch(std::size_t num_tests,
+                               const sim::SimdConfig& cfg) const noexcept {
+    return num_tests > 1 && cfg.lanes() > 1 && kernel_ != KernelMode::Cone;
+  }
+
+  /// Runs a detect-shaped plan on the wide fault-parallel path (lanes()
+  /// groups per pass) when it applies — Full kernel, frame-less model,
+  /// >= 2 groups, wide lanes — filling det (one mask per group) and
+  /// returning true.  Returns false untouched when the per-group 64-bit
+  /// plan should run instead.
+  bool wide_fp_detect(const sim::Vector3* scan_in, const sim::Sequence& seq,
+                      std::span<const FaultClassId> list,
+                      bool observe_scan_out,
+                      const std::atomic<bool>* keep_going,
+                      std::span<std::uint64_t> det);
+
   /// The per-group kernel choice handed to every worker pass.
   [[nodiscard]] KernelChoice kernel_choice(
       const sim::NodeTrace* trace) const noexcept {
@@ -353,6 +421,7 @@ class FaultSimulator {
   util::Bitset scan_mask_;
   std::size_t num_threads_ = 1;
   KernelMode kernel_ = KernelMode::Auto;
+  sim::LaneWidth lane_width_ = sim::LaneWidth::Auto;
   util::CancelToken cancel_;
   GroupExecutor exec_;
   sim::TraceCache trace_cache_;

@@ -31,12 +31,20 @@ void GroupExecutor::for_each_group(std::span<const FaultClassId> targets,
     return targets.subspan(base,
                            std::min(kGroupSize, targets.size() - base));
   };
+  for_each_chunk(ng, policy, [&](GroupWorker& w, std::size_t g) {
+    fn(w, g, group_at(g));
+  });
+}
 
-  const std::size_t threads =
-      std::min(util::ThreadPool::resolve_threads(policy.num_threads), ng);
+void GroupExecutor::for_each_chunk(std::size_t num_chunks,
+                                   const ExecPolicy& policy,
+                                   const ChunkFn& fn) {
+  if (num_chunks == 0) return;
+  const std::size_t threads = std::min(
+      util::ThreadPool::resolve_threads(policy.num_threads), num_chunks);
   if (threads <= 1) {
     GroupWorker& w = worker(0);
-    for (std::size_t g = 0; g < ng; ++g) fn(w, g, group_at(g));
+    for (std::size_t c = 0; c < num_chunks; ++c) fn(w, c);
     return;
   }
 
@@ -49,9 +57,9 @@ void GroupExecutor::for_each_group(std::span<const FaultClassId> targets,
   std::atomic<std::size_t> next{0};
   pool_->parallel_for(threads, [&](std::size_t wi) {
     GroupWorker& w = *workers_[wi];
-    for (std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
-         g < ng; g = next.fetch_add(1, std::memory_order_relaxed)) {
-      fn(w, g, group_at(g));
+    for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+         c < num_chunks; c = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(w, c);
     }
   });
 }

@@ -45,6 +45,12 @@ struct ExecPolicy {
 using GroupFn = std::function<void(
     GroupWorker&, std::size_t group_index, std::span<const FaultClassId>)>;
 
+/// Per-chunk callback for for_each_chunk: same worker-ownership contract
+/// as GroupFn, but the caller defines what a chunk is (the wide
+/// fault-parallel path runs one chunk of lanes() consecutive groups per
+/// call).
+using ChunkFn = std::function<void(GroupWorker&, std::size_t chunk_index)>;
+
 /// Runs fault-group query plans over one (circuit, fault list, scan
 /// mask) universe.  Owns the worker-local engines and the thread pool;
 /// both are created lazily and reused across queries, so the serial path
@@ -62,6 +68,13 @@ class GroupExecutor {
   /// per-group result slots and reduce after this returns.
   void for_each_group(std::span<const FaultClassId> targets,
                       const ExecPolicy& policy, const GroupFn& fn);
+
+  /// Generic fan-out `for_each_group` is built on: invokes `fn` once per
+  /// chunk index in [0, num_chunks) under `policy` with a thread-owned
+  /// worker.  Chunk invocation order is unspecified beyond
+  /// num_threads == 1 (ascending); results must not depend on it.
+  void for_each_chunk(std::size_t num_chunks, const ExecPolicy& policy,
+                      const ChunkFn& fn);
 
   /// The engine the serial path uses (worker 0) — exposed for
   /// incremental simulation sessions that interleave with queries.

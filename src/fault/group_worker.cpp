@@ -59,6 +59,14 @@ GroupWorker::GroupWorker(const netlist::Circuit& circuit,
   assert(scan_mask_.size() == circuit.num_flip_flops());
 }
 
+BatchEngine& GroupWorker::batch_engine(const sim::SimdConfig& cfg) {
+  if (batch_engine_ == nullptr || !(batch_cfg_ == cfg)) {
+    batch_engine_ = make_batch_engine(*circuit_, *faults_, scan_mask_, cfg);
+    batch_cfg_ = cfg;
+  }
+  return *batch_engine_;
+}
+
 Vector3 GroupWorker::masked_state(const Vector3& scan_in) const {
   if (scan_mask_.all()) return scan_in;
   Vector3 masked = scan_in;

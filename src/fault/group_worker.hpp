@@ -22,11 +22,13 @@
 #include <cstdint>
 #include <span>
 
+#include "fault/batch_engine.hpp"
 #include "fault/fault_list.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/cone_kernel.hpp"
 #include "sim/node_trace.hpp"
 #include "sim/seq_sim.hpp"
+#include "sim/simd.hpp"
 #include "util/bitset.hpp"
 #include "util/cancel.hpp"
 
@@ -134,6 +136,12 @@ class GroupWorker {
 
   /// Copies `scan_in` with unscanned positions forced to X.
   [[nodiscard]] sim::Vector3 masked_state(const sim::Vector3& scan_in) const;
+
+  /// Worker-local wide batch engine for `cfg` (PPSFP and wide
+  /// fault-parallel passes), created on first use and rebuilt when the
+  /// resolved config changes.  Callers only pass configs with
+  /// cfg.lanes() > 1 — single-lane work stays on the scalar passes.
+  [[nodiscard]] BatchEngine& batch_engine(const sim::SimdConfig& cfg);
 
   [[nodiscard]] sim::PackedSeqSim& sim() noexcept { return sim_; }
   [[nodiscard]] sim::InjectionMap& injections() noexcept {
@@ -267,6 +275,8 @@ class GroupWorker {
   sim::ConeSim cone_;
   std::vector<sim::ConeSite> sites_;
   std::vector<TdfSite> tdf_sites_;
+  std::unique_ptr<BatchEngine> batch_engine_;
+  sim::SimdConfig batch_cfg_;
 };
 
 }  // namespace scanc::fault

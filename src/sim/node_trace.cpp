@@ -1,5 +1,6 @@
 #include "sim/node_trace.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/packed.hpp"
@@ -70,6 +71,78 @@ void NodeTrace::extend(std::span<const Vector3> pi_frames) {
     // during this frame.
     vals_.insert(vals_.end(), work.begin(), work.end());
     ++length_;
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      next_state[i] = work[csr.fanins(ffs[i])[0]];
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i) work[ffs[i]] = next_state[i];
+  }
+}
+
+void NodeTrace::extend_batch(
+    std::span<NodeTrace* const> traces,
+    std::span<const std::span<const Vector3>> pi_frames) {
+  assert(traces.size() == pi_frames.size());
+  assert(traces.size() <= 64);
+  if (traces.empty()) return;
+  if (traces.size() == 1) {
+    traces[0]->extend(pi_frames[0]);
+    return;
+  }
+  const netlist::Circuit& c = *traces[0]->circuit_;
+  const netlist::CsrSchedule& csr = c.csr();
+  const auto pis = c.primary_inputs();
+  const auto ffs = c.flip_flops();
+  const std::size_t stride = traces[0]->stride_;
+  const std::size_t n = traces.size();
+
+  // Working values: constants splat across all slots, then each trace's
+  // resume state in its own slot.
+  std::vector<PackedV3> work(stride, broadcast(V3::X));
+  for (NodeId id = 0; id < stride; ++id) {
+    if (csr.types[id] == GateType::Const0) work[id] = broadcast(V3::Zero);
+    if (csr.types[id] == GateType::Const1) work[id] = broadcast(V3::One);
+  }
+  std::size_t max_len = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    NodeTrace& tr = *traces[k];
+    assert(tr.circuit_ == &c);
+    const Vector3 st = tr.state_at_start(tr.length_);
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      set_slot(work[ffs[i]], static_cast<unsigned>(k), st[i]);
+    }
+    tr.vals_.reserve(tr.vals_.size() + pi_frames[k].size() * stride);
+    max_len = std::max(max_len, pi_frames[k].size());
+  }
+
+  std::vector<PackedV3> next_state(ffs.size());
+  for (std::size_t t = 0; t < max_len; ++t) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      PackedV3 v = broadcast(V3::X);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (t < pi_frames[k].size()) {
+          assert(pi_frames[k][t].size() == pis.size());
+          set_slot(v, static_cast<unsigned>(k), pi_frames[k][t][i]);
+        }
+      }
+      work[pis[i]] = v;
+    }
+    for (const NodeId id : csr.order) {
+      const std::span<const NodeId> fi = csr.fanins(id);
+      work[id] = eval_gate_at(csr.types[id], fi.size(),
+                              [&](std::size_t i) { return work[fi[i]]; });
+    }
+    // Record the frame *before* latching, one slot extraction per trace
+    // still inside its own sequence.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (t >= pi_frames[k].size()) continue;
+      NodeTrace& tr = *traces[k];
+      const std::size_t off = tr.vals_.size();
+      tr.vals_.resize(off + stride);
+      for (NodeId id = 0; id < stride; ++id) {
+        tr.vals_[off + id] = slot(work[id], static_cast<unsigned>(k));
+      }
+      ++tr.length_;
+    }
     for (std::size_t i = 0; i < ffs.size(); ++i) {
       next_state[i] = work[csr.fanins(ffs[i])[0]];
     }

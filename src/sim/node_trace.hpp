@@ -72,6 +72,18 @@ class NodeTrace {
   /// kernel, appending one recorded frame each.
   void extend(std::span<const Vector3> pi_frames);
 
+  /// Extends up to 64 traces in one pattern-packed pass: trace k rides
+  /// bit-slot k of a PackedV3 word, so every gate is evaluated once for
+  /// all of them instead of once per trace.  Each trace resumes from
+  /// the state its recorded prefix ends in and appends one frame per
+  /// entry of its PI span; ragged lengths are fine (finished slots idle
+  /// on all-X inputs and record nothing).  All traces must share one
+  /// circuit and be distinct objects.  Bit-identical to calling
+  /// extend() on each trace in turn.
+  static void extend_batch(
+      std::span<NodeTrace* const> traces,
+      std::span<const std::span<const Vector3>> pi_frames);
+
  private:
   const netlist::Circuit* circuit_;
   std::size_t stride_;  ///< num_nodes

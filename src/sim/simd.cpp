@@ -1,0 +1,104 @@
+#include "sim/simd.hpp"
+
+namespace scanc::sim {
+
+namespace {
+
+[[nodiscard]] bool force_portable() noexcept {
+#if defined(SCANC_FORCE_SCALAR_WIDE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] bool avx2_compiled() noexcept {
+#if defined(SCANC_HAVE_AVX2_TU)
+  return true;
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] bool avx512_compiled() noexcept {
+#if defined(SCANC_HAVE_AVX512_TU)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdConfig resolve_simd(LaneWidth request) noexcept {
+  const bool a2 = !force_portable() && avx2_compiled() && cpu_has_avx2();
+  const bool a512 =
+      !force_portable() && avx512_compiled() && cpu_has_avx512();
+  switch (request) {
+    case LaneWidth::W64:
+      return {64, SimdIsa::Portable};
+    case LaneWidth::W256:
+      return {256, a2 ? SimdIsa::Avx2 : SimdIsa::Portable};
+    case LaneWidth::W512:
+      return {512, a512 ? SimdIsa::Avx512 : SimdIsa::Portable};
+    case LaneWidth::Auto:
+      if (a512) return {512, SimdIsa::Avx512};
+      if (a2) return {256, SimdIsa::Avx2};
+      // No intrinsic TU (or forced portable): 4 lanes keeps the working
+      // set modest while the compiler autovectorizes the lane loops.
+      return {256, SimdIsa::Portable};
+  }
+  return {64, SimdIsa::Portable};
+}
+
+const char* isa_name(SimdIsa isa) noexcept {
+  switch (isa) {
+    case SimdIsa::Portable:
+      return "portable";
+    case SimdIsa::Avx2:
+      return "avx2";
+    case SimdIsa::Avx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+const char* lane_width_name(LaneWidth w) noexcept {
+  switch (w) {
+    case LaneWidth::Auto:
+      return "auto";
+    case LaneWidth::W64:
+      return "64";
+    case LaneWidth::W256:
+      return "256";
+    case LaneWidth::W512:
+      return "512";
+  }
+  return "?";
+}
+
+std::optional<LaneWidth> parse_lane_width(std::string_view s) noexcept {
+  if (s == "auto") return LaneWidth::Auto;
+  if (s == "64") return LaneWidth::W64;
+  if (s == "256") return LaneWidth::W256;
+  if (s == "512") return LaneWidth::W512;
+  return std::nullopt;
+}
+
+}  // namespace scanc::sim

@@ -96,4 +96,90 @@ std::shared_ptr<const NodeTrace> TraceCache::get(const Vector3* scan_in,
   return trace;
 }
 
+std::vector<std::shared_ptr<const NodeTrace>> TraceCache::get_batch(
+    std::span<const Request> reqs) {
+  std::vector<std::shared_ptr<const NodeTrace>> out(reqs.size());
+
+  // A batch miss to build fresh; `indices` collects every request that
+  // shares the same key (duplicates inside one batch share one trace).
+  struct Pending {
+    std::vector<std::size_t> indices;
+    std::shared_ptr<NodeTrace> trace;
+  };
+  std::vector<Pending> pending;
+
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const Request& req = reqs[r];
+    assert(req.seq != nullptr);
+    ++tick_;
+    bool served = false;
+    for (Entry& e : entries_) {
+      if (!key_matches(e, req.scan_in)) continue;
+      const std::size_t lcp = common_prefix(e.seq, *req.seq);
+      if (lcp == req.seq->length() && e.seq.length() >= req.seq->length()) {
+        ++hits_;
+        obs::add(obs::Counter::TraceCacheHits);
+        e.stamp = tick_;
+        out[r] = e.trace;
+        served = true;
+        break;
+      }
+    }
+    if (served) continue;
+    for (Pending& p : pending) {
+      const Request& first = reqs[p.indices.front()];
+      const bool key_eq =
+          (first.scan_in == nullptr) == (req.scan_in == nullptr) &&
+          (req.scan_in == nullptr || *first.scan_in == *req.scan_in);
+      if (key_eq && common_prefix(*first.seq, *req.seq) == req.seq->length() &&
+          first.seq->length() == req.seq->length()) {
+        p.indices.push_back(r);
+        served = true;
+        break;
+      }
+    }
+    if (served) continue;
+    pending.push_back(Pending{{r}, nullptr});
+  }
+
+  // Simulate the misses fresh, pattern-packed 64 per pass.
+  for (std::size_t base = 0; base < pending.size(); base += 64) {
+    const std::size_t n = std::min<std::size_t>(64, pending.size() - base);
+    std::vector<NodeTrace*> traces(n);
+    std::vector<std::span<const Vector3>> frames(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      Pending& p = pending[base + k];
+      const Request& req = reqs[p.indices.front()];
+      p.trace = std::make_shared<NodeTrace>(*circuit_, req.scan_in);
+      traces[k] = p.trace.get();
+      frames[k] = std::span<const Vector3>(req.seq->frames);
+    }
+    NodeTrace::extend_batch(traces, frames);
+  }
+
+  for (Pending& p : pending) {
+    const Request& req = reqs[p.indices.front()];
+    ++misses_;
+    obs::add(obs::Counter::TraceCacheMisses);
+    if (entries_.size() >= capacity_) {
+      auto lru = std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+      entries_.erase(lru);
+      ++evictions_;
+      obs::add(obs::Counter::TraceCacheEvictions);
+    }
+    Entry e;
+    e.has_scan_in = req.scan_in != nullptr;
+    if (req.scan_in != nullptr) e.scan_in = *req.scan_in;
+    e.seq = *req.seq;
+    e.trace = p.trace;
+    e.stamp = tick_;
+    entries_.push_back(std::move(e));
+    for (const std::size_t r : p.indices) out[r] = p.trace;
+  }
+  obs::set_gauge(obs::Gauge::TraceCacheSize, entries_.size());
+  return out;
+}
+
 }  // namespace scanc::sim

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "netlist/circuit.hpp"
@@ -41,6 +42,24 @@ class TraceCache {
   /// seq.length() belong to a longer cached test and must be ignored.
   [[nodiscard]] std::shared_ptr<const NodeTrace> get(const Vector3* scan_in,
                                                      const Sequence& seq);
+
+  /// One trace request of a batch lookup.
+  struct Request {
+    const Vector3* scan_in = nullptr;  ///< masked; nullptr = no scan-in
+    const Sequence* seq = nullptr;
+  };
+
+  /// Batch form of get(): returns one trace per request, in order.
+  /// Exact/prefix hits are served from the cache; everything else is
+  /// simulated fresh, pattern-packed up to 64 tests per pass
+  /// (NodeTrace::extend_batch), with duplicate keys inside the batch
+  /// sharing one trace.  The batched miss path skips the
+  /// extension/partial-prefix reuse get() performs — batches are made
+  /// of distinct tests, where those almost never apply — so counters
+  /// record such requests as plain misses.  Results are bit-identical
+  /// to calling get() per request.
+  [[nodiscard]] std::vector<std::shared_ptr<const NodeTrace>> get_batch(
+      std::span<const Request> reqs);
 
   /// Drops every cached trace.
   void clear() { entries_.clear(); }

@@ -1,0 +1,299 @@
+// SIMD-widened bit-parallel three-valued logic.
+//
+// A wide word is NW independent 64-bit lanes.  Each lane keeps the
+// packed.hpp slot convention (the fault simulator's slot 0 = lane-local
+// fault-free reference, slots 1..63 = faulty machines), so one wide pass
+// simulates NW *independent* 64-slot simulations at once.  The two uses:
+//
+//   pattern-parallel (PPSFP)  — lanes carry different scan tests with
+//                               the same fault group replicated per lane
+//                               (per-lane stimulus, splat injections);
+//   wide fault-parallel       — lanes carry different fault groups under
+//                               the same test (broadcast stimulus,
+//                               per-lane injection masks).
+//
+// Because every operation here is lane-wise (no bit ever crosses a
+// 64-bit lane boundary), each lane evolves exactly as a PackedV3 pass
+// over the same inputs would — the bit-identity contract the check/
+// differ enforces.
+//
+// Word types:
+//   WideWord<NW>  — portable uint64_t[NW]; plain loops the compiler
+//                   autovectorizes (and the SCANC_FORCE_SCALAR_WIDE
+//                   fallback proves bit-identical on any hardware);
+//   Avx2Word      — one __m256i (4 lanes), compiled only in TUs built
+//                   with -mavx2;
+//   Avx512Word    — one __m512i (8 lanes), compiled only in TUs built
+//                   with -mavx512f.
+// Runtime dispatch between them lives in sim/simd.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "netlist/gate.hpp"
+#include "sim/logic.hpp"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace scanc::sim {
+
+/// Portable wide word: NW independent 64-bit lanes.
+template <std::size_t NW>
+struct WideWord {
+  static constexpr std::size_t kLanes = NW;
+
+  std::uint64_t w[NW];
+
+  [[nodiscard]] static WideWord zero() noexcept {
+    WideWord r;
+    for (std::size_t i = 0; i < NW; ++i) r.w[i] = 0;
+    return r;
+  }
+  [[nodiscard]] static WideWord splat(std::uint64_t v) noexcept {
+    WideWord r;
+    for (std::size_t i = 0; i < NW; ++i) r.w[i] = v;
+    return r;
+  }
+  [[nodiscard]] std::uint64_t lane(std::size_t i) const noexcept {
+    return w[i];
+  }
+  void set_lane(std::size_t i, std::uint64_t v) noexcept { w[i] = v; }
+
+  [[nodiscard]] bool any() const noexcept {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < NW; ++i) acc |= w[i];
+    return acc != 0;
+  }
+
+  friend WideWord operator&(WideWord a, WideWord b) noexcept {
+    for (std::size_t i = 0; i < NW; ++i) a.w[i] &= b.w[i];
+    return a;
+  }
+  friend WideWord operator|(WideWord a, WideWord b) noexcept {
+    for (std::size_t i = 0; i < NW; ++i) a.w[i] |= b.w[i];
+    return a;
+  }
+  friend WideWord operator^(WideWord a, WideWord b) noexcept {
+    for (std::size_t i = 0; i < NW; ++i) a.w[i] ^= b.w[i];
+    return a;
+  }
+  friend WideWord operator~(WideWord a) noexcept {
+    for (std::size_t i = 0; i < NW; ++i) a.w[i] = ~a.w[i];
+    return a;
+  }
+
+  /// Per lane: all-ones when the lane's bit 0 is set, else all-zeros
+  /// (broadcasts each lane's reference-slot bit across the lane).
+  [[nodiscard]] static WideWord bcast_bit0(WideWord a) noexcept {
+    for (std::size_t i = 0; i < NW; ++i) {
+      a.w[i] = static_cast<std::uint64_t>(
+          -static_cast<std::int64_t>(a.w[i] & 1));
+    }
+    return a;
+  }
+};
+
+#if defined(__AVX2__)
+/// 4 lanes in one __m256i.  Only visible to TUs compiled with -mavx2.
+struct Avx2Word {
+  static constexpr std::size_t kLanes = 4;
+
+  __m256i v;
+
+  [[nodiscard]] static Avx2Word zero() noexcept {
+    return {_mm256_setzero_si256()};
+  }
+  [[nodiscard]] static Avx2Word splat(std::uint64_t x) noexcept {
+    return {_mm256_set1_epi64x(static_cast<long long>(x))};
+  }
+  [[nodiscard]] std::uint64_t lane(std::size_t i) const noexcept {
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    return tmp[i];
+  }
+  void set_lane(std::size_t i, std::uint64_t x) noexcept {
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    tmp[i] = x;
+    v = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return _mm256_testz_si256(v, v) == 0;
+  }
+
+  friend Avx2Word operator&(Avx2Word a, Avx2Word b) noexcept {
+    return {_mm256_and_si256(a.v, b.v)};
+  }
+  friend Avx2Word operator|(Avx2Word a, Avx2Word b) noexcept {
+    return {_mm256_or_si256(a.v, b.v)};
+  }
+  friend Avx2Word operator^(Avx2Word a, Avx2Word b) noexcept {
+    return {_mm256_xor_si256(a.v, b.v)};
+  }
+  friend Avx2Word operator~(Avx2Word a) noexcept {
+    return {_mm256_xor_si256(a.v, _mm256_set1_epi64x(-1))};
+  }
+  [[nodiscard]] static Avx2Word bcast_bit0(Avx2Word a) noexcept {
+    // -(x & 1) per 64-bit lane: all-ones iff the lane's bit 0 is set.
+    const __m256i low = _mm256_and_si256(a.v, _mm256_set1_epi64x(1));
+    return {_mm256_sub_epi64(_mm256_setzero_si256(), low)};
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+/// 8 lanes in one __m512i.  Only visible to TUs compiled with -mavx512f.
+struct Avx512Word {
+  static constexpr std::size_t kLanes = 8;
+
+  __m512i v;
+
+  [[nodiscard]] static Avx512Word zero() noexcept {
+    return {_mm512_setzero_si512()};
+  }
+  [[nodiscard]] static Avx512Word splat(std::uint64_t x) noexcept {
+    return {_mm512_set1_epi64(static_cast<long long>(x))};
+  }
+  [[nodiscard]] std::uint64_t lane(std::size_t i) const noexcept {
+    alignas(64) std::uint64_t tmp[8];
+    _mm512_store_si512(tmp, v);
+    return tmp[i];
+  }
+  void set_lane(std::size_t i, std::uint64_t x) noexcept {
+    alignas(64) std::uint64_t tmp[8];
+    _mm512_store_si512(tmp, v);
+    tmp[i] = x;
+    v = _mm512_load_si512(tmp);
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return _mm512_test_epi64_mask(v, v) != 0;
+  }
+
+  friend Avx512Word operator&(Avx512Word a, Avx512Word b) noexcept {
+    return {_mm512_and_si512(a.v, b.v)};
+  }
+  friend Avx512Word operator|(Avx512Word a, Avx512Word b) noexcept {
+    return {_mm512_or_si512(a.v, b.v)};
+  }
+  friend Avx512Word operator^(Avx512Word a, Avx512Word b) noexcept {
+    return {_mm512_xor_si512(a.v, b.v)};
+  }
+  friend Avx512Word operator~(Avx512Word a) noexcept {
+    return {_mm512_xor_si512(a.v, _mm512_set1_epi64(-1))};
+  }
+  [[nodiscard]] static Avx512Word bcast_bit0(Avx512Word a) noexcept {
+    const __m512i low = _mm512_and_si512(a.v, _mm512_set1_epi64(1));
+    return {_mm512_sub_epi64(_mm512_setzero_si512(), low)};
+  }
+};
+#endif  // __AVX512F__
+
+/// NW lanes of 64 three-valued slots each; the wide mirror of PackedV3.
+template <class W>
+struct WideV3 {
+  W is0, is1;
+};
+
+template <class W>
+[[nodiscard]] inline WideV3<W> wide_zero() noexcept {
+  return {~W::zero(), W::zero()};
+}
+template <class W>
+[[nodiscard]] inline WideV3<W> wide_one() noexcept {
+  return {W::zero(), ~W::zero()};
+}
+template <class W>
+[[nodiscard]] inline WideV3<W> wide_x() noexcept {
+  return {~W::zero(), ~W::zero()};
+}
+
+template <class W>
+[[nodiscard]] inline WideV3<W> w_not(WideV3<W> a) noexcept {
+  return {a.is1, a.is0};
+}
+template <class W>
+[[nodiscard]] inline WideV3<W> w_and(WideV3<W> a, WideV3<W> b) noexcept {
+  return {a.is0 | b.is0, a.is1 & b.is1};
+}
+template <class W>
+[[nodiscard]] inline WideV3<W> w_or(WideV3<W> a, WideV3<W> b) noexcept {
+  return {a.is0 & b.is0, a.is1 | b.is1};
+}
+template <class W>
+[[nodiscard]] inline WideV3<W> w_xor(WideV3<W> a, WideV3<W> b) noexcept {
+  return {(a.is0 & b.is0) | (a.is1 & b.is1),
+          (a.is0 & b.is1) | (a.is1 & b.is0)};
+}
+
+/// Forces the slots selected by `mask` (per-lane 64-bit masks) to the
+/// stuck value — the wide fault-injection primitive.
+template <class W>
+[[nodiscard]] inline WideV3<W> w_inject(WideV3<W> v, W mask,
+                                        bool stuck_one) noexcept {
+  if (stuck_one) return {v.is0 & ~mask, v.is1 | mask};
+  return {v.is0 | mask, v.is1 & ~mask};
+}
+
+/// Writes the 64-slot broadcast of a scalar value into one lane.
+template <class W>
+inline void set_lane_broadcast(WideV3<W>& v, std::size_t lane,
+                               V3 value) noexcept {
+  const auto bits = static_cast<std::uint8_t>(value);
+  v.is0.set_lane(lane, (bits & 1) ? ~0ULL : 0ULL);
+  v.is1.set_lane(lane, (bits & 2) ? ~0ULL : 0ULL);
+}
+
+/// Per-lane detection mask: slots holding a binary value that differs
+/// from the lane's binary slot-0 reference, slot 0 cleared.  Lanes whose
+/// reference slot is X contribute nothing (conservative 3-valued
+/// detection, exactly as differs_from_reference per lane).
+template <class W>
+[[nodiscard]] inline W wide_detections(const WideV3<W>& v) noexcept {
+  const W bin = v.is0 ^ v.is1;           // slots with a binary value
+  const W r0 = W::bcast_bit0(v.is0);     // lane reference can be 0
+  const W r1 = W::bcast_bit0(v.is1);     // lane reference can be 1
+  const W refbin = r0 ^ r1;              // lane reference is binary
+  return bin & refbin & ((r1 & v.is0) | (r0 & v.is1)) & W::splat(~1ULL);
+}
+
+/// Evaluates an n-ary gate over wide fanin values produced by a callable
+/// (`at(i)` returns the WideV3 read through fanin pin i) — the wide
+/// mirror of eval_gate_at.
+template <class W, class FaninAt>
+[[nodiscard]] inline WideV3<W> wide_eval_gate_at(netlist::GateType type,
+                                                 std::size_t arity,
+                                                 FaninAt&& at) noexcept {
+  using netlist::GateType;
+  switch (type) {
+    case GateType::Buf:
+      return at(0);
+    case GateType::Not:
+      return w_not(at(0));
+    case GateType::And:
+    case GateType::Nand: {
+      WideV3<W> acc = at(0);
+      for (std::size_t i = 1; i < arity; ++i) acc = w_and(acc, at(i));
+      return type == GateType::Nand ? w_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      WideV3<W> acc = at(0);
+      for (std::size_t i = 1; i < arity; ++i) acc = w_or(acc, at(i));
+      return type == GateType::Nor ? w_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      WideV3<W> acc = at(0);
+      for (std::size_t i = 1; i < arity; ++i) acc = w_xor(acc, at(i));
+      return type == GateType::Xnor ? w_not(acc) : acc;
+    }
+    default:
+      // Sources are never evaluated from fanins.
+      return wide_x<W>();
+  }
+}
+
+}  // namespace scanc::sim

@@ -1,0 +1,220 @@
+// Wide (multi-lane) sequential simulation engine.
+//
+// WideSeqSim<W> is the lane-parallel mirror of PackedSeqSim: one WideV3
+// per node, NW = W::kLanes independent 64-slot simulations advancing in
+// lockstep.  Unlike PackedSeqSim, stimulus is *per lane*: load_state and
+// apply_frame take one Vector3 per lane (nullptr = leave the lane at X),
+// so lanes can carry different scan tests (pattern-parallel) or the same
+// test replicated (wide fault-parallel).  Injections carry per-lane slot
+// masks (WideInjectionMap); a splat mask replicates one fault group
+// across every lane.
+//
+// Bit-identity: every operation is lane-wise, so lane l evolves exactly
+// as a PackedSeqSim pass fed lane l's stimulus and injection masks —
+// the contract the batch engine's callers and check/ rely on.
+//
+// This header is included only by the batch-engine translation units
+// (one per instantiated word type); everything here is a template.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/sequence.hpp"
+#include "sim/wide.hpp"
+
+namespace scanc::sim {
+
+/// One stuck-line injection with per-lane slot masks.
+template <class W>
+struct WideInjection {
+  std::int32_t pin;  ///< fanin index, or kStemPin (-1) for the stem
+  bool stuck_one;
+  W mask;
+};
+
+template <class W>
+[[nodiscard]] inline WideV3<W> w_apply_stem(
+    WideV3<W> v, std::span<const WideInjection<W>> injs) noexcept {
+  for (const WideInjection<W>& inj : injs) {
+    if (inj.pin == -1) v = w_inject(v, inj.mask, inj.stuck_one);
+  }
+  return v;
+}
+
+template <class W>
+[[nodiscard]] inline WideV3<W> w_apply_pin(
+    WideV3<W> v, int pin, std::span<const WideInjection<W>> injs) noexcept {
+  for (const WideInjection<W>& inj : injs) {
+    if (inj.pin == pin) v = w_inject(v, inj.mask, inj.stuck_one);
+  }
+  return v;
+}
+
+/// Wide mirror of InjectionMap: injections grouped by node, O(active)
+/// clear via the touched list.
+template <class W>
+class WideInjectionMap {
+ public:
+  explicit WideInjectionMap(std::size_t num_nodes)
+      : per_node_(num_nodes), has_(num_nodes, 0) {}
+
+  void add(netlist::NodeId node, int pin, bool stuck_one, W mask) {
+    if (!has_[node]) {
+      touched_.push_back(node);
+      has_[node] = 1;
+    }
+    per_node_[node].push_back(WideInjection<W>{pin, stuck_one, mask});
+  }
+
+  void clear() {
+    for (const netlist::NodeId n : touched_) {
+      per_node_[n].clear();
+      has_[n] = 0;
+    }
+    touched_.clear();
+  }
+
+  [[nodiscard]] bool any(netlist::NodeId node) const {
+    return has_[node] != 0;
+  }
+  [[nodiscard]] std::span<const WideInjection<W>> at(
+      netlist::NodeId node) const {
+    return per_node_[node];
+  }
+  [[nodiscard]] bool empty() const noexcept { return touched_.empty(); }
+
+ private:
+  std::vector<std::vector<WideInjection<W>>> per_node_;
+  std::vector<netlist::NodeId> touched_;
+  std::vector<char> has_;
+};
+
+template <class W>
+class WideSeqSim {
+ public:
+  static constexpr std::size_t kLanes = W::kLanes;
+
+  explicit WideSeqSim(const netlist::Circuit& circuit)
+      : circuit_(&circuit),
+        values_(circuit.num_nodes(), wide_x<W>()),
+        captured_(circuit.num_flip_flops(), wide_x<W>()),
+        next_state_(circuit.num_flip_flops()) {}
+
+  [[nodiscard]] const netlist::Circuit& circuit() const noexcept {
+    return *circuit_;
+  }
+
+  /// All lanes to X, constants set, stem injections on sources applied.
+  void reset(const WideInjectionMap<W>* inj) {
+    using netlist::GateType;
+    for (netlist::NodeId id = 0; id < values_.size(); ++id) {
+      const GateType t = circuit_->node(id).type;
+      WideV3<W> v = wide_x<W>();
+      if (t == GateType::Const0) v = wide_zero<W>();
+      if (t == GateType::Const1) v = wide_one<W>();
+      if (inj && inj->any(id) && netlist::is_source(t)) {
+        v = w_apply_stem(v, inj->at(id));
+      }
+      values_[id] = v;
+    }
+    for (auto& cap : captured_) cap = wide_x<W>();
+  }
+
+  /// Per-lane scan-in: lane l's FFs take states[l] (nullptr leaves the
+  /// lane's current values untouched — an all-X lane after reset()).
+  /// Stem injections are re-applied to the whole word; injection is
+  /// idempotent, so untouched lanes keep their already-forced slots.
+  void load_state(std::span<const Vector3* const> states,
+                  const WideInjectionMap<W>* inj) {
+    const auto ffs = circuit_->flip_flops();
+    assert(states.size() <= kLanes);
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      WideV3<W> cap = captured_[i];
+      WideV3<W> v = values_[ffs[i]];
+      for (std::size_t l = 0; l < states.size(); ++l) {
+        if (states[l] == nullptr) continue;
+        assert(states[l]->size() == ffs.size());
+        const V3 s = (*states[l])[i];
+        set_lane_broadcast(cap, l, s);  // scan-in stores the clean value
+        set_lane_broadcast(v, l, s);
+      }
+      captured_[i] = cap;
+      if (inj && inj->any(ffs[i])) v = w_apply_stem(v, inj->at(ffs[i]));
+      values_[ffs[i]] = v;  // the logic reads through the (stuck) Q
+    }
+  }
+
+  /// Per-lane PI stimulus (nullptr lane = all-X inputs), then one
+  /// levelized evaluation of the combinational logic.
+  void apply_frame(std::span<const Vector3* const> pis_per_lane,
+                   const WideInjectionMap<W>* inj) {
+    const auto pis = circuit_->primary_inputs();
+    assert(pis_per_lane.size() <= kLanes);
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      WideV3<W> v = wide_x<W>();
+      for (std::size_t l = 0; l < pis_per_lane.size(); ++l) {
+        if (pis_per_lane[l] == nullptr) continue;
+        assert(pis_per_lane[l]->size() == pis.size());
+        set_lane_broadcast(v, l, (*pis_per_lane[l])[i]);
+      }
+      if (inj && inj->any(pis[i])) v = w_apply_stem(v, inj->at(pis[i]));
+      values_[pis[i]] = v;
+    }
+
+    const netlist::CsrSchedule& csr = circuit_->csr();
+    const WideV3<W>* vals = values_.data();
+    for (const netlist::NodeId id : csr.order) {
+      const std::span<const netlist::NodeId> fi = csr.fanins(id);
+      WideV3<W> out;
+      if (inj == nullptr || !inj->any(id)) {
+        out = wide_eval_gate_at<W>(csr.types[id], fi.size(),
+                                   [&](std::size_t i) { return vals[fi[i]]; });
+      } else {
+        const std::span<const WideInjection<W>> injs = inj->at(id);
+        out = wide_eval_gate_at<W>(
+            csr.types[id], fi.size(), [&](std::size_t i) {
+              return w_apply_pin(vals[fi[i]], static_cast<int>(i), injs);
+            });
+        out = w_apply_stem(out, injs);
+      }
+      values_[id] = out;
+    }
+  }
+
+  /// Simultaneous latch with the same D-branch / Q-stem injection
+  /// convention as PackedSeqSim::latch.
+  void latch(const WideInjectionMap<W>* inj) {
+    const netlist::CsrSchedule& csr = circuit_->csr();
+    const auto ffs = circuit_->flip_flops();
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      WideV3<W> v = values_[csr.fanins(ffs[i])[0]];
+      if (inj && inj->any(ffs[i])) v = w_apply_pin(v, 0, inj->at(ffs[i]));
+      next_state_[i] = v;
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      captured_[i] = next_state_[i];
+      WideV3<W> v = next_state_[i];
+      if (inj && inj->any(ffs[i])) v = w_apply_stem(v, inj->at(ffs[i]));
+      values_[ffs[i]] = v;
+    }
+  }
+
+  [[nodiscard]] const WideV3<W>& value(netlist::NodeId id) const {
+    return values_[id];
+  }
+  [[nodiscard]] const WideV3<W>& captured(std::size_t i) const {
+    return captured_[i];
+  }
+
+ private:
+  const netlist::Circuit* circuit_;
+  std::vector<WideV3<W>> values_;
+  std::vector<WideV3<W>> captured_;
+  std::vector<WideV3<W>> next_state_;
+};
+
+}  // namespace scanc::sim

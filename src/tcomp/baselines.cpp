@@ -36,14 +36,15 @@ ScanTestSet dynamic_baseline(FaultSimulator& fsim,
   FaultSet remaining = target_coverage;
   while (!remaining.none()) {
     // Seed with the combinational test covering the most remaining
-    // faults.
+    // faults (one pattern-parallel batch per round).
     std::size_t best_j = comb.size();
     FaultSet best_det(fsim.num_classes());
-    for (std::size_t j = 0; j < comb.size(); ++j) {
-      FaultSet det = atpg::detect_comb_test(fsim, comb[j], &remaining);
-      if (best_j == comb.size() || det.count() > best_det.count()) {
+    std::vector<FaultSet> dets =
+        atpg::detect_comb_tests(fsim, comb, &remaining);
+    for (std::size_t j = 0; j < dets.size(); ++j) {
+      if (best_j == comb.size() || dets[j].count() > best_det.count()) {
         best_j = j;
-        best_det = std::move(det);
+        best_det = std::move(dets[j]);
       }
     }
     if (best_j == comb.size() || best_det.none()) {
@@ -60,23 +61,31 @@ ScanTestSet dynamic_baseline(FaultSimulator& fsim,
     // so per-step deltas must not be banked before the test is final.
     FaultSet cur_det = std::move(best_det);
     while (test.seq.length() < max_len) {
-      sim::Vector3 best_vec;
-      FaultSet best_ext(fsim.num_classes());
-      for (std::size_t k = 0; k < options.candidates * 2; ++k) {
+      // Draw every candidate vector first (the RNG stream never depends
+      // on simulation results), then score them in one batch.
+      const std::size_t nc = options.candidates * 2;
+      std::vector<sim::Sequence> cands(nc);
+      std::vector<FaultSimulator::BatchTest> batch(nc);
+      for (std::size_t k = 0; k < nc; ++k) {
         sim::Vector3 vec =
             (k < options.candidates && !comb.empty())
                 ? comb[rng.below(comb.size())].inputs
                 : sim::random_vector(num_pis, rng);
-        sim::Sequence cand = test.seq;
-        cand.frames.push_back(vec);
-        FaultSet det = fsim.detect_scan_test(test.scan_in, cand, &remaining);
-        if (det.count() > best_ext.count()) {
-          best_ext = std::move(det);
-          best_vec = std::move(vec);
+        cands[k] = test.seq;
+        cands[k].frames.push_back(std::move(vec));
+        batch[k] = {&test.scan_in, &cands[k]};
+      }
+      std::vector<FaultSet> ext = fsim.detect_batch(batch, &remaining);
+      FaultSet best_ext(fsim.num_classes());
+      std::size_t best_k = nc;
+      for (std::size_t k = 0; k < nc; ++k) {
+        if (ext[k].count() > best_ext.count()) {
+          best_ext = std::move(ext[k]);
+          best_k = k;
         }
       }
       if (best_ext.count() <= cur_det.count()) break;
-      test.seq.frames.push_back(std::move(best_vec));
+      test.seq.frames.push_back(std::move(cands[best_k].frames.back()));
       cur_det = std::move(best_ext);
     }
     remaining -= cur_det;

@@ -21,10 +21,14 @@ class Combiner {
         rng_(options.transfer.seed ^ 0x7a45fe6ULL),
         result_{std::move(set), 0, 0} {
     cnt_.assign(fsim.num_classes(), 0);
-    det_.reserve(tests().size());
-    for (const ScanTest& t : tests()) {
-      det_.push_back(fsim.detect_scan_test(t.scan_in, t.seq));
-      det_.back().for_each([&](std::size_t f) { ++cnt_[f]; });
+    // One pattern-parallel batch seeds every test's detection set.
+    std::vector<FaultSimulator::BatchTest> batch(tests().size());
+    for (std::size_t i = 0; i < tests().size(); ++i) {
+      batch[i] = {&tests()[i].scan_in, &tests()[i].seq};
+    }
+    det_ = fsim.detect_batch(batch);
+    for (const FaultSet& d : det_) {
+      d.for_each([&](std::size_t f) { ++cnt_[f]; });
     }
   }
 

@@ -48,12 +48,17 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
                         comb.size() > 2 * options.screen_keep;
     if (screen) {
       const Sequence prefix = t0.subsequence(0, options.screen_prefix - 1);
+      // One pattern-parallel batch scores every candidate's prefix
+      // coverage.
+      std::vector<FaultSimulator::BatchTest> batch(comb.size());
+      for (std::size_t j = 0; j < comb.size(); ++j) {
+        batch[j] = {&comb[j].state, &prefix};
+      }
+      const std::vector<FaultSet> dets = fsim.detect_batch(batch, &remaining);
       std::vector<std::pair<std::size_t, std::size_t>> scored;  // (count, j)
       scored.reserve(comb.size());
       for (std::size_t j = 0; j < comb.size(); ++j) {
-        scored.emplace_back(
-            fsim.detect_scan_test(comb[j].state, prefix, &remaining).count(),
-            j);
+        scored.emplace_back(dets[j].count(), j);
       }
       std::sort(scored.begin(), scored.end(),
                 [&](const auto& a, const auto& b) {
@@ -74,12 +79,20 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
       for (std::size_t j = 0; j < comb.size(); ++j) pool[j] = j;
     }
 
+    // Exact evaluation of the kept pool over the full T0, batched the
+    // same way.
+    std::vector<FaultSimulator::BatchTest> batch(pool.size());
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      batch[k] = {&comb[pool[k]].state, &t0};
+    }
+    std::vector<FaultSet> dets = fsim.detect_batch(batch, &remaining);
     std::size_t best = comb.size();          // overall winner
     std::size_t best_count = 0;
     bool best_selected = false;
     FaultSet best_det(fsim.num_classes());
-    for (const std::size_t j : pool) {
-      FaultSet det = fsim.detect_scan_test(comb[j].state, t0, &remaining);
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      const std::size_t j = pool[k];
+      FaultSet& det = dets[k];
       const std::size_t count = det.count();
       // Unselected candidates win ties; a selected candidate needs
       // strictly higher coverage to displace an unselected incumbent.

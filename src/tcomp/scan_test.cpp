@@ -1,6 +1,7 @@
 #include "tcomp/scan_test.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace scanc::tcomp {
 
@@ -56,9 +57,13 @@ void write_test_set(const ScanTestSet& set, std::ostream& out) {
 
 fault::FaultSet coverage(fault::FaultSimulator& fsim, const ScanTestSet& set,
                          const fault::FaultSet* targets) {
+  std::vector<fault::FaultSimulator::BatchTest> batch(set.tests.size());
+  for (std::size_t i = 0; i < set.tests.size(); ++i) {
+    batch[i] = {&set.tests[i].scan_in, &set.tests[i].seq};
+  }
   fault::FaultSet covered(fsim.num_classes());
-  for (const ScanTest& t : set.tests) {
-    covered |= fsim.detect_scan_test(t.scan_in, t.seq, targets);
+  for (const fault::FaultSet& det : fsim.detect_batch(batch, targets)) {
+    covered |= det;
   }
   return covered;
 }

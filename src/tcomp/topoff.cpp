@@ -15,18 +15,17 @@ TopOffResult top_off(FaultSimulator& fsim,
   result.uncoverable = FaultSet(fsim.num_classes());
   if (undetected.none()) return result;
 
-  // Simulate every candidate once over the undetected faults.
-  std::vector<FaultSet> det_sets;
-  det_sets.reserve(comb.size());
+  // Simulate every candidate once over the undetected faults (one
+  // pattern-parallel batch).
+  const std::vector<FaultSet> det_sets =
+      atpg::detect_comb_tests(fsim, comb, &undetected);
   std::vector<std::uint32_t> n_of(fsim.num_classes(), 0);
   std::vector<std::size_t> last_of(fsim.num_classes(), 0);
-  for (std::size_t j = 0; j < comb.size(); ++j) {
-    FaultSet det = atpg::detect_comb_test(fsim, comb[j], &undetected);
-    det.for_each([&](std::size_t f) {
+  for (std::size_t j = 0; j < det_sets.size(); ++j) {
+    det_sets[j].for_each([&](std::size_t f) {
       ++n_of[f];
       last_of[f] = j;
     });
-    det_sets.push_back(std::move(det));
   }
 
   FaultSet remaining = undetected;

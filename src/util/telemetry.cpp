@@ -154,6 +154,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::ConeGatesDropped: return "cone_gates_dropped";
     case Counter::TdfActivations: return "tdf_activations";
     case Counter::TdfFramesSkipped: return "tdf_frames_skipped";
+    case Counter::PpsfpBatches: return "ppsfp_batches";
+    case Counter::PpsfpTestsPacked: return "ppsfp_tests_packed";
+    case Counter::WideFpPasses: return "wide_fp_passes";
     case Counter::TraceCacheHits: return "trace_cache_hits";
     case Counter::TraceCacheMisses: return "trace_cache_misses";
     case Counter::TraceCacheExtensions: return "trace_cache_extensions";
@@ -237,6 +240,8 @@ const char* gauge_name(Gauge g) noexcept {
     case Gauge::ThreadsConfigured: return "threads_configured";
     case Gauge::SvcQueueDepth: return "svc_queue_depth";
     case Gauge::SvcJobsRunning: return "svc_jobs_running";
+    case Gauge::SimdLaneWidth: return "simd_lane_width";
+    case Gauge::PpsfpTestsPerPass: return "ppsfp_tests_per_pass";
     case Gauge::kCount: break;
   }
   return "?";

@@ -54,6 +54,10 @@ enum class Counter : std::uint16_t {
   ConeGatesDropped,     ///< gates cone passes did not schedule
   TdfActivations,       ///< transition-fault launch frames injected
   TdfFramesSkipped,     ///< frames skipped activation-aware (no launch)
+  // Wide batch engine (fault/batch_engine.cpp).
+  PpsfpBatches,         ///< pattern-parallel batch passes run
+  PpsfpTestsPacked,     ///< scan tests packed into PPSFP lanes (sum)
+  WideFpPasses,         ///< wide fault-parallel passes (lanes = groups)
   // Fault-free trace cache (sim/trace_cache.cpp).
   TraceCacheHits,
   TraceCacheMisses,
@@ -141,6 +145,8 @@ enum class Gauge : std::uint16_t {
   ThreadsConfigured,  ///< last worker-thread count installed
   SvcQueueDepth,      ///< jobs currently queued in the service
   SvcJobsRunning,     ///< jobs currently executing
+  SimdLaneWidth,      ///< resolved wide-engine width in bits (64 = off)
+  PpsfpTestsPerPass,  ///< lane capacity of the last PPSFP batch pass
   kCount
 };
 

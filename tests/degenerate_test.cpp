@@ -5,6 +5,9 @@
 // here pin them deterministically.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "atpg/comb_tset.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -177,6 +180,66 @@ TEST(Degenerate, TransitionNoFlipFlopCircuitThroughScanPipeline) {
   const tcomp::PipelineResult r = tcomp::run_pipeline(fsim, t0, comb.tests);
   EXPECT_TRUE(r.completed);
   EXPECT_EQ(r.compacted_cycles, r.compacted.total_vectors());
+}
+
+TEST(Degenerate, BatchEdgeShapes) {
+  // The pattern-parallel batch API on its degenerate shapes: an empty
+  // batch, a single-test batch (below the lanes threshold, so the
+  // per-test fallback runs), and a ragged batch whose size is not a
+  // multiple of the lane count — each element must still equal its
+  // per-test answer, at every lane width.
+  const Circuit c = small_circuit(4);
+  const FaultList fl = FaultList::build(c);
+  FaultSimulator ref(c, fl);
+  ref.set_lane_width(sim::LaneWidth::W64);
+
+  std::vector<Vector3> scan_ins;
+  std::vector<Sequence> seqs;
+  for (std::size_t i = 0; i < 9; ++i) {
+    scan_ins.push_back(Vector3(c.num_flip_flops(),
+                               i % 2 ? sim::V3::One : sim::V3::Zero));
+    // Ragged lengths, including a length-0 test in the middle.
+    seqs.push_back(tgen::random_test_sequence(
+        c, i == 4 ? 0 : 1 + (i * 3) % 7, 100 + i));
+  }
+  std::vector<FaultSimulator::BatchTest> batch(9);
+  std::vector<FaultSet> want;
+  for (std::size_t i = 0; i < 9; ++i) {
+    batch[i] = {&scan_ins[i], &seqs[i]};
+    want.push_back(ref.detect_scan_test(scan_ins[i], seqs[i]));
+  }
+
+  for (const auto lw : {sim::LaneWidth::W64, sim::LaneWidth::W256,
+                        sim::LaneWidth::W512}) {
+    FaultSimulator fsim(c, fl);
+    fsim.set_lane_width(lw);
+    EXPECT_TRUE(
+        fsim.detect_batch(std::span<const FaultSimulator::BatchTest>{})
+            .empty());
+    const auto one = fsim.detect_batch(std::span(batch).first(1));
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], want[0]);
+    const auto all = fsim.detect_batch(batch);
+    ASSERT_EQ(all.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(all[i], want[i]) << "test " << i;
+    }
+    const auto times = fsim.times_batch(batch, fsim.all_faults());
+    ASSERT_EQ(times.size(), batch.size());
+  }
+}
+
+TEST(Degenerate, BatchRejectsMixedScanAndNoScan) {
+  // One batch must be homogeneous: all tests with a scan-in state or
+  // none (the engine packs scan-out observation per pass, not per lane).
+  const Circuit c = small_circuit(4);
+  const FaultList fl = FaultList::build(c);
+  FaultSimulator fsim(c, fl);
+  const Vector3 si(c.num_flip_flops(), sim::V3::Zero);
+  Sequence seq = tgen::random_test_sequence(c, 3, 17);
+  const std::vector<FaultSimulator::BatchTest> mixed = {
+      {&si, &seq}, {nullptr, &seq}};
+  EXPECT_THROW((void)fsim.detect_batch(mixed), std::invalid_argument);
 }
 
 TEST(Degenerate, ZeroThreadsMeansHardwareConcurrency) {

@@ -1,10 +1,14 @@
 // Randomized equivalence suite for the parallel fault-group execution
 // layer and the simulation kernels: every FaultSimulator query must
 // return bit-identical results for num_threads = 1 (serial, no pool)
-// and num_threads = N (worker pool), and for every kernel mode (Auto,
-// forced Full, forced Cone), across generated circuits under full- and
-// partial-scan masks.  This is the determinism guarantee documented in
-// docs/execution.md, pinned.
+// and num_threads = N (worker pool), for every kernel mode (Auto,
+// forced Full, forced Cone), and for every lane width (scalar 64-bit
+// vs the 256/512-bit wide engine, intrinsic or portable), across
+// generated circuits under full- and partial-scan masks.  The
+// pattern-parallel batch queries (detect_batch, times_batch) must
+// match their per-test scalar answers element for element, including
+// ragged final lane chunks.  This is the determinism guarantee
+// documented in docs/execution.md, pinned.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -62,6 +66,9 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
     }
     serial_.emplace(*circuit_, *faults_, scan_mask_);
     serial_->set_num_threads(1);
+    // The reference runs the scalar 64-bit kernels; the wide
+    // configurations below must match it bit for bit.
+    serial_->set_lane_width(sim::LaneWidth::W64);
     parallel_.emplace(*circuit_, *faults_, scan_mask_);
     parallel_->set_num_threads(parallel_threads());
     // Kernel-forced simulators: the cone-restricted kernel must be
@@ -73,6 +80,16 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
     cone_.emplace(*circuit_, *faults_, scan_mask_);
     cone_->set_num_threads(parallel_threads());
     cone_->set_kernel(KernelMode::Cone);
+    // Wide-lane simulators: 256-bit serial and 512-bit under the pool.
+    // Where the CPU lacks the intrinsics these resolve to the portable
+    // WideWord implementation at the same width — equally valid, the
+    // contract is width-independent bit-identity.
+    wide256_.emplace(*circuit_, *faults_, scan_mask_);
+    wide256_->set_num_threads(1);
+    wide256_->set_lane_width(sim::LaneWidth::W256);
+    wide512_.emplace(*circuit_, *faults_, scan_mask_);
+    wide512_->set_num_threads(parallel_threads());
+    wide512_->set_lane_width(sim::LaneWidth::W512);
 
     util::Rng rng(c.seed * 977 + 13);
     seq_ = tgen::random_test_sequence(*circuit_, 48, c.seed * 3 + 1);
@@ -84,10 +101,35 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
     if (targets_.none()) targets_.set(faults_->num_classes() / 2);
   }
 
-  /// The simulators that must agree with `serial_` (Auto kernel) on
-  /// every query.
+  /// The simulators that must agree with `serial_` (Auto kernel, scalar
+  /// lanes) on every query.
   std::vector<FaultSimulator*> others() {
-    return {&*parallel_, &*full_, &*cone_};
+    return {&*parallel_, &*full_, &*cone_, &*wide256_, &*wide512_};
+  }
+
+  /// Pattern-parallel batch material: `n` tests with random scan-in
+  /// states and ragged sequence lengths (prefixes of seq_), so a batch
+  /// spans several lane chunks and ends on a partial one.
+  struct BatchMaterial {
+    std::vector<Vector3> scan_ins;
+    std::vector<Sequence> seqs;
+    std::vector<FaultSimulator::BatchTest> batch;
+  };
+  BatchMaterial make_batch(std::size_t n) {
+    BatchMaterial m;
+    util::Rng rng(GetParam().seed * 2654435761ULL + 99);
+    m.scan_ins.reserve(n);
+    m.seqs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.scan_ins.push_back(
+          sim::random_vector(circuit_->num_flip_flops(), rng));
+      m.seqs.push_back(seq_.subsequence(0, rng.below(seq_.length())));
+    }
+    m.batch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.batch[i] = {&m.scan_ins[i], &m.seqs[i]};
+    }
+    return m;
   }
 
   std::optional<netlist::Circuit> circuit_;
@@ -97,6 +139,8 @@ class ParallelEquivalence : public ::testing::TestWithParam<Case> {
   std::optional<FaultSimulator> parallel_;
   std::optional<FaultSimulator> full_;
   std::optional<FaultSimulator> cone_;
+  std::optional<FaultSimulator> wide256_;
+  std::optional<FaultSimulator> wide512_;
   Sequence seq_;
   Vector3 scan_in_;
   FaultSet targets_;
@@ -178,6 +222,52 @@ TEST_P(ParallelEquivalence, ConsistentFaults) {
   for (FaultSimulator* other : others()) {
     EXPECT_EQ(a, other->consistent_faults(scan_in_, seq_, good.po_frames,
                                           observed_scan_out, targets_));
+  }
+}
+
+TEST_P(ParallelEquivalence, BatchDetect) {
+  // 10 tests > 8 lanes: the 512-bit engine takes one full chunk plus a
+  // ragged chunk of 2; every element must equal its per-test answer.
+  const BatchMaterial m = make_batch(10);
+  std::vector<FaultSet> want;
+  want.reserve(m.batch.size());
+  for (std::size_t i = 0; i < m.batch.size(); ++i) {
+    want.push_back(
+        serial_->detect_scan_test(m.scan_ins[i], m.seqs[i], &targets_));
+  }
+  std::vector<FaultSimulator*> sims = others();
+  sims.push_back(&*serial_);  // W64: the per-test fallback inside the API
+  for (FaultSimulator* s : sims) {
+    const std::vector<FaultSet> got = s->detect_batch(m.batch, &targets_);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i], got[i]) << "test " << i;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, BatchTimes) {
+  const BatchMaterial m = make_batch(9);
+  std::vector<FaultSimulator::DetectionTimes> want;
+  want.reserve(m.batch.size());
+  for (std::size_t i = 0; i < m.batch.size(); ++i) {
+    want.push_back(
+        serial_->detection_times(m.scan_ins[i], m.seqs[i], targets_));
+  }
+  std::vector<FaultSimulator*> sims = others();
+  sims.push_back(&*serial_);
+  for (FaultSimulator* s : sims) {
+    const auto got = s->times_batch(m.batch, targets_);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i].targets, got[i].targets) << "test " << i;
+      EXPECT_EQ(want[i].first_po, got[i].first_po) << "test " << i;
+      ASSERT_EQ(want[i].state_diff.size(), got[i].state_diff.size());
+      for (std::size_t j = 0; j < want[i].state_diff.size(); ++j) {
+        EXPECT_EQ(want[i].state_diff[j], got[i].state_diff[j])
+            << "test " << i << " target " << j;
+      }
+    }
   }
 }
 

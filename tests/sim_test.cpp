@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "gen/circuit_gen.hpp"
@@ -9,6 +10,7 @@
 #include "sim/packed.hpp"
 #include "sim/seq_sim.hpp"
 #include "sim/sequence.hpp"
+#include "sim/wide.hpp"
 #include "util/rng.hpp"
 
 namespace scanc::sim {
@@ -283,6 +285,142 @@ TEST(Sequence, RandomVectorIsFullySpecified) {
   Vector3 w(10, V3::X);
   randomize_x(w, rng);
   EXPECT_TRUE(fully_specified(w));
+}
+
+// ---------------------------------------------------------------------
+// Wide words: every lane of a WideWord operation must evolve exactly as
+// the corresponding PackedV3 operation over that lane alone — the
+// no-bit-crosses-a-lane contract the wide kernels are built on.
+
+using W4 = WideWord<4>;
+
+WideV3<W4> wide_from_lanes(const std::array<PackedV3, 4>& lanes) {
+  WideV3<W4> v{W4::zero(), W4::zero()};
+  for (std::size_t i = 0; i < 4; ++i) {
+    v.is0.set_lane(i, lanes[i].is0);
+    v.is1.set_lane(i, lanes[i].is1);
+  }
+  return v;
+}
+
+PackedV3 lane_of(const WideV3<W4>& v, std::size_t i) {
+  return {v.is0.lane(i), v.is1.lane(i)};
+}
+
+std::array<PackedV3, 4> random_lanes(util::Rng& rng) {
+  std::array<PackedV3, 4> lanes;
+  for (auto& l : lanes) {
+    // is0|is1 per bit must be a valid V3 code (01, 10, or 11 — never 00).
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    l.is0 = a | ~b;
+    l.is1 = b | ~a;
+  }
+  return lanes;
+}
+
+TEST(WideWord, LanewiseOpsMatchPacked) {
+  util::Rng rng(0x71de);
+  for (int round = 0; round < 50; ++round) {
+    const auto la = random_lanes(rng);
+    const auto lb = random_lanes(rng);
+    const WideV3<W4> a = wide_from_lanes(la);
+    const WideV3<W4> b = wide_from_lanes(lb);
+    const WideV3<W4> w_and_v = w_and(a, b);
+    const WideV3<W4> w_or_v = w_or(a, b);
+    const WideV3<W4> w_xor_v = w_xor(a, b);
+    const WideV3<W4> w_not_v = w_not(a);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(lane_of(w_and_v, i), p_and(la[i], lb[i])) << "lane " << i;
+      EXPECT_EQ(lane_of(w_or_v, i), p_or(la[i], lb[i])) << "lane " << i;
+      EXPECT_EQ(lane_of(w_xor_v, i), p_xor(la[i], lb[i])) << "lane " << i;
+      EXPECT_EQ(lane_of(w_not_v, i), p_not(la[i])) << "lane " << i;
+    }
+  }
+}
+
+TEST(WideWord, InjectMatchesPackedPerLane) {
+  util::Rng rng(12345);
+  for (int round = 0; round < 50; ++round) {
+    const auto la = random_lanes(rng);
+    const WideV3<W4> a = wide_from_lanes(la);
+    W4 mask = W4::zero();
+    std::array<std::uint64_t, 4> masks;
+    for (std::size_t i = 0; i < 4; ++i) {
+      masks[i] = rng.next();
+      mask.set_lane(i, masks[i]);
+    }
+    for (const bool stuck_one : {false, true}) {
+      const WideV3<W4> got = w_inject(a, mask, stuck_one);
+      for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(lane_of(got, i), inject(la[i], masks[i], stuck_one))
+            << "lane " << i << " stuck_one=" << stuck_one;
+      }
+    }
+  }
+}
+
+TEST(WideWord, DetectionsMatchScalarRule) {
+  // wide_detections per lane == differs_from_reference against the
+  // lane's slot-0 value when that reference is binary, 0 when it is X.
+  util::Rng rng(777);
+  for (int round = 0; round < 100; ++round) {
+    auto la = random_lanes(rng);
+    // Force a mix of reference-slot values across rounds.
+    for (std::size_t i = 0; i < 4; ++i) {
+      set_slot(la[i], 0, kAll[(round + i) % 3]);
+    }
+    const W4 got = wide_detections(wide_from_lanes(la));
+    for (std::size_t i = 0; i < 4; ++i) {
+      const V3 ref = slot(la[i], 0);
+      const std::uint64_t want =
+          is_binary(ref)
+              ? (differs_from_reference(la[i], ref == V3::One) & ~1ULL)
+              : 0ULL;
+      EXPECT_EQ(got.lane(i), want) << "lane " << i << " round " << round;
+    }
+  }
+}
+
+TEST(WideWord, EvalGateMatchesPackedPerLane) {
+  using netlist::GateType;
+  util::Rng rng(424242);
+  for (const GateType type :
+       {GateType::Buf, GateType::Not, GateType::And, GateType::Nand,
+        GateType::Or, GateType::Nor, GateType::Xor, GateType::Xnor}) {
+    const std::size_t arity =
+        (type == GateType::Buf || type == GateType::Not) ? 1 : 3;
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::array<PackedV3, 4>> fanin_lanes(arity);
+      std::vector<WideV3<W4>> fanin_wide;
+      for (std::size_t k = 0; k < arity; ++k) {
+        fanin_lanes[k] = random_lanes(rng);
+        fanin_wide.push_back(wide_from_lanes(fanin_lanes[k]));
+      }
+      const WideV3<W4> got = wide_eval_gate_at<W4>(
+          type, arity, [&](std::size_t k) { return fanin_wide[k]; });
+      for (std::size_t i = 0; i < 4; ++i) {
+        const PackedV3 want = eval_gate_at(
+            type, arity, [&](std::size_t k) { return fanin_lanes[k][i]; });
+        EXPECT_EQ(lane_of(got, i), want)
+            << "gate " << static_cast<int>(type) << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(WideWord, Bcast0AndAny) {
+  W4 v = W4::zero();
+  EXPECT_FALSE(v.any());
+  v.set_lane(2, 0x8000000000000001ULL);
+  EXPECT_TRUE(v.any());
+  const W4 b = W4::bcast_bit0(v);
+  EXPECT_EQ(b.lane(0), 0ULL);
+  EXPECT_EQ(b.lane(1), 0ULL);
+  EXPECT_EQ(b.lane(2), ~0ULL);  // bit 0 set -> lane saturates
+  EXPECT_EQ(b.lane(3), 0ULL);
+  const W4 s = W4::splat(0xdeadbeefULL);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(s.lane(i), 0xdeadbeefULL);
 }
 
 }  // namespace
