@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a JSONL event log (--event-log / the watch stream payloads).
+
+Each line must be one JSON object with the scanc event schema
+(docs/observability.md "Live events"):
+
+    {"kind","job","phase","seq","t_us","faults","value","note"}
+
+Checks per line: every key present, `kind` is a known name, the numeric
+fields are non-negative integers, and the string fields are strings.
+Across the file: for every job id, `seq` is strictly increasing (the
+per-job sequence is gap-free at the source; the log sink sees every
+published event, so a gap here means lost writes) and `t_us` is
+non-decreasing per job.
+
+Usage: check_events_schema.py EVENTS.jsonl [EVENTS.jsonl ...]
+
+Exit 0 on success; prints every violation and exits 1 otherwise.
+"""
+
+import json
+import sys
+
+KNOWN_KINDS = {"phase_begin", "phase_end", "round", "counters", "job_state"}
+STRING_FIELDS = ("kind", "job", "phase", "note")
+INT_FIELDS = ("seq", "t_us", "faults", "value")
+
+errors = 0
+
+
+def error(message):
+    global errors
+    errors += 1
+    print(f"FAIL: {message}")
+
+
+def check_file(path):
+    # seq gaps are legal across rotation (path.1 holds the evicted
+    # prefix), so monotonicity — not contiguity — is the invariant here.
+    last_seq = {}
+    last_t = {}
+    lines = 0
+    try:
+        f = open(path)
+    except OSError as e:
+        error(f"{path}: unreadable: {e}")
+        return
+    with f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            where = f"{path}:{lineno}"
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                error(f"{where}: invalid JSON: {e}")
+                continue
+            if not isinstance(ev, dict):
+                error(f"{where}: not an object")
+                continue
+            for key in STRING_FIELDS:
+                if not isinstance(ev.get(key), str):
+                    error(f"{where}: '{key}' missing or not a string")
+            for key in INT_FIELDS:
+                v = ev.get(key)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    error(f"{where}: '{key}' = {v!r} is not a "
+                          "non-negative integer")
+            kind = ev.get("kind")
+            if isinstance(kind, str) and kind not in KNOWN_KINDS:
+                error(f"{where}: unknown kind {kind!r}")
+            job = ev.get("job")
+            seq = ev.get("seq")
+            t_us = ev.get("t_us")
+            if isinstance(job, str) and isinstance(seq, int):
+                if seq <= last_seq.get(job, 0):
+                    error(f"{where}: job {job!r} seq {seq} is not above "
+                          f"the previous {last_seq[job]}")
+                last_seq[job] = seq
+            if isinstance(job, str) and isinstance(t_us, int):
+                if t_us < last_t.get(job, 0):
+                    error(f"{where}: job {job!r} t_us {t_us} went "
+                          f"backwards from {last_t[job]}")
+                last_t[job] = max(last_t.get(job, 0), t_us)
+    print(f"{path}: {lines} events across {len(last_seq)} jobs")
+    if lines == 0:
+        error(f"{path}: no events (sink never attached?)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        check_file(path)
+    sys.exit(1 if errors else 0)
+
+
+if __name__ == "__main__":
+    main()

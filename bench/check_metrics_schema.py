@@ -67,6 +67,16 @@ def check_metrics(path):
     if m.get("schema") != "scanc-metrics-v1":
         error(f"{path}: schema is {m.get('schema')!r}, "
               "expected 'scanc-metrics-v1'")
+    # Snapshot ordering stamps: a per-process monotonic sequence plus a
+    # wall-clock emission time, so consumers can order snapshots from one
+    # process and correlate them across processes.
+    if not isinstance(m.get("sequence"), int) or m.get("sequence") < 1:
+        error(f"{path}: 'sequence' = {m.get('sequence')!r} is not a "
+              "positive integer")
+    if (not isinstance(m.get("emitted_unix_ms"), int)
+            or m.get("emitted_unix_ms") < 1_600_000_000_000):
+        error(f"{path}: 'emitted_unix_ms' = {m.get('emitted_unix_ms')!r} "
+              "is not a plausible unix-epoch millisecond stamp")
     for section, keys in [
         ("counters", EXPECTED_COUNTERS),
         ("gauges", EXPECTED_GAUGES),

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <utility>
 
+#include "util/event_bus.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
 
 namespace scanc::fault {
 
@@ -26,6 +28,20 @@ void GroupExecutor::for_each_group(std::span<const FaultClassId> targets,
   const std::size_t ng = num_groups(targets.size());
   if (ng == 0) return;
   obs::add(obs::Counter::GroupsExecuted, ng);
+  // Periodic execution snapshot for live watchers, throttled so even a
+  // query storm publishes at most ~20 events/s per thread; the counter
+  // itself stays exact above.  for_each_group runs on the caller (job)
+  // thread, so the event carries the job scope.
+  if (obs::events_enabled()) {
+    constexpr std::uint64_t kThrottleMicros = 50'000;
+    thread_local std::uint64_t last_publish_us = 0;
+    const std::uint64_t now = obs::now_micros();
+    if (now - last_publish_us >= kThrottleMicros) {
+      last_publish_us = now;
+      obs::publish_event(obs::EventKind::Counters, "exec",
+                         obs::value(obs::Counter::GroupsExecuted), ng);
+    }
+  }
   const auto group_at = [targets](std::size_t g) {
     const std::size_t base = g * kGroupSize;
     return targets.subspan(base,

@@ -3,7 +3,8 @@
 //   scanc-serve --socket=PATH [--state-dir=DIR] [--executors=N]
 //               [--max-queue=N] [--max-retries=N] [--stall-seconds=S]
 //               [--deadline-check-seconds=S] [--metrics-out=PATH]
-//               [--heartbeat=SECS] [--quiet]
+//               [--trace-out=PATH] [--event-log=PATH]
+//               [--event-log-max-bytes=N] [--heartbeat=SECS] [--quiet]
 //
 // Serves length-prefixed JSON requests on the AF_UNIX socket until
 // SIGINT/SIGTERM (or a client "shutdown" request), then drains: stops
@@ -18,13 +19,18 @@
 
 #include "svc/daemon.hpp"
 #include "util/cancel.hpp"
+#include "util/event_bus.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
 
 namespace {
 
 struct Options {
   scanc::svc::DaemonOptions daemon;
   std::string metrics_out;
+  std::string trace_out;
+  std::string event_log;
+  std::uint64_t event_log_max_bytes = 8u << 20;
   double heartbeat = 0.0;
   bool quiet = false;
 };
@@ -63,6 +69,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
           std::strtod(value("--deadline-check-seconds="), nullptr);
     } else if (a.rfind("--metrics-out=", 0) == 0) {
       opt.metrics_out = value("--metrics-out=");
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out = value("--trace-out=");
+    } else if (a.rfind("--event-log=", 0) == 0) {
+      opt.event_log = value("--event-log=");
+    } else if (a.rfind("--event-log-max-bytes=", 0) == 0 &&
+               parse_u64(value("--event-log-max-bytes="), v)) {
+      opt.event_log_max_bytes = v;
     } else if (a.rfind("--heartbeat=", 0) == 0) {
       opt.heartbeat = std::strtod(value("--heartbeat="), nullptr);
     } else if (a == "--quiet") {
@@ -100,6 +113,15 @@ int main(int argc, char** argv) {
 
   scanc::obs::Heartbeat heartbeat;
   if (opt.heartbeat > 0.0) heartbeat.start(opt.heartbeat);
+  if (!opt.trace_out.empty() && !scanc::obs::open_trace(opt.trace_out)) {
+    std::cerr << "scanc-serve: cannot open trace file " << opt.trace_out
+              << "\n";
+  }
+  if (!opt.event_log.empty() &&
+      !scanc::obs::open_event_log(opt.event_log, opt.event_log_max_bytes)) {
+    std::cerr << "scanc-serve: cannot open event log " << opt.event_log
+              << "\n";
+  }
 
   if (!opt.quiet) {
     std::cerr << "scanc-serve: listening on " << opt.daemon.socket_path
@@ -114,6 +136,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   heartbeat.stop();
+  // SIGTERM drain ordering: the daemon has already published its final
+  // job-state events, so flush+close the event log before the trace is
+  // sealed — shutdown_sinks() pins that order (tests/resilience_test.cpp).
+  scanc::obs::shutdown_sinks();
 
   if (!opt.metrics_out.empty()) {
     if (!scanc::obs::write_metrics_file(opt.metrics_out)) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/event_bus.hpp"
 #include "util/telemetry.hpp"
 
 namespace scanc::tcomp {
@@ -30,13 +31,18 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
   // Step 1: faults detected by T0 alone (all-X state, PO observation).
   {
     const obs::Span span("phase1 step1 T0-detect", "step");
+    obs::publish_event(obs::EventKind::PhaseBegin, "phase1/step1");
     result.f0 = fsim.detect_no_scan(t0);
+    obs::publish_event(obs::EventKind::PhaseEnd, "phase1/step1",
+                       result.f0.count());
   }
 
   // Step 2: candidate scan-in states are the state parts of C.  Simulate
   // only F - F0: faults in F0 are detected for any scan-in choice.
   {
     const obs::Span span("phase1 step2 scan-in", "step");
+    obs::publish_event(obs::EventKind::PhaseBegin, "phase1/step2", 0,
+                       comb.size());
     FaultSet remaining = fsim.all_faults();
     remaining -= result.f0;
 
@@ -109,6 +115,8 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
     result.chosen_candidate = best;
     result.chose_selected = best_selected;
     result.f_si = result.f0 | best_det;
+    obs::publish_event(obs::EventKind::PhaseEnd, "phase1/step2",
+                       result.f_si.count(), best);
   }
 
   const sim::Vector3& si = comb[result.chosen_candidate].state;
@@ -117,6 +125,7 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
   // (SI, T0) over all faults.  tau_SO,u detects f iff f is PO-detected at
   // some time <= u or the faulty state differs observably after time u.
   const obs::Span step3_span("phase1 step3 scan-out", "step");
+  obs::publish_event(obs::EventKind::PhaseBegin, "phase1/step3");
   const FaultSet all = fsim.all_faults();
   const auto times = fsim.detection_times(si, t0, all);
 
@@ -174,6 +183,8 @@ Phase1Result run_phase1(FaultSimulator& fsim, const Sequence& t0,
       result.f_so.set(times.targets[k]);
     }
   }
+  obs::publish_event(obs::EventKind::PhaseEnd, "phase1/step3",
+                     result.f_so.count(), u_so);
   return result;
 }
 

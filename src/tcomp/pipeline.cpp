@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/event_bus.hpp"
 #include "util/telemetry.hpp"
 
 namespace scanc::tcomp {
@@ -16,6 +17,13 @@ using PhaseClock = std::chrono::steady_clock;
 
 double seconds_since(PhaseClock::time_point start) {
   return std::chrono::duration<double>(PhaseClock::now() - start).count();
+}
+
+std::uint64_t millis_since(PhaseClock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(PhaseClock::now() -
+                                                            start)
+          .count());
 }
 
 /// Restores a simulator's cancel token and thread count on scope exit.
@@ -70,8 +78,14 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.num_chains = chains;
     result.initial_cycles = clock_cycles(result.initial, nsv, chains);
     result.compacted_cycles = clock_cycles(result.compacted, nsv, chains);
+    obs::publish_event(obs::EventKind::PhaseEnd, "pipeline",
+                       result.final_coverage.count(), fsim.num_classes());
     return result;
   };
+  // The begin event carries the fault universe size (value) so live
+  // watchers can turn per-round detection counts into coverage %.
+  obs::publish_event(obs::EventKind::PhaseBegin, "pipeline", 0,
+                     fsim.num_classes());
   // The caller's token/threads are restored on every exit path (see
   // SimStateGuard) so a pooled simulator comes back clean.
   const SimStateGuard guard(fsim);
@@ -83,6 +97,7 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   IterateResult it;
   {
     const obs::PhaseSpan span("phase1+2");
+    obs::publish_event(obs::EventKind::PhaseBegin, "phase1+2");
     const auto started = PhaseClock::now();
     IterateOptions iopt = options.iterate;
     if (!iopt.trace) iopt.trace = options.trace;
@@ -90,6 +105,8 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     it = iterate_phases(fsim, t0, comb, iopt);
     obs::record_phase("phase1+2", seconds_since(started),
                       it.f_seq.count());
+    obs::publish_event(obs::EventKind::PhaseEnd, "phase1+2",
+                       it.f_seq.count(), millis_since(started));
   }
   result.tau_seq = std::move(it.tau_seq);
   result.f0 = std::move(it.f0);
@@ -122,11 +139,16 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   TopOffResult topoff;
   {
     const obs::PhaseSpan span("phase3");
+    obs::publish_event(obs::EventKind::PhaseBegin, "phase3",
+                       undetected.count());
     const auto started = PhaseClock::now();
     topoff = top_off(fsim, comb, undetected);
     obs::record_phase(
         "phase3", seconds_since(started),
         undetected.count() - topoff.uncoverable.count());
+    obs::publish_event(obs::EventKind::PhaseEnd, "phase3",
+                       undetected.count() - topoff.uncoverable.count(),
+                       millis_since(started));
   }
   result.added_tests = topoff.tests.size();
   result.uncoverable = std::move(topoff.uncoverable);
@@ -158,6 +180,8 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   trace("phase 4 (combining)");
   if (options.run_phase4) {
     const obs::PhaseSpan span("phase4");
+    obs::publish_event(obs::EventKind::PhaseBegin, "phase4", 0,
+                       result.initial.tests.size());
     const auto started = PhaseClock::now();
     CombineOptions copt = options.combine;
     if (!copt.cancel.valid()) copt.cancel = options.cancel;
@@ -165,6 +189,8 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
     result.compacted = std::move(comp.tests);
     result.combinations = comp.combinations;
     obs::record_phase("phase4", seconds_since(started), 0);
+    obs::publish_event(obs::EventKind::PhaseEnd, "phase4", 0,
+                       millis_since(started));
   } else {
     result.compacted = result.initial;
   }
@@ -180,9 +206,13 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
 
   {
     const obs::PhaseSpan span("coverage");
+    obs::publish_event(obs::EventKind::PhaseBegin, "coverage");
     const auto started = PhaseClock::now();
     result.final_coverage = coverage(fsim, result.compacted);
     obs::record_phase("coverage", seconds_since(started), 0);
+    obs::publish_event(obs::EventKind::PhaseEnd, "coverage",
+                       result.final_coverage.count(),
+                       millis_since(started));
   }
   if (options.cancel.stop_requested()) {
     // The coverage simulation itself was interrupted; fall back to the

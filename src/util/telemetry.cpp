@@ -393,7 +393,18 @@ void json_string(std::ostream& out, const std::string& s) {
 void write_metrics_json(std::ostream& out) {
   const CounterSnapshot s = snapshot_counters();
   const Derived d = derive(s);
-  out << "{\n  \"schema\": \"scanc-metrics-v1\",\n  \"counters\": {";
+  // Snapshot ordering stamps: `sequence` is process-monotonic across
+  // snapshots (so multiple --metrics-out style dumps from one run are
+  // orderable even when written within the same millisecond) and
+  // `emitted_unix_ms` anchors the snapshot to wall-clock time.
+  static std::atomic<std::uint64_t> snapshot_sequence{0};
+  const std::uint64_t seq = ++snapshot_sequence;
+  const std::uint64_t unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  out << "{\n  \"schema\": \"scanc-metrics-v1\",\n  \"sequence\": " << seq
+      << ",\n  \"emitted_unix_ms\": " << unix_ms << ",\n  \"counters\": {";
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     out << (i == 0 ? "\n" : ",\n") << "    \""
         << counter_name(static_cast<Counter>(i)) << "\": " << s[i];

@@ -37,7 +37,9 @@
 #include "tgen/random_seq.hpp"
 #include "util/cancel.hpp"
 #include "util/store.hpp"
+#include "util/event_bus.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
 
 namespace scanc {
 namespace {
@@ -692,6 +694,60 @@ TEST(RunnerResilience, KillResumeMetricsAreCumulativeAcrossAttempts) {
   const obs::CounterSnapshot cumulative = obs::snapshot_counters();
   EXPECT_GE(cumulative[kFrames], uninterrupted[kFrames]);
   EXPECT_GE(cumulative[kQueries], uninterrupted[kQueries]);
+}
+
+TEST(ObsShutdown, DrainEventsReachTheLogBeforeSinksSeal) {
+  // The SIGTERM drain path (scanc-serve, compact_bench) publishes its
+  // final phase-end events and then calls obs::shutdown_sinks(), which
+  // must flush+close the event log before sealing the Chrome trace.
+  // Pin the contract: every event published up to the shutdown call is
+  // on disk afterwards, both sinks are sealed (the trace is a complete
+  // JSON document), and a straggler publish after shutdown cannot
+  // resurrect or corrupt either file.
+  ScratchDir dir("obs_shutdown");
+  const std::string trace_path = dir.path + "/trace.json";
+  const std::string log_path = dir.path + "/events.jsonl";
+  ASSERT_TRUE(obs::open_trace(trace_path));
+  ASSERT_TRUE(obs::open_event_log(log_path));
+  ASSERT_TRUE(obs::events_enabled());
+
+  obs::publish_event(obs::EventKind::PhaseBegin, "pipeline");
+  obs::publish_event(obs::EventKind::Round, "phase1+2", 17, 0);
+  // The drain's last gasp — this is the event a wrong ordering loses.
+  obs::publish_event(obs::EventKind::PhaseEnd, "pipeline", 17, 1,
+                     "drain");
+
+  obs::shutdown_sinks();
+  EXPECT_FALSE(obs::events_enabled());
+  EXPECT_FALSE(obs::tracing_enabled());
+
+  // Every pre-shutdown event was flushed, in publish order.
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(log, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"kind\":\"phase_begin\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"round\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"kind\":\"phase_end\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"note\":\"drain\""), std::string::npos);
+
+  // The trace was sealed after the log: a complete JSON document.
+  std::ifstream trace(trace_path);
+  std::stringstream tbuf;
+  tbuf << trace.rdbuf();
+  const std::string tdoc = tbuf.str();
+  ASSERT_FALSE(tdoc.empty());
+  const auto last = tdoc.find_last_not_of(" \t\r\n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(tdoc[last], '}') << "trace must be sealed, not truncated";
+
+  // Stragglers after shutdown are dropped, not appended.
+  obs::publish_event(obs::EventKind::Counters, "exec", 0, 1);
+  std::ifstream relog(log_path);
+  std::size_t count = 0;
+  for (std::string line; std::getline(relog, line);) ++count;
+  EXPECT_EQ(count, 3u);
 }
 
 }  // namespace
