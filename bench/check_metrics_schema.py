@@ -25,7 +25,10 @@ EXPECTED_COUNTERS = [
     "trace_cache_misses", "trace_cache_extensions",
     "trace_cache_partial_reuses", "trace_cache_evictions", "pool_tasks_run",
     "pool_queue_wait_ns", "pool_busy_ns", "groups_executed", "queries_run",
-    "faults_detected", "iterate_rounds", "check_cases_run",
+    "faults_detected", "iterate_rounds",
+    "atpg_sat_solve_calls", "atpg_sat_conflicts", "atpg_sat_proofs",
+    "atpg_sat_fallbacks",
+    "check_cases_run",
     "check_queries_compared", "check_divergences", "check_shrink_steps",
     "check_case_timeouts",
     "jobs_submitted", "jobs_accepted", "jobs_rejected", "jobs_shed",

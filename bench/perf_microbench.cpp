@@ -12,6 +12,7 @@
 #include "atpg/comb_tset.hpp"
 #include "netlist/circuit.hpp"
 #include "atpg/podem.hpp"
+#include "atpg/sat_backend.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
 #include "fault/model.hpp"
@@ -366,6 +367,78 @@ void BM_PodemPerFault(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PodemPerFault);
+
+// ATPG backend per-fault cost across circuit sizes (Arg = gate count;
+// the bench/history "atpg" family records the sat/podem ratio per
+// size).  Both engines walk the same fault list round-robin so the
+// fault mix is identical; the SAT backend amortizes its one-time
+// circuit encoding across the incremental per-fault solves, which is
+// exactly how the runner uses it under --atpg=sat/auto.
+netlist::Circuit sized_circuit(std::size_t gates) {
+  gen::GenParams p;
+  p.name = "bench";
+  p.seed = 12345;
+  p.num_inputs = 16;
+  p.num_outputs = 16;
+  p.num_flip_flops = 64;
+  p.num_gates = gates;
+  return gen::generate_circuit(p);
+}
+
+void BM_AtpgPodem(benchmark::State& state) {
+  const netlist::Circuit c =
+      sized_circuit(static_cast<std::size_t>(state.range(0)));
+  const fault::FaultList fl = fault::FaultList::build(c);
+  atpg::Podem podem(c);
+  std::size_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        podem.generate(fl.representative(
+            static_cast<fault::FaultClassId>(id % fl.num_classes()))));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtpgPodem)->Arg(250)->Arg(1000);
+
+void BM_AtpgSat(benchmark::State& state) {
+  const netlist::Circuit c =
+      sized_circuit(static_cast<std::size_t>(state.range(0)));
+  const fault::FaultList fl = fault::FaultList::build(c);
+  atpg::SatBackend sat(c);
+  std::size_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sat.generate(fl.representative(
+            static_cast<fault::FaultClassId>(id % fl.num_classes()))));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+  const atpg::SatBackendStats& s = sat.stats();
+  state.counters["conflicts/solve"] = benchmark::Counter(
+      s.solve_calls > 0
+          ? static_cast<double>(s.conflicts) /
+                static_cast<double>(s.solve_calls)
+          : 0.0);
+}
+BENCHMARK(BM_AtpgSat)->Arg(250)->Arg(1000);
+
+void BM_AtpgSatTransition(benchmark::State& state) {
+  const netlist::Circuit c =
+      sized_circuit(static_cast<std::size_t>(state.range(0)));
+  const fault::FaultList fl =
+      fault::FaultList::build(c, fault::FaultModel::transition());
+  atpg::SatBackend sat(c);
+  std::size_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sat.generate_transition(fl.representative(
+            static_cast<fault::FaultClassId>(id % fl.num_classes()))));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtpgSatTransition)->Arg(250)->Arg(1000);
 
 void BM_BenchParseRoundTrip(benchmark::State& state) {
   const netlist::Circuit c = mid_circuit();

@@ -10,10 +10,14 @@ are printed so a trend shows up in the CI log itself.
 
     record_history.py --kind kernel  BENCH_kernel.json
     record_history.py --kind service load.json
+    record_history.py --kind atpg    BENCH_atpg.json
 
 Kernel entries record the full/cone speedup per block count plus the
 SIMD-wide and PPSFP same-run ratios (noise-robust, like the gates).
-Service entries record throughput and latency percentiles.  Every entry
+Service entries record throughput and latency percentiles.  ATPG
+entries record the SAT-backend-vs-PODEM per-fault cost ratio and the
+transition-vs-stuck-at SAT encoding ratio per circuit size (the price
+of --atpg=sat completeness; see docs/atpg.md).  Every entry
 carries a UTC timestamp and the commit sha (GITHUB_SHA or git
 rev-parse).  Recording never fails the build: a malformed input exits 1
 loudly, but a missing previous entry just means "no deltas yet".
@@ -90,6 +94,26 @@ def kernel_metrics(path):
     return metrics
 
 
+def atpg_metrics(path):
+    data = load_json(path)
+    if "benchmarks" not in data:
+        fail(f"{path} has no 'benchmarks' array - not google-benchmark "
+             "JSON output?")
+    podem = real_times(data, "BM_AtpgPodem")
+    sat = real_times(data, "BM_AtpgSat")
+    tdf = real_times(data, "BM_AtpgSatTransition")
+    metrics = {}
+    for arg in sorted(set(podem) & set(sat), key=int):
+        if podem[arg] > 0:
+            metrics[f"sat_vs_podem/{arg}"] = round(sat[arg] / podem[arg], 3)
+    for arg in sorted(set(sat) & set(tdf), key=int):
+        if sat[arg] > 0:
+            metrics[f"tdf_vs_stuck/{arg}"] = round(tdf[arg] / sat[arg], 3)
+    if not metrics:
+        fail(f"{path} contains no comparable BM_Atpg*/N pairs")
+    return metrics
+
+
 def service_metrics(path):
     data = load_json(path)
     if data.get("schema") != "scanc-service-load-v1":
@@ -120,13 +144,14 @@ def last_entry(history_path):
 
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("--kind", choices=("kernel", "service"),
+    parser.add_argument("--kind", choices=("kernel", "service", "atpg"),
                         required=True)
     parser.add_argument("results", help="BENCH_kernel.json or load.json")
     parser.add_argument("--out-dir", default="bench/history")
     args = parser.parse_args()
 
-    extract = kernel_metrics if args.kind == "kernel" else service_metrics
+    extract = {"kernel": kernel_metrics, "service": service_metrics,
+               "atpg": atpg_metrics}[args.kind]
     metrics = extract(args.results)
     entry = {
         "recorded_utc": datetime.datetime.now(

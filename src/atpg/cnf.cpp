@@ -1,0 +1,393 @@
+#include "atpg/cnf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/injection.hpp"
+
+namespace scanc::atpg {
+
+using netlist::GateType;
+using netlist::Node;
+using netlist::NodeId;
+
+CnfEncoder::CnfEncoder(const netlist::Circuit& circuit,
+                       util::Bitset scan_mask, SatSolver& solver)
+    : circuit_(&circuit),
+      scan_mask_(std::move(scan_mask)),
+      solver_(&solver) {
+  // One global constant: a variable forced true at the root, so constant
+  // rails fold structurally instead of needing per-use clauses.
+  const SatVar t = solver_->new_var();
+  true_lit_ = mk_lit(t);
+  solver_->add_clause({true_lit_});
+
+  const std::size_t n = circuit.num_nodes();
+  in_cone_.assign(n, 0);
+  bad_scratch_.assign(n, Rail{});
+  // Topological position: sources sort first (position 0), combinational
+  // gates by their evaluation order, so a fault cone can be encoded by a
+  // single ascending sort.
+  topo_pos_.assign(n, 0);
+  std::uint32_t pos = 1;
+  for (const NodeId id : circuit.topo_order()) topo_pos_[id] = pos++;
+}
+
+Rail CnfEncoder::binary_source_rail() {
+  const SatVar v = solver_->new_var();
+  return Rail{mk_lit(v), mk_lit(v, true)};
+}
+
+void CnfEncoder::emit(std::initializer_list<SatLit> lits) {
+  emit_clause(std::vector<SatLit>(lits));
+}
+
+void CnfEncoder::emit_clause(std::vector<SatLit> lits) {
+  if (guard_ >= 0) lits.push_back(guard_);
+  solver_->add_clause(lits);
+}
+
+SatLit CnfEncoder::and_of(std::vector<SatLit> lits) {
+  const SatLit false_lit = lit_neg(true_lit_);
+  std::size_t out = 0;
+  for (const SatLit l : lits) {
+    if (l == false_lit) return false_lit;
+    if (l == true_lit_) continue;
+    lits[out++] = l;
+  }
+  lits.resize(out);
+  if (lits.empty()) return true_lit_;
+  if (lits.size() == 1) return lits[0];
+  const SatLit v = mk_lit(solver_->new_var());
+  std::vector<SatLit> big;
+  big.reserve(lits.size() + 1);
+  big.push_back(v);
+  for (const SatLit l : lits) {
+    emit({lit_neg(v), l});
+    big.push_back(lit_neg(l));
+  }
+  emit_clause(std::move(big));
+  return v;
+}
+
+SatLit CnfEncoder::or_of(std::vector<SatLit> lits) {
+  for (SatLit& l : lits) l = lit_neg(l);
+  return lit_neg(and_of(std::move(lits)));
+}
+
+Rail CnfEncoder::encode_gate(GateType type,
+                             const std::vector<Rail>& fanins) {
+  const auto ones = [&] {
+    std::vector<SatLit> v;
+    v.reserve(fanins.size());
+    for (const Rail& r : fanins) v.push_back(r.is1);
+    return v;
+  };
+  const auto zeros = [&] {
+    std::vector<SatLit> v;
+    v.reserve(fanins.size());
+    for (const Rail& r : fanins) v.push_back(r.is0);
+    return v;
+  };
+  switch (type) {
+    case GateType::Buf:
+      return fanins[0];
+    case GateType::Not:
+      return Rail{fanins[0].is0, fanins[0].is1};
+    case GateType::And:
+      return Rail{and_of(ones()), or_of(zeros())};
+    case GateType::Nand:
+      return Rail{or_of(zeros()), and_of(ones())};
+    case GateType::Or:
+      return Rail{or_of(ones()), and_of(zeros())};
+    case GateType::Nor:
+      return Rail{and_of(zeros()), or_of(ones())};
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // Pairwise fold of the Kleene XOR: X in → X out, so each rail of
+      // the accumulator needs both operand rails binary.
+      Rail acc = fanins[0];
+      for (std::size_t i = 1; i < fanins.size(); ++i) {
+        const Rail& b = fanins[i];
+        const SatLit odd = or_of(
+            {and_of({acc.is1, b.is0}), and_of({acc.is0, b.is1})});
+        const SatLit even = or_of(
+            {and_of({acc.is1, b.is1}), and_of({acc.is0, b.is0})});
+        acc = Rail{odd, even};
+      }
+      if (type == GateType::Xnor) return Rail{acc.is0, acc.is1};
+      return acc;
+    }
+    case GateType::Const0:
+      return const_rail(false);
+    case GateType::Const1:
+      return const_rail(true);
+    case GateType::Input:
+    case GateType::Dff:
+      break;  // sources: never encoded as gates
+  }
+  assert(false && "source node passed to encode_gate");
+  return x_rail();
+}
+
+void CnfEncoder::ensure_comb_frame() {
+  if (!frames_.empty()) return;
+  assert(guard_ < 0 && "good circuit must be unguarded");
+  std::vector<Rail>& f0 = frames_.emplace_back(circuit_->num_nodes());
+  for (const NodeId id : circuit_->primary_inputs()) {
+    f0[id] = binary_source_rail();
+  }
+  const auto ffs = circuit_->flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    f0[ffs[i]] = scanned(i) ? binary_source_rail() : x_rail();
+  }
+  // Constant nodes are sources too (absent from topo_order).
+  for (NodeId id = 0; id < circuit_->num_nodes(); ++id) {
+    const GateType t = circuit_->node(id).type;
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      f0[id] = const_rail(t == GateType::Const1);
+    }
+  }
+  std::vector<Rail> fanin_rails;
+  for (const NodeId id : circuit_->topo_order()) {
+    const Node& n = circuit_->node(id);
+    fanin_rails.clear();
+    for (const NodeId in : n.fanins) fanin_rails.push_back(f0[in]);
+    f0[id] = encode_gate(n.type, fanin_rails);
+  }
+}
+
+void CnfEncoder::ensure_two_frames() {
+  ensure_comb_frame();
+  if (frames_.size() >= 2) return;
+  assert(guard_ < 0 && "good circuit must be unguarded");
+  std::vector<Rail>& f1 = frames_.emplace_back(circuit_->num_nodes());
+  for (const NodeId id : circuit_->primary_inputs()) {
+    f1[id] = binary_source_rail();
+  }
+  // Frame-1 state is frame-0's captured next state: alias every
+  // flip-flop's rails to its D driver's frame-0 rails (scanned or not —
+  // the latch is functional for all state bits).
+  for (const NodeId ff : circuit_->flip_flops()) {
+    f1[ff] = frames_[0][circuit_->node(ff).fanins[0]];
+  }
+  for (NodeId id = 0; id < circuit_->num_nodes(); ++id) {
+    const GateType t = circuit_->node(id).type;
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      f1[id] = const_rail(t == GateType::Const1);
+    }
+  }
+  std::vector<Rail> fanin_rails;
+  for (const NodeId id : circuit_->topo_order()) {
+    const Node& n = circuit_->node(id);
+    fanin_rails.clear();
+    for (const NodeId in : n.fanins) fanin_rails.push_back(f1[in]);
+    f1[id] = encode_gate(n.type, fanin_rails);
+  }
+}
+
+std::vector<NodeId> CnfEncoder::faulty_cone(NodeId seed) {
+  std::vector<NodeId> cone;
+  std::vector<NodeId> stack{seed};
+  // in_cone_ doubles as the visited set; the caller clears the marks
+  // once the fault is fully encoded.
+  auto& marks = in_cone_;
+  marks[seed] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    cone.push_back(id);
+    for (const NodeId out : circuit_->node(id).fanouts) {
+      // A flip-flop's in-cycle value is a source: the effect reaching
+      // its D input is observed at capture, never propagated through.
+      if (marks[out] || circuit_->node(out).type == GateType::Dff) {
+        continue;
+      }
+      marks[out] = 1;
+      stack.push_back(out);
+    }
+  }
+  std::sort(cone.begin(), cone.end(), [&](NodeId a, NodeId b) {
+    return topo_pos_[a] < topo_pos_[b];
+  });
+  return cone;
+}
+
+void CnfEncoder::encode_faulty_cone(std::size_t frame,
+                                    const std::vector<NodeId>& cone,
+                                    const Rail& seed_rail,
+                                    std::vector<Rail>& bad_rails) {
+  std::vector<Rail> fanin_rails;
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const NodeId id = cone[i];
+    if (i == 0) {
+      bad_rails[id] = seed_rail;
+      continue;
+    }
+    const Node& n = circuit_->node(id);
+    fanin_rails.clear();
+    for (const NodeId in : n.fanins) {
+      fanin_rails.push_back(in_cone_[in] ? bad_rails[in]
+                                         : good(frame, in));
+    }
+    bad_rails[id] = encode_gate(n.type, fanin_rails);
+  }
+}
+
+void CnfEncoder::add_detect_terms(const Rail& good_rail,
+                                  const Rail& bad_rail,
+                                  std::vector<SatLit>& detect) {
+  const SatLit false_lit = lit_neg(true_lit_);
+  const SatLit hi = and_of({good_rail.is1, bad_rail.is0});
+  if (hi != false_lit) detect.push_back(hi);
+  const SatLit lo = and_of({good_rail.is0, bad_rail.is1});
+  if (lo != false_lit) detect.push_back(lo);
+}
+
+template <typename BadOf>
+void CnfEncoder::add_miter(std::size_t frame, const fault::Fault& fault,
+                           SatLit selector, BadOf&& bad_of) {
+  std::vector<SatLit> detect;
+  for (const NodeId po : circuit_->primary_outputs()) {
+    const Rail& g = good(frame, po);
+    const Rail b = bad_of(po);
+    if (b.is1 == g.is1 && b.is0 == g.is0) continue;
+    add_detect_terms(g, b, detect);
+  }
+  const auto ffs = circuit_->flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (!scanned(i)) continue;
+    const NodeId d = circuit_->node(ffs[i]).fanins[0];
+    const Rail& g = good(frame, d);
+    // A fault on the flip-flop's own D pin corrupts exactly this
+    // capture (and nothing else): the faulty value is the stuck
+    // constant rather than the cone value.
+    const bool own_pin =
+        fault.node == ffs[i] && fault.pin != sim::kStemPin;
+    const Rail b = own_pin ? const_rail(fault.value) : bad_of(d);
+    if (b.is1 == g.is1 && b.is0 == g.is0) continue;
+    add_detect_terms(g, b, detect);
+  }
+  // One observation point must show the effect.  With no point left the
+  // clause degenerates to (¬selector): untestable, proven by unit
+  // propagation alone.
+  emit_clause(std::move(detect));
+  (void)selector;
+}
+
+void CnfEncoder::add_stuck_fault(const fault::Fault& fault,
+                                 SatLit selector) {
+  ensure_comb_frame();
+  guard_ = lit_neg(selector);
+  const Node& n = circuit_->node(fault.node);
+
+  if (n.type == GateType::Dff && fault.pin != sim::kStemPin) {
+    // Branch fault on a flip-flop's D pin: no combinational fanout —
+    // the corruption exists only in the captured state (see add_miter's
+    // own-pin case).  Activation still requires the driver to carry the
+    // opposite value.
+    const Rail& site = good(0, n.fanins[0]);
+    emit({fault.value ? site.is0 : site.is1});
+    add_miter(0, fault, selector, [&](NodeId id) -> Rail {
+      return good(0, id);
+    });
+    guard_ = -1;
+    return;
+  }
+
+  // Activation: the good value at the fault site must be the binary
+  // opposite of the stuck value (with conservative X semantics an X at
+  // the site can never yield a binary difference downstream).
+  NodeId seed = fault.node;
+  Rail seed_rail;
+  if (fault.pin == sim::kStemPin) {
+    const Rail& site = good(0, fault.node);
+    emit({fault.value ? site.is0 : site.is1});
+    seed_rail = const_rail(fault.value);
+  } else {
+    const NodeId in = n.fanins[static_cast<std::size_t>(fault.pin)];
+    const Rail& site = good(0, in);
+    emit({fault.value ? site.is0 : site.is1});
+    // The faulty gate output: the driven gate re-evaluated with the
+    // faulted pin pinned to the stuck constant.
+    std::vector<Rail> fanin_rails;
+    fanin_rails.reserve(n.fanins.size());
+    for (std::size_t j = 0; j < n.fanins.size(); ++j) {
+      fanin_rails.push_back(j == static_cast<std::size_t>(fault.pin)
+                                ? const_rail(fault.value)
+                                : good(0, n.fanins[j]));
+    }
+    seed_rail = encode_gate(n.type, fanin_rails);
+  }
+
+  const std::vector<NodeId> cone = faulty_cone(seed);
+  encode_faulty_cone(0, cone, seed_rail, bad_scratch_);
+  add_miter(0, fault, selector, [&](NodeId id) -> Rail {
+    return in_cone_[id] ? bad_scratch_[id] : good(0, id);
+  });
+  for (const NodeId id : cone) in_cone_[id] = 0;
+  guard_ = -1;
+}
+
+void CnfEncoder::add_transition_fault(const fault::Fault& fault,
+                                      SatLit selector) {
+  ensure_two_frames();
+  assert(fault.pin == sim::kStemPin &&
+         "transition faults are stem faults");
+  guard_ = lit_neg(selector);
+  const bool stale = fault.value;
+
+  // Launch: the stem holds the stale value in frame 0 and the opposite
+  // (binary) value in frame 1 — the delayed transition.
+  const Rail& g0 = good(0, fault.node);
+  emit({stale ? g0.is1 : g0.is0});
+  const Rail& g1 = good(1, fault.node);
+  emit({stale ? g1.is0 : g1.is1});
+
+  // Capture: the slow line still shows the stale value in frame 1, i.e.
+  // the stem is stuck at the stale value in the faulty frame-1 copy.
+  const std::vector<NodeId> cone = faulty_cone(fault.node);
+  encode_faulty_cone(1, cone, const_rail(stale), bad_scratch_);
+  add_miter(1, fault, selector, [&](NodeId id) -> Rail {
+    return in_cone_[id] ? bad_scratch_[id] : good(1, id);
+  });
+  for (const NodeId id : cone) in_cone_[id] = 0;
+  guard_ = -1;
+}
+
+TestCube CnfEncoder::extract_comb_test() const {
+  TestCube cube;
+  const auto ffs = circuit_->flip_flops();
+  cube.state.resize(ffs.size(), sim::V3::X);
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (!scanned(i)) continue;
+    cube.state[i] = sim::v3_from_bool(lit_model(good(0, ffs[i]).is1));
+  }
+  const auto pis = circuit_->primary_inputs();
+  cube.inputs.resize(pis.size(), sim::V3::X);
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    cube.inputs[i] = sim::v3_from_bool(lit_model(good(0, pis[i]).is1));
+  }
+  return cube;
+}
+
+void CnfEncoder::extract_transition_test(sim::Vector3& state,
+                                         sim::Sequence& seq) const {
+  const auto ffs = circuit_->flip_flops();
+  state.assign(ffs.size(), sim::V3::X);
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (!scanned(i)) continue;
+    state[i] = sim::v3_from_bool(lit_model(good(0, ffs[i]).is1));
+  }
+  const auto pis = circuit_->primary_inputs();
+  seq.frames.assign(2, sim::Vector3(pis.size(), sim::V3::X));
+  for (std::size_t f = 0; f < 2; ++f) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      seq.frames[f][i] =
+          sim::v3_from_bool(lit_model(good(f, pis[i]).is1));
+    }
+  }
+}
+
+}  // namespace scanc::atpg

@@ -1,8 +1,10 @@
 #include "atpg/comb_tset.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace scanc::atpg {
 
@@ -163,15 +165,36 @@ CombTestSet generate_comb_test_set(const Circuit& circuit,
                           : mask);
   Podem podem(circuit, options.podem);
   Dalg dalg(circuit, options.dalg);
+  // The SAT backend is built lazily: under Auto it only exists once the
+  // structural engine aborts on some target, so the common all-easy run
+  // never pays for the CNF encoding.
+  std::unique_ptr<SatBackend> sat;
+  const auto sat_backend = [&]() -> SatBackend& {
+    if (!sat) {
+      SatBackendOptions so = options.sat;
+      so.scan_mask = mask;
+      so.cancel = options.cancel;
+      sat = std::make_unique<SatBackend>(circuit, so);
+    }
+    return *sat;
+  };
   const auto run_engine = [&](const fault::Fault& f) {
-    return options.engine == AtpgEngine::Dalg ? dalg.generate(f)
-                                              : podem.generate(f);
+    if (options.backend == AtpgBackend::Sat) return sat_backend().generate(f);
+    PodemResult r = options.engine == AtpgEngine::Dalg ? dalg.generate(f)
+                                                       : podem.generate(f);
+    if (options.backend == AtpgBackend::Auto &&
+        r.status == PodemStatus::Aborted) {
+      obs::add(obs::Counter::AtpgSatFallbacks);
+      r = sat_backend().generate(f);
+    }
+    return r;
   };
   util::Rng rng(options.seed ^ 0xc0b1ed5e7ULL);
   const std::size_t n_detect = std::max<std::size_t>(options.n_detect, 1);
 
   CombTestSet out;
   out.detected = FaultSet(faults.num_classes());
+  out.untestable = FaultSet(faults.num_classes());
   // Outstanding detections per class and the set of classes still worth
   // simulating (need > 0).
   Needs need(faults.num_classes(), static_cast<std::uint32_t>(n_detect));
@@ -193,6 +216,7 @@ CombTestSet generate_comb_test_set(const Circuit& circuit,
         const PodemResult r = run_engine(faults.representative(id));
         if (r.status == PodemStatus::Untestable) {
           ++out.proven_untestable;
+          out.untestable.set(id);
           need[id] = 0;
           active.reset(id);
           break;
@@ -240,6 +264,7 @@ CombTestSet generate_random_comb_test_set(const Circuit& circuit,
 
   CombTestSet out;
   out.detected = FaultSet(faults.num_classes());
+  out.untestable = FaultSet(faults.num_classes());
   FaultSet undetected(faults.num_classes());
   undetected.fill();
 

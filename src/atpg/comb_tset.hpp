@@ -21,6 +21,7 @@
 
 #include "atpg/dalg.hpp"
 #include "atpg/podem.hpp"
+#include "atpg/sat_backend.hpp"
 #include "fault/fault_sim.hpp"
 #include "util/cancel.hpp"
 
@@ -36,8 +37,14 @@ struct CombTest {
 struct CombTestSet {
   std::vector<CombTest> tests;
   fault::FaultSet detected;       ///< classes detected by the final set
-  std::size_t proven_untestable = 0;  ///< PODEM exhausted: no test exists
-  std::size_t aborted = 0;        ///< PODEM hit the backtrack limit
+  /// Classes proven untestable (search exhausted / SAT proof).  Sized
+  /// num_classes whenever `detected` is; `untestable.count()` equals
+  /// `proven_untestable`.  Downstream phases may drop these classes
+  /// from their fault universe: no scan test of any length detects a
+  /// combinationally-redundant fault under full scan.
+  fault::FaultSet untestable;
+  std::size_t proven_untestable = 0;  ///< search exhausted: no test exists
+  std::size_t aborted = 0;        ///< ATPG hit its backtrack/conflict limit
 
   /// Classes detectable as far as this generation run could prove:
   /// detected plus aborted (unresolved) classes, i.e. everything not
@@ -64,6 +71,16 @@ struct CombTestSetOptions {
   AtpgEngine engine = AtpgEngine::Podem;
   PodemOptions podem;               ///< PODEM search bounds
   DalgOptions dalg;                 ///< D-algorithm search bounds
+  /// Backend selection (docs/atpg.md): Podem runs `engine` alone; Sat
+  /// sends every target straight to the SAT backend; Auto runs `engine`
+  /// first and falls back to SAT only for targets it aborts on, so
+  /// every fault ends the run Detected or proven Untestable (up to the
+  /// SAT conflict limit).
+  AtpgBackend backend = AtpgBackend::Podem;
+  /// SAT backend bounds.  `sat.scan_mask` and `sat.cancel` are
+  /// overridden with `podem.scan_mask` and `cancel` below so all
+  /// engines see one scan configuration and one cancellation signal.
+  SatBackendOptions sat;
   TestSetCompaction compaction = TestSetCompaction::GreedyCover;
   std::size_t random_pool = 4096;   ///< pool size for the random source
   /// N-detect: drop a fault from the target list only after this many

@@ -487,7 +487,22 @@ PodemResult Podem::generate(const Fault& fault) {
 
     bool need_backtrack = true;
     if (const auto obj = objective(fault)) {
-      if (const auto bt = backtrace(obj->first, obj->second)) {
+      auto bt = backtrace(obj->first, obj->second);
+      if (!bt) {
+        // Backtrace dead-ended on an unassignable X source (an
+        // unscanned flip-flop; only possible under partial scan).
+        // That is a heuristic failure, not a proof — declaring the
+        // branch exhausted here made PODEM report Untestable for
+        // detectable faults.  Stay complete: decide any unassigned
+        // input and let backtracking explore both values.
+        for (const NodeId in : inputs_) {
+          if (assign_[in] == V3::X) {
+            bt = std::make_pair(in, false);
+            break;
+          }
+        }
+      }
+      if (bt) {
         decisions.push_back(Decision{bt->first, bt->second, false});
         assign_[bt->first] = sim::v3_from_bool(bt->second);
         propagate(bt->first, fault);

@@ -1,0 +1,102 @@
+#include "atpg/sat_backend.hpp"
+
+#include <algorithm>
+
+#include "util/telemetry.hpp"
+
+namespace scanc::atpg {
+
+const char* to_string(AtpgBackend b) noexcept {
+  switch (b) {
+    case AtpgBackend::Podem: return "podem";
+    case AtpgBackend::Sat: return "sat";
+    case AtpgBackend::Auto: return "auto";
+  }
+  return "?";
+}
+
+SatBackend::SatBackend(const netlist::Circuit& circuit,
+                       SatBackendOptions options)
+    : circuit_(&circuit), options_(std::move(options)) {}
+
+SatBackend::~SatBackend() = default;
+SatBackend::SatBackend(SatBackend&&) noexcept = default;
+SatBackend& SatBackend::operator=(SatBackend&&) noexcept = default;
+
+void SatBackend::ensure_solver() {
+  if (solver_ && options_.rebuild_vars != 0 &&
+      solver_->num_vars() > options_.rebuild_vars) {
+    solver_.reset();
+    encoder_.reset();
+    ++stats_.rebuilds;
+  }
+  if (!solver_) {
+    solver_ = std::make_unique<SatSolver>();
+    encoder_ = std::make_unique<CnfEncoder>(*circuit_, options_.scan_mask,
+                                            *solver_);
+  }
+}
+
+SatResult SatBackend::solve_fault(SatLit selector) {
+  SatLimits limits;
+  limits.max_conflicts = options_.conflict_limit;
+  limits.cancel = options_.cancel;
+  const std::uint64_t before = solver_->stats().conflicts;
+  const SatResult res = solver_->solve({selector}, limits);
+  const std::uint64_t delta = solver_->stats().conflicts - before;
+  ++stats_.solve_calls;
+  stats_.conflicts += delta;
+  obs::add(obs::Counter::AtpgSatSolveCalls);
+  obs::add(obs::Counter::AtpgSatConflicts, delta);
+  switch (res) {
+    case SatResult::Sat: ++stats_.tests; break;
+    case SatResult::Unsat:
+      ++stats_.proofs;
+      obs::add(obs::Counter::AtpgSatProofs);
+      break;
+    case SatResult::Unknown: ++stats_.aborted; break;
+  }
+  return res;
+}
+
+PodemResult SatBackend::generate(const fault::Fault& fault) {
+  ensure_solver();
+  const SatLit s = mk_lit(solver_->new_var());
+  encoder_->add_stuck_fault(fault, s);
+  const SatResult res = solve_fault(s);
+  PodemResult out;
+  out.backtracks = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      solver_->stats().conflicts, 0xffffffffu));
+  if (res == SatResult::Sat) {
+    out.status = PodemStatus::Detected;
+    out.cube = encoder_->extract_comb_test();
+  } else if (res == SatResult::Unsat) {
+    out.status = PodemStatus::Untestable;
+  } else {
+    out.status = PodemStatus::Aborted;
+  }
+  // Retire the fault: the unit clause permanently satisfies its guarded
+  // clauses, keeping later solves incremental over the shared circuit.
+  solver_->add_clause({lit_neg(s)});
+  return out;
+}
+
+TransitionTest SatBackend::generate_transition(const fault::Fault& fault) {
+  ensure_solver();
+  const SatLit s = mk_lit(solver_->new_var());
+  encoder_->add_transition_fault(fault, s);
+  const SatResult res = solve_fault(s);
+  TransitionTest out;
+  if (res == SatResult::Sat) {
+    out.status = PodemStatus::Detected;
+    encoder_->extract_transition_test(out.state, out.seq);
+  } else if (res == SatResult::Unsat) {
+    out.status = PodemStatus::Untestable;
+  } else {
+    out.status = PodemStatus::Aborted;
+  }
+  solver_->add_clause({lit_neg(s)});
+  return out;
+}
+
+}  // namespace scanc::atpg

@@ -1,0 +1,428 @@
+#include "atpg/sat_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scanc::atpg {
+
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...), scaled by the base below.
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its size.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return 1ull << seq;
+}
+
+constexpr std::uint64_t kRestartBase = 128;
+constexpr double kActivityDecay = 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr std::uint64_t kCancelPollMask = 255;  ///< poll every 256 loops
+
+}  // namespace
+
+SatSolver::SatSolver() = default;
+
+SatVar SatSolver::new_var() {
+  const SatVar v = static_cast<SatVar>(assigns_.size());
+  assigns_.push_back(kUndef);
+  phase_.push_back(0);  // default polarity: false (X rails start unset)
+  reason_.push_back(kNoClause);
+  var_level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  model_.push_back(0);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+SatSolver::ClauseRef SatSolver::alloc_clause(std::span<const SatLit> lits) {
+  const ClauseRef c = static_cast<ClauseRef>(arena_.size());
+  arena_.push_back(static_cast<std::uint32_t>(lits.size()));
+  for (const SatLit l : lits) {
+    arena_.push_back(static_cast<std::uint32_t>(l));
+  }
+  return c;
+}
+
+void SatSolver::attach_clause(ClauseRef c) {
+  const SatLit* lits = clause_lits(c);
+  assert(clause_size(c) >= 2);
+  watches_[static_cast<std::size_t>(lit_neg(lits[0]))].push_back(
+      Watch{c, lits[1]});
+  watches_[static_cast<std::size_t>(lit_neg(lits[1]))].push_back(
+      Watch{c, lits[0]});
+}
+
+bool SatSolver::add_clause(std::span<const SatLit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  // Root-level simplification: drop false literals, detect satisfied or
+  // tautological clauses, deduplicate.
+  std::vector<SatLit> out;
+  out.reserve(lits.size());
+  for (const SatLit l : lits) {
+    const std::uint8_t v = lit_value(l);
+    if (v == kTrue) return true;  // already satisfied forever
+    if (v == kFalse) continue;    // falsified at root: drop
+    bool skip = false;
+    for (const SatLit o : out) {
+      if (o == l) skip = true;
+      if (o == lit_neg(l)) return true;  // tautology
+    }
+    if (!skip) out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoClause);
+    if (propagate() != kNoClause) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  attach_clause(alloc_clause(out));
+  return true;
+}
+
+void SatSolver::enqueue(SatLit l, ClauseRef reason) {
+  const auto v = static_cast<std::size_t>(lit_var(l));
+  assert(assigns_[v] == kUndef);
+  assigns_[v] = lit_sign(l) ? kFalse : kTrue;
+  phase_[v] = lit_sign(l) ? 0 : 1;
+  reason_[v] = reason;
+  var_level_[v] = decision_level();
+  trail_.push_back(l);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const SatLit p = trail_[qhead_++];
+    ++stats_.propagations;
+    std::vector<Watch>& ws = watches_[static_cast<std::size_t>(p)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watch w = ws[i];
+      if (lit_value(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      SatLit* lits = clause_lits(w.cref);
+      const std::uint32_t size = clause_size(w.cref);
+      // Normalise: the falsified watch sits at index 1.
+      const SatLit false_lit = lit_neg(p);
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_lit);
+      if (lit_value(lits[0]) == kTrue) {
+        ws[keep++] = Watch{w.cref, lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (lit_value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>(lit_neg(lits[1]))].push_back(
+              Watch{w.cref, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      if (lit_value(lits[0]) == kFalse) {
+        // Conflict: keep the remaining watches, return the clause.
+        for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return w.cref;
+      }
+      ws[keep++] = w;
+      enqueue(lits[0], w.cref);
+    }
+    ws.resize(keep);
+  }
+  return kNoClause;
+}
+
+void SatSolver::bump_var(SatVar v) {
+  const auto i = static_cast<std::size_t>(v);
+  activity_[i] += var_inc_;
+  if (activity_[i] > kActivityRescale) {
+    for (double& a : activity_) a *= 1.0 / kActivityRescale;
+    var_inc_ *= 1.0 / kActivityRescale;
+  }
+  if (heap_pos_[i] >= 0) {
+    heap_sift_up(static_cast<std::size_t>(heap_pos_[i]));
+  }
+}
+
+void SatSolver::decay_activities() { var_inc_ /= kActivityDecay; }
+
+void SatSolver::analyze(ClauseRef confl, std::vector<SatLit>& learnt,
+                        std::uint32_t& backjump_level) {
+  learnt.clear();
+  learnt.push_back(0);  // slot for the asserting (1UIP) literal
+  std::uint32_t counter = 0;
+  SatLit p = 0;
+  bool have_p = false;
+  std::size_t trail_index = trail_.size();
+  std::vector<SatVar> to_clear;
+
+  ClauseRef reason = confl;
+  for (;;) {
+    assert(reason != kNoClause);
+    const SatLit* lits = clause_lits(reason);
+    const std::uint32_t size = clause_size(reason);
+    // Skip lits[0] when it is the literal we just resolved on.
+    for (std::uint32_t k = (have_p && lits[0] == p) ? 1 : 0; k < size;
+         ++k) {
+      const SatLit q = lits[k];
+      if (have_p && q == p) continue;
+      const auto v = static_cast<std::size_t>(lit_var(q));
+      if (seen_[v] != 0 || var_level_[v] == 0) continue;
+      seen_[v] = 1;
+      to_clear.push_back(lit_var(q));
+      bump_var(lit_var(q));
+      if (var_level_[v] >= decision_level()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Pick the next seen literal on the trail to resolve on.
+    while (seen_[static_cast<std::size_t>(
+               lit_var(trail_[trail_index - 1]))] == 0) {
+      --trail_index;
+    }
+    --trail_index;
+    p = trail_[trail_index];
+    have_p = true;
+    seen_[static_cast<std::size_t>(lit_var(p))] = 0;
+    --counter;
+    if (counter == 0) break;
+    reason = reason_[static_cast<std::size_t>(lit_var(p))];
+  }
+  learnt[0] = lit_neg(p);
+
+  // Conflict-clause minimisation (local): drop literals implied by the
+  // rest of the clause through their reason clause.
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const auto v = static_cast<std::size_t>(lit_var(learnt[i]));
+    const ClauseRef r = reason_[v];
+    bool redundant = false;
+    if (r != kNoClause) {
+      redundant = true;
+      const SatLit* lits = clause_lits(r);
+      const std::uint32_t size = clause_size(r);
+      for (std::uint32_t k = 0; k < size; ++k) {
+        const auto u = static_cast<std::size_t>(lit_var(lits[k]));
+        if (u == v) continue;
+        if (seen_[u] == 0 && var_level_[u] != 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) learnt[kept++] = learnt[i];
+  }
+  learnt.resize(kept);
+
+  // Backjump level: the highest level among the non-asserting literals.
+  backjump_level = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const std::uint32_t lvl =
+        var_level_[static_cast<std::size_t>(lit_var(learnt[i]))];
+    if (lvl > backjump_level) {
+      backjump_level = lvl;
+      max_i = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_i]);
+
+  for (const SatVar v : to_clear) {
+    seen_[static_cast<std::size_t>(v)] = 0;
+  }
+}
+
+void SatSolver::cancel_until(std::uint32_t level) {
+  if (decision_level() <= level) return;
+  const std::size_t bound = level_starts_[level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const auto v = static_cast<std::size_t>(lit_var(trail_[i]));
+    assigns_[v] = kUndef;
+    reason_[v] = kNoClause;
+    if (heap_pos_[static_cast<std::size_t>(v)] < 0) {
+      heap_insert(static_cast<SatVar>(v));
+    }
+  }
+  trail_.resize(bound);
+  level_starts_.resize(level);
+  qhead_ = trail_.size();
+}
+
+void SatSolver::heap_insert(SatVar v) {
+  heap_pos_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void SatSolver::heap_sift_up(std::size_t i) {
+  const SatVar v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void SatSolver::heap_sift_down(std::size_t i) {
+  const SatVar v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        heap_less(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+SatVar SatSolver::pick_branch_var() {
+  while (!heap_.empty()) {
+    const SatVar v = heap_[0];
+    heap_[0] = heap_.back();
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_.pop_back();
+    if (!heap_.empty()) heap_sift_down(0);
+    heap_pos_[static_cast<std::size_t>(v)] = -1;
+    if (assigns_[static_cast<std::size_t>(v)] == kUndef) return v;
+  }
+  return -1;
+}
+
+SatResult SatSolver::solve(std::span<const SatLit> assumptions,
+                           const SatLimits& limits) {
+  ++stats_.solves;
+  if (!ok_) return SatResult::Unsat;
+  assert(decision_level() == 0);
+  if (propagate() != kNoClause) {
+    ok_ = false;
+    return SatResult::Unsat;
+  }
+
+  std::vector<SatLit> learnt;
+  std::uint64_t conflicts_this_call = 0;
+  std::uint64_t restart_idx = 0;
+  std::uint64_t restart_budget = kRestartBase * luby(restart_idx);
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t loops = 0;
+  const auto finish = [&](SatResult r) {
+    cancel_until(0);
+    return r;
+  };
+
+  for (;;) {
+    if (((++loops) & kCancelPollMask) == 0 &&
+        limits.cancel.stop_requested()) {
+      return finish(SatResult::Unknown);
+    }
+    const ClauseRef confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_call;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return finish(SatResult::Unsat);
+      }
+      if (decision_level() <= assumptions.size()) {
+        // The conflict depends only on assumptions (every decision so
+        // far is one): unsatisfiable under these assumptions.
+        return finish(SatResult::Unsat);
+      }
+      std::uint32_t backjump = 0;
+      analyze(confl, learnt, backjump);
+      // Backjumping below the assumption prefix is fine: the levels up
+      // to the jump target still correspond one-to-one to the leading
+      // assumptions, and the decision loop re-places the rest.
+      cancel_until(backjump);
+      decay_activities();
+      if (learnt.size() == 1) {
+        cancel_until(0);
+        if (!add_clause(learnt)) return finish(SatResult::Unsat);
+      } else {
+        ++stats_.learnt_clauses;
+        const ClauseRef c = alloc_clause(learnt);
+        attach_clause(c);
+        enqueue(learnt[0], c);
+      }
+      if (limits.max_conflicts != 0 &&
+          conflicts_this_call >= limits.max_conflicts) {
+        return finish(SatResult::Unknown);
+      }
+      if (conflicts_since_restart >= restart_budget) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_budget = kRestartBase * luby(++restart_idx);
+        cancel_until(0);
+      }
+      continue;
+    }
+
+    // No conflict: place the next assumption, or branch.
+    if (decision_level() < assumptions.size()) {
+      const SatLit a = assumptions[decision_level()];
+      const std::uint8_t v = lit_value(a);
+      if (v == kFalse) return finish(SatResult::Unsat);
+      new_decision_level();
+      if (v == kUndef) enqueue(a, kNoClause);
+      continue;
+    }
+    const SatVar next = pick_branch_var();
+    if (next < 0) {
+      // Complete assignment: record the model.
+      for (std::size_t i = 0; i < assigns_.size(); ++i) {
+        model_[i] = assigns_[i] == kTrue ? 1 : 0;
+      }
+      return finish(SatResult::Sat);
+    }
+    ++stats_.decisions;
+    new_decision_level();
+    enqueue(mk_lit(next, phase_[static_cast<std::size_t>(next)] == 0),
+            kNoClause);
+  }
+}
+
+}  // namespace scanc::atpg

@@ -1,0 +1,183 @@
+// Self-contained CDCL SAT solver for the ATPG backend (docs/atpg.md).
+//
+// Zero external dependencies, matching the repo style: two-literal
+// watching, first-UIP conflict-clause learning with non-chronological
+// backjumping, VSIDS-style variable activities, phase saving, Luby
+// restarts, and assumption-based incremental solving.  The incremental
+// contract is the classic selector-literal scheme: per-fault clauses are
+// guarded by a fresh selector variable, one solve() runs under the
+// assumption that the selector is true, and retiring the fault adds the
+// unit clause of the negated selector so its clauses go permanently
+// satisfied without touching the shared circuit encoding.
+//
+// Bounded search: solve() gives up with SatResult::Unknown after
+// `SatLimits::max_conflicts` conflicts or as soon as the cancel token is
+// raised (polled in the decision loop, so deadlines cut mid-proof).
+// Unknown maps to PodemStatus::Aborted upstream — never to a verdict.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/cancel.hpp"
+
+namespace scanc::atpg {
+
+/// Variable index (0-based).
+using SatVar = std::int32_t;
+
+/// Literal: variable << 1 | sign (sign 1 = negated).
+using SatLit = std::int32_t;
+
+[[nodiscard]] constexpr SatLit mk_lit(SatVar v, bool negated = false) {
+  return (v << 1) | static_cast<SatLit>(negated);
+}
+[[nodiscard]] constexpr SatVar lit_var(SatLit l) { return l >> 1; }
+[[nodiscard]] constexpr bool lit_sign(SatLit l) { return (l & 1) != 0; }
+[[nodiscard]] constexpr SatLit lit_neg(SatLit l) { return l ^ 1; }
+
+enum class SatResult : std::uint8_t {
+  Sat,      ///< model available via SatSolver::model_value
+  Unsat,    ///< proven unsatisfiable under the given assumptions
+  Unknown,  ///< conflict budget exhausted or cancellation requested
+};
+
+/// Per-solve search bounds.
+struct SatLimits {
+  /// Conflicts before the call gives up with Unknown.  0 = unbounded.
+  std::uint64_t max_conflicts = 0;
+  /// Cooperative cancellation, polled in the decision loop.
+  util::CancelToken cancel;
+};
+
+/// Cumulative statistics across all solve() calls on one solver.
+struct SatStats {
+  std::uint64_t solves = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+};
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  /// Creates a fresh unassigned variable and returns its index.
+  SatVar new_var();
+
+  [[nodiscard]] std::size_t num_vars() const noexcept {
+    return assigns_.size();
+  }
+
+  /// Adds a clause over existing variables.  Returns false when the
+  /// clause system is already unsatisfiable at the root level (an empty
+  /// clause arose); the solver stays usable and every later solve()
+  /// reports Unsat.  Clauses may be added between solve() calls.
+  bool add_clause(std::span<const SatLit> lits);
+  bool add_clause(std::initializer_list<SatLit> lits) {
+    return add_clause(std::span<const SatLit>(lits.begin(), lits.size()));
+  }
+
+  /// Solves under `assumptions` (each forced true for this call only).
+  [[nodiscard]] SatResult solve(std::span<const SatLit> assumptions,
+                                const SatLimits& limits = {});
+  [[nodiscard]] SatResult solve(std::initializer_list<SatLit> assumptions,
+                                const SatLimits& limits = {}) {
+    return solve(
+        std::span<const SatLit>(assumptions.begin(), assumptions.size()),
+        limits);
+  }
+  [[nodiscard]] SatResult solve(const SatLimits& limits = {}) {
+    return solve(std::span<const SatLit>{}, limits);
+  }
+
+  /// Model value of a variable after solve() returned Sat.
+  [[nodiscard]] bool model_value(SatVar v) const {
+    return model_[static_cast<std::size_t>(v)] == 1;
+  }
+
+  [[nodiscard]] const SatStats& stats() const noexcept { return stats_; }
+
+  /// True once the root-level clause system is unsatisfiable.
+  [[nodiscard]] bool root_unsat() const noexcept { return !ok_; }
+
+ private:
+  // Clause storage: an arena of literals with small headers; references
+  // are arena offsets, stable because clauses are never erased (retired
+  // fault clauses die by selector unit instead).
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = 0xffffffffu;
+
+  struct Watch {
+    ClauseRef cref;
+    SatLit blocker;  ///< cached literal; if true, clause needs no work
+  };
+
+  static constexpr std::uint8_t kFalse = 0;
+  static constexpr std::uint8_t kTrue = 1;
+  static constexpr std::uint8_t kUndef = 2;
+
+  [[nodiscard]] std::uint8_t lit_value(SatLit l) const {
+    const std::uint8_t a = assigns_[static_cast<std::size_t>(lit_var(l))];
+    return a == kUndef ? kUndef
+                       : static_cast<std::uint8_t>(a ^ (l & 1));
+  }
+
+  [[nodiscard]] std::uint32_t clause_size(ClauseRef c) const {
+    return arena_[c];
+  }
+  [[nodiscard]] const SatLit* clause_lits(ClauseRef c) const {
+    return reinterpret_cast<const SatLit*>(&arena_[c + 1]);
+  }
+  [[nodiscard]] SatLit* clause_lits(ClauseRef c) {
+    return reinterpret_cast<SatLit*>(&arena_[c + 1]);
+  }
+
+  ClauseRef alloc_clause(std::span<const SatLit> lits);
+  void attach_clause(ClauseRef c);
+  void enqueue(SatLit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<SatLit>& learnt,
+               std::uint32_t& backjump_level);
+  void cancel_until(std::uint32_t level);
+  void new_decision_level() { level_starts_.push_back(trail_.size()); }
+  [[nodiscard]] std::uint32_t decision_level() const {
+    return static_cast<std::uint32_t>(level_starts_.size());
+  }
+  [[nodiscard]] SatVar pick_branch_var();
+  void bump_var(SatVar v);
+  void decay_activities();
+
+  bool ok_ = true;
+  std::vector<std::uint32_t> arena_;        ///< [size, lits...]*
+  std::vector<std::vector<Watch>> watches_; ///< indexed by literal
+  std::vector<std::uint8_t> assigns_;       ///< kFalse/kTrue/kUndef per var
+  std::vector<std::uint8_t> phase_;         ///< saved polarity per var
+  std::vector<ClauseRef> reason_;           ///< antecedent per var
+  std::vector<std::uint32_t> var_level_;    ///< assignment level per var
+  std::vector<double> activity_;            ///< VSIDS activity per var
+  std::vector<SatLit> trail_;
+  std::vector<std::size_t> level_starts_;
+  std::size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  std::vector<std::uint8_t> seen_;          ///< analyze scratch
+  std::vector<std::uint8_t> model_;
+  // Order heap substitute: a lazily-filtered max-activity scan is too
+  // slow; keep a binary heap keyed by activity.
+  std::vector<SatVar> heap_;
+  std::vector<std::int32_t> heap_pos_;      ///< -1 = not in heap
+  void heap_insert(SatVar v);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_less(SatVar a, SatVar b) const {
+    return activity_[static_cast<std::size_t>(a)] <
+           activity_[static_cast<std::size_t>(b)];
+  }
+
+  SatStats stats_;
+};
+
+}  // namespace scanc::atpg

@@ -4,8 +4,12 @@
 #include <sstream>
 #include <utility>
 
+#include "atpg/comb_tset.hpp"
+#include "atpg/podem.hpp"
+#include "atpg/sat_backend.hpp"
 #include "check/oracle_sim.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault/model.hpp"
 #include "sim/seq_sim.hpp"
 #include "tcomp/omission.hpp"
 #include "util/cancel.hpp"
@@ -79,6 +83,7 @@ class CaseChecker {
     }
     if (!cut()) check_no_scan();
     if (!cut()) check_batch();
+    if (cfg_->atpg != AtpgCheck::Off && !cut()) check_atpg();
     if (cfg_->run_metamorphic && !cut()) {
       check_session_resume();
       check_cycles();
@@ -331,6 +336,153 @@ class CaseChecker {
                   s.detects_all(r.test.scan_in, r.test.seq, base),
                   "omitted test coverage disagrees across kernels");
     });
+  }
+
+  /// SAT ATPG laws (docs/atpg.md).  The backend runs with an unbounded
+  /// conflict budget so it is complete on these tiny workloads: Aborted
+  /// can only mean the case watchdog cancelled a solve, and such faults
+  /// are skipped, never judged.
+  void check_atpg() {
+    atpg::SatBackendOptions so;
+    so.scan_mask = w_->scan_mask;
+    so.conflict_limit = 0;
+    so.cancel = watchdog_;
+    atpg::SatBackend sat(w_->circuit, so);
+    atpg::PodemOptions po;
+    po.scan_mask = w_->scan_mask;
+    atpg::Podem podem(w_->circuit, po);
+    const bool stuck =
+        w_->faults.model().kind() == fault::FaultModelKind::StuckAt;
+    util::Rng rng(w_->seed ^ 0x5a7ba0cedc0de5ULL);
+
+    FaultSet proven(w_->faults.num_classes());
+    std::size_t checked = 0;
+    targets_.for_each([&](std::size_t i) {
+      if (checked >= cfg_->atpg_fault_cap || cut()) return;
+      ++checked;
+      const auto id = static_cast<FaultClassId>(i);
+      const fault::Fault& rep = w_->faults.representative(id);
+      const std::string where = "atpg class=" + std::to_string(i);
+      if (stuck) {
+        const atpg::PodemResult s = sat.generate(rep);
+        if (s.status == atpg::PodemStatus::Aborted) return;  // watchdog
+        // Two complete-or-honest engines may never disagree on a
+        // definite verdict (PODEM's abort is the honest "don't know").
+        const atpg::PodemResult p = podem.generate(rep);
+        if (p.status != atpg::PodemStatus::Aborted) {
+          expect_true(where + " podem-vs-sat",
+                      (s.status == atpg::PodemStatus::Detected) ==
+                          (p.status == atpg::PodemStatus::Detected),
+                      "definite PODEM and SAT verdicts disagree");
+        }
+        if (s.status == atpg::PodemStatus::Untestable) {
+          proven.set(i);
+        } else {
+          confirm_comb_cube(where + " sat-cube", id, s.cube, rng);
+        }
+      } else {
+        const atpg::TransitionTest t = sat.generate_transition(rep);
+        if (t.status == atpg::PodemStatus::Aborted) return;  // watchdog
+        if (t.status == atpg::PodemStatus::Untestable) {
+          proven.set(i);
+        } else {
+          confirm_transition_test(where + " sat-tdf", id, t, rng);
+        }
+      }
+    });
+
+    // Proofs are final: no scan test of the encoding's shape (one frame
+    // for stuck-at, two for transition — exact under any scan mask) may
+    // detect a proven-untestable fault.  Judge the workload's own tests
+    // of that shape plus fresh fully-specified random ones.
+    const std::size_t shape = stuck ? 1 : 2;
+    if (proven.count() > 0) {
+      for (std::size_t ti = 0; ti < w_->tests.size() && !cut(); ++ti) {
+        const tcomp::ScanTest& t = w_->tests[ti];
+        if (t.seq.length() != shape) continue;
+        expect_true("atpg proof-vs-test=" + std::to_string(ti),
+                    ref_.detect_scan_test(t.scan_in, t.seq, &proven)
+                            .count() == 0,
+                    "workload test detects a SAT-proven-untestable fault");
+      }
+      for (int t = 0; t < 16 && !cut(); ++t) {
+        const sim::Vector3 state =
+            sim::random_vector(w_->circuit.num_flip_flops(), rng);
+        Sequence seq;
+        for (std::size_t u = 0; u < shape; ++u) {
+          seq.frames.push_back(
+              sim::random_vector(w_->circuit.num_inputs(), rng));
+        }
+        expect_true("atpg proof-vs-random=" + std::to_string(t),
+                    ref_.detect_scan_test(state, seq, &proven).count() == 0,
+                    "random test detects a SAT-proven-untestable fault");
+      }
+    }
+
+    // End-to-end --atpg=auto law: the comb generator under the Auto
+    // backend leaves no fault unresolved and accounts for every class.
+    if (cfg_->atpg == AtpgCheck::Auto && stuck && !cut()) {
+      atpg::CombTestSetOptions copt;
+      copt.podem.scan_mask = w_->scan_mask;
+      copt.backend = atpg::AtpgBackend::Auto;
+      copt.sat.conflict_limit = 0;
+      copt.cancel = watchdog_;
+      const atpg::CombTestSet comb =
+          atpg::generate_comb_test_set(w_->circuit, w_->faults, copt);
+      if (!cut()) {
+        expect_true("atpg auto aborts", comb.aborted == 0,
+                    "auto backend left aborted faults");
+        expect_true("atpg auto accounting",
+                    comb.detected.count() + comb.proven_untestable ==
+                        w_->faults.num_classes(),
+                    "auto backend class accounting broken");
+        expect_true("atpg auto untestable-set",
+                    comb.untestable.count() == comb.proven_untestable,
+                    "untestable set disagrees with its count");
+      }
+    }
+  }
+
+  /// A Detected stuck-at cube, random-filled respecting the scan mask,
+  /// must detect its fault as a single-frame scan test.
+  void confirm_comb_cube(const std::string& where, FaultClassId id,
+                         const atpg::TestCube& cube, util::Rng& rng) {
+    sim::Vector3 state = cube.state;
+    sim::Vector3 inputs = cube.inputs;
+    sim::randomize_x(inputs, rng);
+    for (std::size_t b = 0; b < state.size(); ++b) {
+      if (!w_->scan_mask.test(b)) {
+        state[b] = V3::X;  // unscanned: unknowable at test start
+      } else if (state[b] == V3::X) {
+        state[b] = sim::v3_from_bool(rng.coin());
+      }
+    }
+    Sequence seq;
+    seq.frames.push_back(inputs);
+    FaultSet one(w_->faults.num_classes());
+    one.set(id);
+    expect_true(where, ref_.detect_scan_test(state, seq, &one).test(id),
+                "SAT test cube fails to detect its fault");
+  }
+
+  /// Same confirmation for a two-frame transition-delay test.
+  void confirm_transition_test(const std::string& where, FaultClassId id,
+                               const atpg::TransitionTest& t,
+                               util::Rng& rng) {
+    sim::Vector3 state = t.state;
+    for (std::size_t b = 0; b < state.size(); ++b) {
+      if (!w_->scan_mask.test(b)) {
+        state[b] = V3::X;
+      } else if (state[b] == V3::X) {
+        state[b] = sim::v3_from_bool(rng.coin());
+      }
+    }
+    Sequence seq = t.seq;
+    for (Vector3& frame : seq.frames) sim::randomize_x(frame, rng);
+    FaultSet one(w_->faults.num_classes());
+    one.set(id);
+    expect_true(where, ref_.detect_scan_test(state, seq, &one).test(id),
+                "SAT transition test fails to detect its fault");
   }
 
   void check_no_scan() {

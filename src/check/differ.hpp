@@ -39,10 +39,17 @@
 //   - N_cyc = (k+1)*ceil(N_SV/chains) + sum L(T_j), recomputed here
 //     from first principles, matches tcomp::clock_cycles;
 //   - a snapshot/restore'd Session re-detects exactly what the
-//     uninterrupted run detects (resume == uninterrupted).
+//     uninterrupted run detects (resume == uninterrupted);
+//   - with CheckConfig::atpg enabled, the SAT ATPG backend's verdicts
+//     (docs/atpg.md): definite PODEM and SAT verdicts agree, every
+//     SAT-generated cube detects its fault under the reference
+//     simulator, no test of the encoding's shape (one frame for
+//     stuck-at, two for transition) detects a SAT-proven-untestable
+//     fault, and under Auto the comb generator resolves every fault.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +57,13 @@
 #include "sim/simd.hpp"
 
 namespace scanc::check {
+
+/// SAT ATPG cross-check mode (see the law list above).
+enum class AtpgCheck : std::uint8_t {
+  Off,  ///< skip the ATPG laws (default; the matrix is SAT-free)
+  Sat,  ///< per-fault SAT verdict laws (agreement, cubes, proofs)
+  Auto, ///< Sat laws plus the end-to-end --atpg=auto zero-abort law
+};
 
 struct CheckConfig {
   /// Worker threads for the parallel configurations (the N in 1-vs-N).
@@ -72,6 +86,12 @@ struct CheckConfig {
   /// comparisons completed before the cut keep their verdicts, the rest
   /// are skipped.  0 disables the watchdog.
   double max_case_seconds = 0.0;
+  /// SAT ATPG cross-check (fuzz_check --atpg=off|sat|auto).  The check
+  /// runs the backend with an unbounded conflict budget, so on fuzz-
+  /// sized workloads every verdict is definite and each law is exact.
+  AtpgCheck atpg = AtpgCheck::Off;
+  /// Maximum fault classes put through the per-fault SAT laws per case.
+  std::size_t atpg_fault_cap = 64;
 };
 
 /// Outcome of checking one workload.

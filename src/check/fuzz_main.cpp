@@ -2,7 +2,7 @@
 //
 //   fuzz_check [--seed=N] [--iters=N] [--time-budget=SECS] [--threads=N]
 //              [--fault-model=stuck|transition] [--no-oracle]
-//              [--lane-width=64|256|512|auto]
+//              [--atpg=off|sat|auto] [--lane-width=64|256|512|auto]
 //              [--max-case-seconds=SECS] [--repro-out=PATH] [--quiet]
 //
 // Expands case seeds derived from --seed into workloads and runs each
@@ -15,7 +15,8 @@
 // --max-case-seconds arms a per-case watchdog: a case that outlives it
 // is cut at the next comparison boundary and counted as a timeout
 // (obs.check_case_timeouts), never as a divergence — it protects a
-// fixed budget from one pathologically slow workload.
+// fixed budget from one pathologically slow workload.  --atpg adds the
+// SAT ATPG laws (check/differ.hpp) on top of the simulator matrix.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -42,6 +43,7 @@ struct Options {
   std::size_t threads = 8;
   scanc::fault::FaultModelKind model = scanc::fault::FaultModelKind::StuckAt;
   scanc::sim::LaneWidth lane_width = scanc::sim::LaneWidth::Auto;
+  scanc::check::AtpgCheck atpg = scanc::check::AtpgCheck::Off;
   bool oracle = true;
   bool quiet = false;
   std::string repro_out;
@@ -83,6 +85,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::cerr << "fuzz_check: unknown fault model: " << m << "\n";
         return false;
       }
+    } else if (a.rfind("--atpg=", 0) == 0) {
+      const std::string m = value("--atpg=");
+      if (m == "off") {
+        opt.atpg = scanc::check::AtpgCheck::Off;
+      } else if (m == "sat") {
+        opt.atpg = scanc::check::AtpgCheck::Sat;
+      } else if (m == "auto") {
+        opt.atpg = scanc::check::AtpgCheck::Auto;
+      } else {
+        std::cerr << "fuzz_check: unknown atpg mode: " << m << "\n";
+        return false;
+      }
     } else if (a.rfind("--lane-width=", 0) == 0) {
       const auto lw = scanc::sim::parse_lane_width(value("--lane-width="));
       if (!lw) {
@@ -116,6 +130,7 @@ int main(int argc, char** argv) {
   cfg.run_oracle = opt.oracle;
   cfg.lane_width = opt.lane_width;
   cfg.max_case_seconds = opt.max_case_seconds;
+  cfg.atpg = opt.atpg;
 
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed = [&]() {

@@ -53,6 +53,17 @@ fault::FaultModelKind parse_model(const std::string& flag,
                               " (expected stuck|transition)");
 }
 
+/// Parses an ATPG backend name; throws so a typo does not silently run
+/// the structural default and leave aborted faults unresolved.
+atpg::AtpgBackend parse_atpg(const std::string& flag, const char* value) {
+  const std::string v = value;
+  if (v == "podem") return atpg::AtpgBackend::Podem;
+  if (v == "sat") return atpg::AtpgBackend::Sat;
+  if (v == "auto") return atpg::AtpgBackend::Auto;
+  throw std::invalid_argument("bad atpg backend for " + flag + ": " + v +
+                              " (expected podem|sat|auto)");
+}
+
 /// Parses a time budget in (fractional) seconds; throws on garbage so a
 /// typo does not silently run without a deadline.
 double parse_seconds(const std::string& flag, const char* value) {
@@ -87,6 +98,9 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
   }
   if (const char* v = std::getenv("SCANC_FAULT_MODEL")) {
     cfg.runner.fault_model = parse_model("SCANC_FAULT_MODEL", v);
+  }
+  if (const char* v = std::getenv("SCANC_ATPG")) {
+    cfg.runner.atpg = parse_atpg("SCANC_ATPG", v);
   }
   if (const char* v = std::getenv("SCANC_CHAINS")) {
     cfg.runner.num_chains = std::strtoull(v, nullptr, 10);
@@ -125,6 +139,8 @@ BenchConfig parse_bench_args(int argc, const char* const* argv) {
     } else if (arg.rfind("--fault-model=", 0) == 0) {
       cfg.runner.fault_model =
           parse_model("--fault-model", arg.c_str() + 14);
+    } else if (arg.rfind("--atpg=", 0) == 0) {
+      cfg.runner.atpg = parse_atpg("--atpg", arg.c_str() + 7);
     } else if (arg.rfind("--chains=", 0) == 0) {
       cfg.runner.num_chains =
           std::strtoull(arg.c_str() + 9, nullptr, 10);

@@ -17,6 +17,14 @@
 //                                       transition; changes the fault
 //                                       universe and every measured
 //                                       number (cached separately)
+//   --atpg=M           SCANC_ATPG       ATPG backend: podem (default,
+//                                       structural only), sat (complete
+//                                       SAT backend), or auto (PODEM
+//                                       first, SAT resolves its aborts);
+//                                       sat/auto prove untestable faults
+//                                       out of the universe and measure
+//                                       different numbers (cached
+//                                       separately; docs/atpg.md)
 //   --chains=N         SCANC_CHAINS     balanced scan chains for the
 //                                       N_cyc cost model (default 1, the
 //                                       paper's single chain; cached

@@ -20,6 +20,7 @@
 #include "tcomp/pipeline.hpp"
 #include "tgen/greedy_tgen.hpp"
 #include "tgen/random_seq.hpp"
+#include "util/rng.hpp"
 #include "util/store.hpp"
 #include "util/telemetry.hpp"
 
@@ -28,7 +29,7 @@ namespace {
 
 /// Bump when measurement semantics change: stale cache entries and
 /// journals are discarded by version mismatch.
-constexpr int kCacheVersion = 5;
+constexpr int kCacheVersion = 6;
 
 void put(std::ostream& out, const std::string& key, std::uint64_t v) {
   out << key << "=" << v << "\n";
@@ -261,10 +262,12 @@ struct VariantMeasurement {
 VariantMeasurement measure_variant(fault::FaultSimulator& fsim,
                                    const sim::Sequence& t0,
                                    std::span<const atpg::CombTest> comb,
-                                   const RunnerOptions& options) {
+                                   const RunnerOptions& options,
+                                   const fault::FaultSet& universe) {
   tcomp::PipelineOptions popt;
   popt.cancel = options.cancel;
   popt.num_chains = options.num_chains;
+  popt.universe = universe;  // empty unless the backend proved faults out
   if (options.verbose || options.progress) {
     const auto t0_clock = std::chrono::steady_clock::now();
     const bool verbose = options.verbose;
@@ -317,6 +320,11 @@ std::string cache_entry_path(const RunnerOptions& options,
   if (options.num_chains > 1) {
     path += ".ch" + std::to_string(options.num_chains);
   }
+  // A non-default ATPG backend changes C and the fault universe
+  // (docs/atpg.md), hence the measured numbers.
+  if (options.atpg != atpg::AtpgBackend::Podem) {
+    path += std::string(".") + atpg::to_string(options.atpg);
+  }
   return path;
 }
 
@@ -328,6 +336,8 @@ std::string serialize_run(const CircuitRun& run) {
   put(out, "comb_tests", run.comb_tests);
   put(out, "faults", run.faults);
   put(out, "detectable", run.detectable);
+  put(out, "proven_untestable", run.proven_untestable);
+  put(out, "aborted", run.aborted);
   put_variant(out, "atpg", run.atpg);
   put_variant(out, "random", run.random);
   put(out, "cyc_dyn", run.cyc_dyn);
@@ -352,6 +362,8 @@ std::optional<CircuitRun> deserialize_run(const std::string& text) {
   run.comb_tests = get_u(m, "comb_tests", ok);
   run.faults = get_u(m, "faults", ok);
   run.detectable = get_u(m, "detectable", ok);
+  run.proven_untestable = get_u(m, "proven_untestable", ok);
+  run.aborted = get_u(m, "aborted", ok);
   run.atpg = get_variant(m, "atpg", ok);
   run.random = get_variant(m, "random", ok);
   run.cyc_dyn = get_u(m, "cyc_dyn", ok);
@@ -490,10 +502,22 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
   atpg::CombTestSetOptions copt;
   copt.seed = options.seed;
   copt.cancel = options.cancel;
+  copt.backend = options.atpg;
+  // Non-empty only under --atpg=sat/auto: all faults minus the classes
+  // proven untestable, handed to every pipeline run so Phase 3 stops
+  // chasing faults no test can detect.  Stays empty (= no exclusion)
+  // under the default backend for bit-identical legacy measurements.
+  fault::FaultSet universe;
   atpg::CombTestSet comb;
   if (!model.frame_gated()) {
     comb = atpg::generate_comb_test_set(circuit, faults, copt);
     run.detectable = faults.num_classes() - comb.proven_untestable;
+    run.proven_untestable = comb.proven_untestable;
+    run.aborted = comb.aborted;
+    if (options.atpg != atpg::AtpgBackend::Podem) {
+      universe = fsim.all_faults();
+      universe -= comb.untestable;
+    }
   } else {
     // The combinational ATPG is stuck-at-only: under a frame-gated model
     // C is still the stuck-at test set (deterministic from the seed, the
@@ -507,6 +531,48 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
     comb.detected = fsim.all_faults();
     comb.proven_untestable = 0;
     run.detectable = faults.num_classes();
+    if (options.atpg != atpg::AtpgBackend::Podem) {
+      // Resolve the transition universe directly (C's stuck-at proofs
+      // do not carry over): a cheap random two-frame prefilter knocks
+      // out the easily-launched classes, then the SAT backend's
+      // two-timeframe encoding resolves the remainder exactly.
+      note("resolving transition-fault universe (SAT)");
+      fault::FaultSet unresolved = fsim.all_faults();
+      util::Rng rng(options.seed ^ 0x7df5a11dULL);
+      constexpr std::size_t kPrefilter = 64;
+      std::vector<sim::Vector3> states(kPrefilter);
+      std::vector<sim::Sequence> seqs(kPrefilter);
+      std::vector<fault::FaultSimulator::BatchTest> batch(kPrefilter);
+      for (std::size_t i = 0; i < kPrefilter; ++i) {
+        states[i] = sim::random_vector(circuit.num_flip_flops(), rng);
+        seqs[i].frames.push_back(
+            sim::random_vector(circuit.num_inputs(), rng));
+        seqs[i].frames.push_back(
+            sim::random_vector(circuit.num_inputs(), rng));
+        batch[i] = {&states[i], &seqs[i]};
+      }
+      for (const fault::FaultSet& det :
+           fsim.detect_batch(batch, &unresolved)) {
+        unresolved -= det;
+      }
+      atpg::SatBackendOptions so;
+      so.cancel = options.cancel;
+      atpg::SatBackend sat(circuit, so);
+      universe = fsim.all_faults();
+      for (fault::FaultClassId id = 0; id < faults.num_classes(); ++id) {
+        if (!unresolved.test(id)) continue;
+        if (options.cancel.stop_requested()) break;
+        const atpg::TransitionTest t =
+            sat.generate_transition(faults.representative(id));
+        if (t.status == atpg::PodemStatus::Untestable) {
+          universe.reset(id);
+          ++run.proven_untestable;
+        } else if (t.status == atpg::PodemStatus::Aborted) {
+          ++run.aborted;
+        }
+      }
+      run.detectable = faults.num_classes() - run.proven_untestable;
+    }
   }
   run.comb_tests = comb.tests.size();
   if (options.cancel.stop_requested()) return partial("setup");
@@ -526,8 +592,8 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
     if (options.cancel.stop_requested()) return partial("setup");
 
     note("pipeline (greedy T0)");
-    const VariantMeasurement m =
-        measure_variant(fsim, t0_atpg.sequence, comb.tests, options);
+    const VariantMeasurement m = measure_variant(
+        fsim, t0_atpg.sequence, comb.tests, options, universe);
     run.atpg = m.result;
     // Journal only a phase the token never interrupted: the token is
     // sticky, so stop_requested() here proves every simulation inside
@@ -550,7 +616,7 @@ CircuitRun run_circuit(const gen::SuiteEntry& entry,
     const sim::Sequence t0_rand = tgen::random_test_sequence(
         circuit, options.random_t0_length, options.seed);
     const VariantMeasurement m =
-        measure_variant(fsim, t0_rand, comb.tests, options);
+        measure_variant(fsim, t0_rand, comb.tests, options, universe);
     run.random = m.result;
     if (!m.completed || options.cancel.stop_requested()) {
       return partial(std::string("pipeline-random/") +

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "atpg/sat_backend.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/model.hpp"
 #include "gen/suite.hpp"
@@ -66,6 +67,14 @@ struct CircuitRun {
   std::size_t comb_tests = 0;   ///< |C|
   std::size_t faults = 0;       ///< collapsed fault classes
   std::size_t detectable = 0;   ///< classes not proven untestable
+  /// Classes proven untestable by ATPG (search exhausted or SAT UNSAT
+  /// proof); always faults - detectable.
+  std::size_t proven_untestable = 0;
+  /// Classes the configured ATPG backend gave up on (testability still
+  /// unknown at the end of generation).  Always 0 under --atpg=sat or
+  /// --atpg=auto with an adequate conflict budget — the acceptance gate
+  /// this PR adds (see expt_test).
+  std::size_t aborted = 0;
 
   VariantResult atpg;           ///< T0 from the greedy generator
   VariantResult random;         ///< T0 random, length 1000
@@ -100,6 +109,14 @@ struct RunnerOptions {
   /// Like num_threads this only changes wall-clock time — every mode
   /// produces bit-identical results — so cached entries stay valid.
   fault::KernelMode kernel = fault::KernelMode::Auto;
+  /// ATPG backend for the combinational test set C and the fault
+  /// universe (docs/atpg.md).  Podem (default) reproduces the
+  /// structural-only measurement bit-for-bit.  Sat and Auto resolve
+  /// every fault — aborted classes get a SAT verdict, and
+  /// proven-untestable classes leave the fault universe before Phase 3
+  /// — so they measure different numbers and get their own cache
+  /// entries (cache_entry_path suffix).
+  atpg::AtpgBackend atpg = atpg::AtpgBackend::Podem;
   /// Fault model for the whole measurement: the fault universe and every
   /// simulation query switch together.  The combinational ATPG stays
   /// stuck-at-only, so under Transition the test set C is generated

@@ -52,17 +52,20 @@ void partial_note(const std::vector<CircuitRun>& runs, std::ostream& out) {
 
 void print_table1(const std::vector<CircuitRun>& runs, std::ostream& out) {
   out << "Table 1: Detected faults (measured | paper)\n";
-  line(out, "%-8s %6s %6s %7s | %7s %7s %7s | %7s %7s %7s\n", "circuit",
-       "ff", "ctsts", "flts", "T0", "scan", "final", "T0*", "scan*",
-       "final*");
+  line(out, "%-8s %6s %6s %7s %6s %6s | %7s %7s %7s | %7s %7s %7s\n",
+       "circuit", "ff", "ctsts", "flts", "untst", "abort", "T0", "scan",
+       "final", "T0*", "scan*", "final*");
   for (const CircuitRun& r : runs) {
     const gen::PaperRow p = paper_row(r.name);
-    line(out, "%-8s %6zu %6zu %7zu | %7zu %7zu %7zu | %7d %7d %7d\n",
+    line(out,
+         "%-8s %6zu %6zu %7zu %6zu %6zu | %7zu %7zu %7zu | %7d %7d %7d\n",
          row_label(r).c_str(), r.flip_flops, r.comb_tests, r.faults,
-         r.atpg.det_t0, r.atpg.det_scan, r.atpg.det_final, p.det_t0,
-         p.det_scan, p.det_final);
+         r.proven_untestable, r.aborted, r.atpg.det_t0, r.atpg.det_scan,
+         r.atpg.det_final, p.det_t0, p.det_scan, p.det_final);
   }
-  out << "(* = paper-reported values, on the original benchmarks)\n";
+  out << "(* = paper-reported values, on the original benchmarks;\n"
+         " untst = classes proven untestable, abort = classes ATPG gave\n"
+         " up on — 0 under --atpg=sat/auto, see docs/atpg.md)\n";
   partial_note(runs, out);
 }
 
@@ -156,21 +159,23 @@ void print_table5(const std::vector<CircuitRun>& runs, std::ostream& out) {
 void write_markdown_report(const std::vector<CircuitRun>& runs,
                            std::ostream& out) {
   out << "## Measured results\n\n";
-  out << "| circuit | ff | \\|C\\| | faults | det T0 | det scan | det final "
+  out << "| circuit | ff | \\|C\\| | faults | untestable | aborted | "
+         "det T0 | det scan | det final "
          "| L(T0) | L(Tseq) | added | [4] init | [4] comp | prop init | "
          "prop comp | at-speed ave [4] | at-speed ave prop | seconds |\n";
   out << "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---"
-         "|---|\n";
+         "|---|---|---|\n";
   for (const CircuitRun& r : runs) {
     line(out,
          "| %s | %zu | %zu | %zu | %zu | %zu | %zu | %zu | %zu | %zu | "
+         "%zu | %zu | "
          "%" PRIu64 " | %" PRIu64 " | %" PRIu64 " | %" PRIu64
          " | %.2f | %.2f | %.1f |\n",
          row_label(r).c_str(), r.flip_flops, r.comb_tests, r.faults,
-         r.atpg.det_t0, r.atpg.det_scan, r.atpg.det_final, r.atpg.len_t0,
-         r.atpg.len_scan, r.atpg.added, r.cyc_4_init, r.cyc_4_comp,
-         r.atpg.cyc_init, r.atpg.cyc_comp, r.atspeed_ave_4,
-         r.atpg.atspeed_ave, r.seconds);
+         r.proven_untestable, r.aborted, r.atpg.det_t0, r.atpg.det_scan,
+         r.atpg.det_final, r.atpg.len_t0, r.atpg.len_scan, r.atpg.added,
+         r.cyc_4_init, r.cyc_4_comp, r.atpg.cyc_init, r.atpg.cyc_comp,
+         r.atspeed_ave_4, r.atpg.atspeed_ave, r.seconds);
   }
   out << "\n";
   partial_note(runs, out);

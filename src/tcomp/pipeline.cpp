@@ -135,6 +135,13 @@ PipelineResult run_pipeline(FaultSimulator& fsim, const sim::Sequence& t0,
   // Phase 3: cover F - F_seq from C.
   trace("phase 3 (top-off)");
   FaultSet undetected = fsim.all_faults();
+  if (options.universe.size() == undetected.size()) {
+    // Proven-untestable classes leave F before top-off: Phase 3 only
+    // chases faults some test could still detect.
+    const std::size_t before = undetected.count();
+    undetected &= options.universe;
+    result.excluded_untestable = before - undetected.count();
+  }
   undetected -= result.f_seq;
   TopOffResult topoff;
   {

@@ -48,6 +48,15 @@ struct PipelineOptions {
   /// 1 = serial, otherwise that many threads.  Results are identical for
   /// every setting (see docs/execution.md).
   std::size_t num_threads = 0;
+  /// Fault universe for Phase 3 top-off (empty = every collapsed
+  /// class).  Callers holding untestability proofs (the SAT ATPG
+  /// backend, docs/atpg.md) pass all faults minus the proven-untestable
+  /// classes so top-off never chases faults no test can detect and the
+  /// `uncoverable` report stays honest.  Must be sized to the
+  /// simulator's class count when non-empty.  Phases 1+2, 4 and the
+  /// final coverage measurement are unaffected: coverage is still
+  /// reported against every class.
+  fault::FaultSet universe;
   /// Cooperative cancellation for the whole pipeline: installed on
   /// `fsim` at entry (frame-granular aborts) and checked between
   /// phases.  On cancellation the pipeline returns its best-so-far
@@ -67,6 +76,9 @@ struct PipelineResult {
   // Phase 3.
   std::size_t added_tests = 0;   ///< Table 2 "added c.tst"
   fault::FaultSet uncoverable;   ///< faults neither tau_seq nor C detect
+  /// Classes `options.universe` excluded from Phase 3 (proven
+  /// untestable upstream); 0 when no universe was supplied.
+  std::size_t excluded_untestable = 0;
 
   // Test sets.
   ScanTestSet initial;           ///< {tau_seq} + top-off (end of Phase 3)

@@ -195,6 +195,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::RegistryCircuitHits: return "registry_circuit_hits";
     case Counter::RegistryCircuitMisses: return "registry_circuit_misses";
     case Counter::RegistrySimReuses: return "registry_sim_reuses";
+    case Counter::AtpgSatSolveCalls: return "atpg_sat_solve_calls";
+    case Counter::AtpgSatConflicts: return "atpg_sat_conflicts";
+    case Counter::AtpgSatProofs: return "atpg_sat_proofs";
+    case Counter::AtpgSatFallbacks: return "atpg_sat_fallbacks";
     case Counter::kCount: break;
   }
   return "?";

@@ -103,6 +103,11 @@ enum class Counter : std::uint16_t {
   RegistryCircuitHits,  ///< parsed-circuit reuses across jobs
   RegistryCircuitMisses,///< circuits parsed/generated fresh
   RegistrySimReuses,    ///< pooled simulators (warm TraceCache) reused
+  // SAT ATPG backend (atpg/sat_backend.cpp).
+  AtpgSatSolveCalls,    ///< per-fault SAT solves issued
+  AtpgSatConflicts,     ///< CDCL conflicts across all solves
+  AtpgSatProofs,        ///< untestability proofs (UNSAT verdicts)
+  AtpgSatFallbacks,     ///< --atpg=auto faults retried on SAT after abort
   kCount
 };
 

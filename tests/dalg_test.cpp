@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "atpg/comb_tset.hpp"
 #include "atpg/dalg.hpp"
 #include "atpg/podem.hpp"
+#include "atpg/sat_backend.hpp"
 #include "atpg/val5.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/fault_sim.hpp"
@@ -124,6 +126,105 @@ TEST_P(DalgVsPodem, EnginesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DalgVsPodem,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+std::vector<std::string_view> views(const std::vector<std::string>& v) {
+  return {v.begin(), v.end()};
+}
+
+// Class of a specific fault (faults_ scan; tests only).
+FaultClassId class_of_fault(const FaultList& fl, const Fault& f) {
+  for (std::size_t i = 0; i < fl.faults().size(); ++i) {
+    if (fl.faults()[i] == f) return fl.class_of(i);
+  }
+  ADD_FAILURE() << "fault not in list";
+  return 0;
+}
+
+// A justification frontier wider than max_enum_inputs must end the
+// search with Aborted — never Untestable.  An Aborted fault stays in
+// the compaction universe (later tests may still catch it, or the SAT
+// backend resolves it under --atpg=auto); a false Untestable would
+// silently drop a detectable fault from every downstream phase.
+TEST(Dalg, WideJustificationAbortsInsteadOfClaimingUntestable) {
+  netlist::CircuitBuilder b("wide_and");
+  std::vector<std::string> ins;
+  for (int i = 0; i < 10; ++i) {
+    ins.push_back("a" + std::to_string(i));
+    b.add_input(ins.back());
+  }
+  b.add_gate(GateType::And, "o", views(ins));
+  b.mark_output("o");
+  const Circuit c = b.build();
+  // o stuck-at-1: activation needs good(o) = 0, putting the 10-input
+  // AND on the J-frontier with 10 unknown inputs (> the default 8).
+  const Fault f{c.find("o"), sim::kStemPin, true};
+  Dalg dalg(c);
+  EXPECT_EQ(dalg.generate(f).status, PodemStatus::Aborted);
+  // Raising the enumeration budget resolves the same fault.
+  DalgOptions wide;
+  wide.max_enum_inputs = 16;
+  Dalg relaxed(c, wide);
+  const PodemResult r = relaxed.generate(f);
+  ASSERT_EQ(r.status, PodemStatus::Detected);
+  const FaultList fl = FaultList::build(c);
+  EXPECT_TRUE(cube_detects(c, fl, class_of_fault(fl, f), r.cube, 3));
+  // The SAT backend resolves it without any budget tuning — the
+  // --atpg=auto contract for exactly this kind of abort.
+  SatBackend sat(c);
+  EXPECT_EQ(sat.generate(f).status, PodemStatus::Detected);
+}
+
+// Same contract for the D-frontier: propagating an error through an
+// XOR with more X side-inputs than the enumeration budget aborts.
+TEST(Dalg, WideXorPropagationAbortsInsteadOfClaimingUntestable) {
+  netlist::CircuitBuilder b("wide_xor");
+  b.add_input("a");
+  std::vector<std::string> ins = {"a"};
+  for (int i = 0; i < 10; ++i) {
+    ins.push_back("s" + std::to_string(i));
+    b.add_input(ins.back());
+  }
+  b.add_gate(GateType::Xor, "x", views(ins));
+  b.mark_output("x");
+  const Circuit c = b.build();
+  const Fault f{c.find("a"), sim::kStemPin, false};
+  Dalg dalg(c);
+  EXPECT_EQ(dalg.generate(f).status, PodemStatus::Aborted);
+  DalgOptions wide;
+  wide.max_enum_inputs = 16;
+  Dalg relaxed(c, wide);
+  const PodemResult r = relaxed.generate(f);
+  ASSERT_EQ(r.status, PodemStatus::Detected);
+  const FaultList fl = FaultList::build(c);
+  EXPECT_TRUE(cube_detects(c, fl, class_of_fault(fl, f), r.cube, 5));
+  SatBackend sat(c);
+  EXPECT_EQ(sat.generate(f).status, PodemStatus::Detected);
+}
+
+// End-to-end: generate_comb_test_set under the Auto backend leaves no
+// fault unresolved on a circuit the structural engine aborts on.
+TEST(Dalg, AutoBackendResolvesEveryAbort) {
+  netlist::CircuitBuilder b("wide_and2");
+  std::vector<std::string> ins;
+  for (int i = 0; i < 10; ++i) {
+    ins.push_back("a" + std::to_string(i));
+    b.add_input(ins.back());
+  }
+  b.add_gate(GateType::And, "o", views(ins));
+  b.mark_output("o");
+  const Circuit c = b.build();
+  const FaultList fl = FaultList::build(c);
+  CombTestSetOptions opt;
+  opt.engine = AtpgEngine::Dalg;
+  const CombTestSet structural = generate_comb_test_set(c, fl, opt);
+  ASSERT_GT(structural.aborted, 0u);  // the gap --atpg=auto closes
+  opt.backend = AtpgBackend::Auto;
+  const CombTestSet resolved = generate_comb_test_set(c, fl, opt);
+  EXPECT_EQ(resolved.aborted, 0u);
+  EXPECT_EQ(resolved.detected.count() + resolved.proven_untestable,
+            fl.num_classes());
+  EXPECT_EQ(resolved.untestable.count(), resolved.proven_untestable);
+}
 
 TEST(Dalg, WorksOnS27) {
   const Circuit c = gen::make_s27();

@@ -99,6 +99,35 @@ TEST(Options, ParsesTimeBudget) {
   EXPECT_THROW((void)parse_bench_args(2, negative), std::invalid_argument);
 }
 
+TEST(Options, ParsesAtpgBackend) {
+  const char* sat[] = {"bin", "--atpg=sat"};
+  EXPECT_EQ(parse_bench_args(2, sat).runner.atpg, atpg::AtpgBackend::Sat);
+  const char* aut[] = {"bin", "--atpg=auto"};
+  EXPECT_EQ(parse_bench_args(2, aut).runner.atpg, atpg::AtpgBackend::Auto);
+  const char* podem[] = {"bin", "--atpg=podem"};
+  EXPECT_EQ(parse_bench_args(2, podem).runner.atpg,
+            atpg::AtpgBackend::Podem);
+  const char* none[] = {"bin"};
+  EXPECT_EQ(parse_bench_args(1, none).runner.atpg,
+            atpg::AtpgBackend::Podem);
+  const char* bad[] = {"bin", "--atpg=minisat"};
+  EXPECT_THROW((void)parse_bench_args(2, bad), std::invalid_argument);
+}
+
+TEST(Options, AtpgBackendGetsOwnCacheEntry) {
+  RunnerOptions opt;
+  const std::string base = cache_entry_path(opt, "s298");
+  opt.atpg = atpg::AtpgBackend::Sat;
+  const std::string sat = cache_entry_path(opt, "s298");
+  opt.atpg = atpg::AtpgBackend::Auto;
+  const std::string aut = cache_entry_path(opt, "s298");
+  EXPECT_NE(base, sat);
+  EXPECT_NE(base, aut);
+  EXPECT_NE(sat, aut);
+  EXPECT_EQ(sat, base + ".sat");
+  EXPECT_EQ(aut, base + ".auto");
+}
+
 TEST(Options, RejectsUnknownFlagAndCircuit) {
   const char* bad_flag[] = {"bin", "--bogus"};
   EXPECT_THROW((void)parse_bench_args(2, bad_flag), std::invalid_argument);
@@ -176,6 +205,29 @@ TEST(Runner, EndToEndWithCacheOnTinyCircuit) {
   const CircuitRun cached = run_circuit(*entry, opt);
   EXPECT_EQ(serialize_run(cached), serialize_run(fresh));
   std::filesystem::remove(cache + ".b02.seed1");
+}
+
+// The acceptance gate for the SAT backend: under --atpg=auto every
+// fault the structural engine aborts on is resolved by SAT, so the
+// measurement ends with zero unresolved classes and an exact
+// detectable count.
+TEST(Runner, AutoBackendLeavesNoAbortedFaults) {
+  for (const char* name : {"b02", "s298"}) {
+    const auto entry = gen::find_suite_entry(name);
+    ASSERT_TRUE(entry.has_value());
+    RunnerOptions opt;
+    opt.cache_path.clear();  // in-memory: no cache, no journal
+    opt.random_t0_length = 100;
+    opt.run_dynamic_baseline = false;
+    opt.atpg = atpg::AtpgBackend::Auto;
+    const CircuitRun run = run_circuit(*entry, opt);
+    EXPECT_TRUE(run.completed);
+    EXPECT_EQ(run.aborted, 0u) << name;
+    EXPECT_EQ(run.detectable, run.faults - run.proven_untestable) << name;
+    // Everything the pipeline finally covers is within the detectable
+    // universe.
+    EXPECT_LE(run.atpg.det_final, run.detectable) << name;
+  }
 }
 
 }  // namespace

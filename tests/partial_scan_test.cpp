@@ -160,6 +160,59 @@ TEST(PartialScanPodem, CubesRespectMaskAndDetect) {
   EXPECT_GT(detected, 0u);
 }
 
+// Regression: under partial scan, PODEM's backtrace can dead-end on an
+// unscanned flip-flop (an unassignable X source).  Treating that
+// dead-end as branch exhaustion used to make generate() return
+// Untestable for faults that are detectable — here the detectability
+// witness is a masked fault-simulation run on a cube the SAT backend
+// produced for exactly this configuration (circuit seed 13, scan mask
+// {0,2,3} of 6, fault pi0 stuck-at-0).  A dead-ended search must end
+// Detected or Aborted, never Untestable.
+TEST(PartialScanPodem, BacktraceDeadEndIsNeverAnUntestabilityProof) {
+  gen::GenParams p;
+  p.name = "psdead";
+  p.seed = 13;
+  p.num_inputs = 6;
+  p.num_outputs = 4;
+  p.num_flip_flops = 6;
+  p.num_gates = 80;
+  const Circuit c = gen::generate_circuit(p);
+  const FaultList fl = FaultList::build(c);
+  const util::Bitset mask = mask_of({0, 2, 3}, 6);
+
+  atpg::PodemOptions popt;
+  popt.scan_mask = mask;
+  atpg::Podem podem(c, popt);
+  FaultSimulator fsim(c, fl, mask);
+  util::Rng rng(17);
+
+  // No fault PODEM calls untestable may be detectable by simulation:
+  // try to detect every "untestable" class with random mask-respecting
+  // tests — any hit disproves the proof.
+  FaultSet claimed_untestable(fl.num_classes());
+  for (fault::FaultClassId id = 0; id < fl.num_classes(); ++id) {
+    if (podem.generate(fl.representative(id)).status ==
+        atpg::PodemStatus::Untestable) {
+      claimed_untestable.set(id);
+    }
+  }
+  for (int t = 0; t < 64; ++t) {
+    sim::Vector3 state = sim::random_vector(6, rng);
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (!mask.test(i)) state[i] = sim::V3::X;
+    }
+    sim::Sequence seq;
+    seq.frames.push_back(sim::random_vector(c.num_inputs(), rng));
+    const FaultSet det =
+        fsim.detect_scan_test(state, seq, &claimed_untestable);
+    det.for_each([&](std::size_t id) {
+      ADD_FAILURE() << "PODEM claimed untestable but simulation detects "
+                    << fault_name(fl.representative(
+                           static_cast<fault::FaultClassId>(id)), c);
+    });
+  }
+}
+
 TEST(PartialScanFlow, PipelineRunsEndToEnd) {
   gen::GenParams p;
   p.name = "psf";
